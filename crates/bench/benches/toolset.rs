@@ -1,0 +1,139 @@
+//! Microbenchmarks for the coMtainer toolset: GCC command-line
+//! parse/unparse (the compilation model), build-graph construction and
+//! scheduling, and the linker's archive pull-in fixpoint.
+
+use bytes::Bytes;
+use comt_toolchain::{CompilerInvocation, SimCompiler, Toolchain};
+use comt_vfs::Vfs;
+use comtainer::models::{BuildGraph, CompilationModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn bench_cmdline(c: &mut Criterion) {
+    let line = argv(
+        "g++ -O3 -march=icelake-server -mtune=icelake-server -std=c++17 -fopenmp -flto \
+         -fprofile-use=/prof/app.prof -DNDEBUG -DUSE_MPI=1 -Iinclude -I/opt/vendor/include \
+         -Wall -Wextra -Wshadow -ffast-math -funroll-loops -fno-exceptions \
+         -c src/kernels/CalcForce.cc -o build/CalcForce.o",
+    );
+    let mut g = c.benchmark_group("cmdline");
+    g.bench_function("parse_34_tokens", |b| {
+        b.iter(|| CompilerInvocation::parse(&line).unwrap());
+    });
+    let inv = CompilerInvocation::parse(&line).unwrap();
+    g.bench_function("unparse", |b| {
+        b.iter(|| inv.to_argv());
+    });
+    g.bench_function("parse_transform_unparse", |b| {
+        b.iter(|| {
+            let mut inv = CompilerInvocation::parse(&line).unwrap();
+            inv.set_march("native");
+            inv.set_opt_level("3");
+            inv.enable_lto();
+            inv.to_argv()
+        });
+    });
+    g.finish();
+}
+
+fn bench_build_graph(c: &mut Criterion) {
+    // A 600-command build: 500 compiles, archives every 50 objects, links.
+    let mut commands: Vec<(Vec<String>, Vec<String>, Vec<String>)> = Vec::new();
+    for i in 0..500 {
+        commands.push((
+            argv(&format!("gcc -O2 -c unit{i}.c -o unit{i}.o")),
+            vec![format!("/src/unit{i}.c"), "/src/app.h".to_string()],
+            vec![format!("/src/unit{i}.o")],
+        ));
+    }
+    for a in 0..10 {
+        let members: Vec<String> = (a * 50..(a + 1) * 50).map(|i| format!("/src/unit{i}.o")).collect();
+        commands.push((
+            argv(&format!("ar rcs lib{a}.a …")),
+            members,
+            vec![format!("/src/lib{a}.a")],
+        ));
+    }
+    commands.push((
+        argv("gcc unit0.o -L. -l0 -o app"),
+        (0..10).map(|a| format!("/src/lib{a}.a")).collect(),
+        vec!["/src/app".to_string()],
+    ));
+
+    let mut g = c.benchmark_group("build_graph");
+    g.bench_function("construct_511_commands", |b| {
+        b.iter(|| {
+            let mut graph = BuildGraph::new();
+            for (argv, inputs, outputs) in &commands {
+                let model = CompilationModel::classify(argv, "/src", &[], inputs);
+                for out in outputs {
+                    graph.record_production(out, inputs, model.clone());
+                }
+            }
+            graph
+        });
+    });
+    let mut graph = BuildGraph::new();
+    for (argv, inputs, outputs) in &commands {
+        let model = CompilationModel::classify(argv, "/src", &[], inputs);
+        for out in outputs {
+            graph.record_production(out, inputs, model.clone());
+        }
+    }
+    g.bench_function("topo_levels", |b| {
+        b.iter(|| graph.topo_levels().unwrap());
+    });
+    let app = graph.by_path("/src/app").unwrap().id;
+    g.bench_function("required_leaves", |b| {
+        b.iter(|| graph.required_leaves(&[app]));
+    });
+    g.finish();
+}
+
+fn bench_linker(c: &mut Criterion) {
+    // Archive pull-in fixpoint over a 200-member archive with a dependency
+    // chain, so members are pulled across many rounds.
+    let sim = SimCompiler::new(Toolchain::distro_gcc(), "x86_64");
+    let mut fs = Vfs::new();
+    fs.mkdir_p("/src").unwrap();
+    fs.write_file_p(
+        "/src/main.c",
+        Bytes::from("#pragma comt provides(main)\n#pragma comt requires(fn_0)\n"),
+        0o644,
+    )
+    .unwrap();
+    for i in 0..200 {
+        let req = if i + 1 < 200 {
+            format!("#pragma comt requires(fn_{})\n", i + 1)
+        } else {
+            String::new()
+        };
+        fs.write_file_p(
+            &format!("/src/m{i}.c"),
+            Bytes::from(format!("#pragma comt provides(fn_{i})\n{req}")),
+            0o644,
+        )
+        .unwrap();
+    }
+    sim.run(&mut fs, "/src", &argv("gcc -c main.c")).unwrap();
+    for i in 0..200 {
+        sim.run(&mut fs, "/src", &argv(&format!("gcc -c m{i}.c"))).unwrap();
+    }
+    let members: String = (0..200).map(|i| format!("m{i}.o ")).collect();
+    sim.run(&mut fs, "/src", &argv(&format!("ar rcs libchain.a {members}")))
+        .unwrap();
+
+    c.bench_function("linker_fixpoint_200_members", |b| {
+        b.iter(|| {
+            let mut scratch = fs.clone();
+            sim.run(&mut scratch, "/src", &argv("gcc main.o -L. -lchain -o app"))
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_cmdline, bench_build_graph, bench_linker);
+criterion_main!(benches);

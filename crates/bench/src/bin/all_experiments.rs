@@ -1,0 +1,21 @@
+//! Run every experiment of the evaluation in sequence (Tables 1–3,
+//! Figures 3, 9, 10, 11). Each experiment is also available as its own
+//! binary for targeted runs.
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in ["table1", "table2", "fig3", "fig9", "fig10", "fig11", "scaling", "table3"] {
+        println!("\n######## {bin} ########\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,175 @@
+//! EXP-F10 — Figure 10: execution time of adapted and optimized images
+//! *relative to the native build* (lower is better; < 1.0 beats native).
+//!
+//! Paper headlines: optimized beats adapted by 8 % (x86-64) / 5.6 %
+//! (AArch64) and native by 3.4 % / 3 %; extremes are openmx.pt13 +30.4 %
+//! and lammps.chain −12.1 % (x86-64), lammps.lj +17.7 % and hpcg −14.9 %
+//! (AArch64).
+//!
+//! `--lto-scope` additionally runs the LTO-scope ablation (whole-graph vs
+//! per-binary) called out in DESIGN.md.
+
+use comt_bench::report::{mean, table};
+use comt_bench::{Lab, Scheme};
+use comt_pkg::catalog;
+use comt_workloads::workloads;
+use std::collections::BTreeMap;
+
+fn main() {
+    let lto_scope_ablation = std::env::args().any(|a| a == "--lto-scope");
+    let bolt_ablation = std::env::args().any(|a| a == "--bolt");
+    let nodes = 16;
+
+    for isa in ["x86_64", "aarch64"] {
+        println!(
+            "== Figure 10{}: relative execution time vs native on {} ==\n",
+            if isa == "x86_64" { "a" } else { "b" },
+            isa
+        );
+        let mut lab = Lab::new(isa, catalog::MINI_SCALE);
+        let mut arts = BTreeMap::new();
+        let mut rows = Vec::new();
+        let mut rel_adapted = Vec::new();
+        let mut rel_optimized = Vec::new();
+        let mut extremes: Vec<(String, f64)> = Vec::new();
+
+        for w in workloads() {
+            let art = arts.entry(w.app).or_insert_with(|| lab.prepare_app(w.app));
+            let native = lab.run(art, &w, Scheme::Native, nodes);
+            let adapted = lab.run(art, &w, Scheme::Adapted, nodes);
+            let optimized = lab.run(art, &w, Scheme::Optimized, nodes);
+            let ra = adapted / native;
+            let ro = optimized / native;
+            rel_adapted.push(ra);
+            rel_optimized.push(ro);
+            // Improvement of optimized over adapted, the Figure 10 story.
+            let opt_vs_adapted = (adapted / optimized - 1.0) * 100.0;
+            extremes.push((w.label(), opt_vs_adapted));
+            rows.push(vec![
+                w.label(),
+                format!("{ra:.3}"),
+                format!("{ro:.3}"),
+                format!("{opt_vs_adapted:+.1}%"),
+            ]);
+        }
+
+        println!(
+            "{}",
+            table(
+                &["workload", "adapted/native", "optimized/native", "lto+pgo effect"],
+                &rows
+            )
+        );
+        println!(
+            "mean relative time: adapted {:.3}, optimized {:.3}",
+            mean(&rel_adapted),
+            mean(&rel_optimized)
+        );
+        extremes.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (worst, best) = (extremes.first().unwrap(), extremes.last().unwrap());
+        println!(
+            "best lto+pgo: {} {:+.1}% (paper: {}), worst: {} {:+.1}% (paper: {})\n",
+            best.0,
+            best.1,
+            if isa == "x86_64" { "openmx.pt13 +30.4%" } else { "lammps.lj +17.7%" },
+            worst.0,
+            worst.1,
+            if isa == "x86_64" { "lammps.chain -12.1%" } else { "hpcg -14.9%" },
+        );
+
+        if lto_scope_ablation && isa == "x86_64" {
+            lto_scope(&mut lab);
+        }
+        if bolt_ablation && isa == "x86_64" {
+            bolt(&mut lab);
+        }
+    }
+}
+
+/// Post-link layout optimization (BOLT-style) on top of LTO+PGO — the
+/// "binary-level layout optimization" head-room of §3.
+fn bolt(lab: &mut Lab) {
+    use comt_perfsim::{execute_with_deck, lib_env_from_image};
+    use comt_pkg::catalog as cat;
+    use comtainer::{comtainer_rebuild, comtainer_redirect, LtoAdapter, PgoAdapter, RebuildOptions};
+    println!("-- post-link layout ablation (openmx.pt13) --");
+    let mut art = lab.prepare_app("openmx");
+    let w = comt_workloads::WorkloadRef { app: "openmx", input: "pt13" };
+    let optimized = lab.run(&mut art, &w, Scheme::Optimized, 16);
+
+    // One more rebuild with the same profile + post-link layout pass.
+    let profile_path = "/prof/openmx.prof".to_string();
+    let (bin0, env0) = {
+        let side = lab
+            .system_side()
+            .with_adapter(Box::new(LtoAdapter::whole_graph()))
+            .with_adapter(Box::new(PgoAdapter::generate()));
+        let re = comtainer_rebuild(&mut art.oci, "openmx.dist+coM", &side, &RebuildOptions::default()).unwrap();
+        let r = comtainer_redirect(&mut art.oci, &re, &side).unwrap();
+        let img = art.oci.load_image(&r).unwrap();
+        let fs = comt_oci::flatten(&art.oci.blobs, &img).unwrap();
+        let bin = comt_toolchain::artifact::read_linked(&fs.read("/app/openmx").unwrap()).unwrap();
+        let env = lib_env_from_image(&fs, &[&cat::system_repo_scaled(&lab.isa, lab.scale)]);
+        (bin, env)
+    };
+    let d = comt_workloads::deck("openmx", "pt13", &lab.isa, 16);
+    let profile = execute_with_deck(&bin0, &d, &env0, &lab.system, 16)
+        .profile
+        .expect("profile");
+    let mut extra = std::collections::BTreeMap::new();
+    extra.insert(profile_path.clone(), bytes::Bytes::from(profile.into_bytes()));
+    let side = lab
+        .system_side()
+        .with_adapter(Box::new(LtoAdapter::whole_graph()))
+        .with_adapter(Box::new(PgoAdapter::use_profile(&profile_path)));
+    let re = comtainer_rebuild(
+        &mut art.oci,
+        "openmx.dist+coM",
+        &side,
+        &RebuildOptions {
+            parallel: false,
+            extra_files: extra,
+            post_link_layout: true,
+        },
+    )
+    .unwrap();
+    let r = comtainer_redirect(&mut art.oci, &re, &side).unwrap();
+    let img = art.oci.load_image(&r).unwrap();
+    let fs = comt_oci::flatten(&art.oci.blobs, &img).unwrap();
+    let bin = comt_toolchain::artifact::read_linked(&fs.read("/app/openmx").unwrap()).unwrap();
+    let env = lib_env_from_image(&fs, &[&cat::system_repo_scaled(&lab.isa, lab.scale)]);
+    let bolted = execute_with_deck(&bin, &d, &env, &lab.system, 16).seconds * 1.03;
+    println!(
+        "  optimized (LTO+PGO)         : {optimized:7.2}s
+  + post-link layout (BOLT)   : {bolted:7.2}s  ({:+.1}%)
+",
+        (optimized / bolted - 1.0) * 100.0
+    );
+}
+
+/// LTO-scope ablation: whole-graph vs per-binary scoping on one app.
+fn lto_scope(lab: &mut Lab) {
+    use comtainer::{comtainer_rebuild, LtoAdapter, LtoScope, PgoAdapter, RebuildOptions};
+    println!("-- LTO scope ablation (hpl) --");
+    let mut art = lab.prepare_app("hpl");
+    for (label, scope) in [
+        ("whole-graph", LtoScope::WholeGraph),
+        ("binary-scoped", LtoScope::Binaries(vec!["hpl".into()])),
+    ] {
+        let side = lab
+            .system_side()
+            .with_adapter(Box::new(LtoAdapter { scope: scope.clone() }))
+            .with_adapter(Box::new(PgoAdapter::generate()));
+        let re = comtainer_rebuild(
+            &mut art.oci,
+            "hpl.dist+coM",
+            &side,
+            &RebuildOptions::default(),
+        )
+        .expect("rebuild");
+        let arts = comtainer::cache::load_rebuild(&art.oci, &re).expect("rebuild layer");
+        let bin = comt_toolchain::artifact::read_linked(&arts["/app/hpl"]).unwrap();
+        println!("  {label:14} lto_applied={}", bin.lto_applied);
+    }
+    println!();
+}

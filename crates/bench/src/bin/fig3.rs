@@ -1,0 +1,71 @@
+//! EXP-F3 — Figure 3: the adaptability gap. LULESH on a single node of
+//! each system, incrementally enabling system-side optimizations on top of
+//! the generic image: `libo` (optimized libraries), `cxxo` (native
+//! toolchain), `lto`, `pgo`.
+//!
+//! Paper headlines: libo+cxxo recover up to 50 % (x86-64) and 72 %
+//! (AArch64) of the time; lto and pgo add ~17.5 % and ~9.6 % on top.
+
+use comt_bench::report::table;
+use comt_bench::Lab;
+use comt_perfsim::execute_with_deck;
+use comt_pkg::catalog;
+use comt_toolchain::artifact::PgoMode;
+use comt_workloads::deck;
+
+fn main() {
+    for isa in ["x86_64", "aarch64"] {
+        println!("== Figure 3: LULESH single-node adaptability study on {isa} ==\n");
+        let mut lab = Lab::new(isa, catalog::MINI_SCALE);
+        let art = lab.prepare_app("lulesh");
+        let d = deck("lulesh", "", isa, 1);
+
+        // Generic binary straight out of the original image.
+        let orig_fs = comt_oci::flatten(&lab.store, &art.original).expect("orig fs");
+        let generic_bin =
+            comt_toolchain::artifact::read_linked(&orig_fs.read("/app/lulesh").unwrap()).unwrap();
+        let generic_env = comt_perfsim::LibEnv::generic();
+        let vendor_env = art.native_env.clone();
+        let native_bin = art.native_binary.clone();
+        let mut lto_bin = native_bin.clone();
+        lto_bin.lto_applied = true;
+        let mut pgo_bin = lto_bin.clone();
+        pgo_bin.opt.pgo = PgoMode::Optimized;
+
+        let steps: Vec<(&str, f64)> = vec![
+            ("cost", execute_with_deck(&generic_bin, &d, &generic_env, &lab.system, 1).seconds),
+            ("+libo", execute_with_deck(&generic_bin, &d, &vendor_env, &lab.system, 1).seconds),
+            ("+cxxo", execute_with_deck(&native_bin, &d, &vendor_env, &lab.system, 1).seconds),
+            ("+lto", execute_with_deck(&lto_bin, &d, &vendor_env, &lab.system, 1).seconds),
+            ("+pgo", execute_with_deck(&pgo_bin, &d, &vendor_env, &lab.system, 1).seconds),
+        ];
+
+        let mut rows = Vec::new();
+        let cost = steps[0].1;
+        let mut prev = cost;
+        for (label, t) in &steps {
+            rows.push(vec![
+                label.to_string(),
+                format!("{t:.2}"),
+                format!("{:+.1}%", (1.0 - t / prev) * 100.0),
+                format!("{:.1}%", (1.0 - t / cost) * 100.0),
+            ]);
+            prev = *t;
+        }
+        println!("{}", table(&["scheme", "time(s)", "step gain", "total reduction"], &rows));
+
+        let cxxo = steps[2].1;
+        let lto = steps[3].1;
+        let pgo = steps[4].1;
+        println!(
+            "libo+cxxo total reduction: {:.1}% (paper: up to {}%)",
+            (1.0 - cxxo / cost) * 100.0,
+            if isa == "x86_64" { "50" } else { "72" }
+        );
+        println!(
+            "lto extra {:.1}% (paper 17.5%), pgo extra {:.1}% (paper 9.6%)\n",
+            (1.0 - lto / cxxo) * 100.0,
+            (1.0 - pgo / lto) * 100.0
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! EXP-T1 — Table 1: the testbed configuration.
+
+use comt_bench::report::table;
+use comt_perfsim::{arm_cluster, x86_cluster};
+
+fn main() {
+    println!("== Table 1: our x86-64 and AArch64 HPC systems ==\n");
+    let x = x86_cluster();
+    let a = arm_cluster();
+    let rows = vec![
+        vec!["CPU".to_string(), x.cpu.clone(), a.cpu.clone()],
+        vec!["RAM".to_string(), format!("{}GB", x.ram_gb), format!("{}GB", a.ram_gb)],
+        vec!["OS".to_string(), x.os.clone(), a.os.clone()],
+        vec!["Nodes".to_string(), x.nodes.to_string(), a.nodes.to_string()],
+    ];
+    println!("{}", table(&["", "x86_64", "aarch64"], &rows));
+    println!("model anchors (simulation substitution, see DESIGN.md):");
+    for s in [&x, &a] {
+        println!(
+            "  {}: {} cores/node @ {} GHz, {:.0} GF/s sustained, {:.0} GB/s mem, HSN {:.1}us/{:.1}GB/s, fallback {:.0}us/{:.1}GB/s",
+            s.name, s.cores_per_node, s.ghz, s.node_gflops, s.mem_bw_gbs,
+            s.hsn_latency_us, s.hsn_bw_gbs, s.eth_latency_us, s.eth_bw_gbs
+        );
+    }
+}

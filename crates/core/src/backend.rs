@@ -1,0 +1,503 @@
+//! The back-end: system-side rebuild (§4.2, right half of Figure 5).
+//!
+//! The rebuild container starts from the `Sysenv` image, materializes the
+//! cached sources at their recorded paths, and replays the recorded build
+//! process with every toolchain command transformed by the configured
+//! adapter pipeline. Package installations replay against the *system's*
+//! repositories, so build dependencies resolve to vendor-optimized
+//! versions automatically.
+//!
+//! Because "on HPC clusters, computation resources are often abundant"
+//! (§4.4), the replay can run independent compilations in parallel:
+//! consecutive compile steps have no mutual data dependencies (the build
+//! graph's levels guarantee it), so they execute on crossbeam scoped
+//! threads against snapshots of the container filesystem and their outputs
+//! are merged deterministically in recorded order.
+
+use crate::cache::{load_cache, write_rebuild, CacheContents};
+use crate::models::CompilationModel;
+use crate::workflow::SystemSide;
+use crate::{AdapterContext, ComtError};
+use bytes::Bytes;
+use comt_buildsys::{BuildTrace, Container, Executor, RawCommand};
+use comt_toolchain::Toolchain;
+use std::collections::BTreeMap;
+
+/// Rebuild options.
+#[derive(Default)]
+pub struct RebuildOptions {
+    /// Execute independent compile steps on parallel threads.
+    pub parallel: bool,
+    /// Extra files materialized into the rebuild container before the
+    /// replay (e.g. PGO profiles referenced by `-fprofile-use=`).
+    pub extra_files: BTreeMap<String, Bytes>,
+    /// Run a BOLT-style post-link layout optimizer over the rebuilt
+    /// binaries — one of the "binary-level layout optimization" passes the
+    /// paper lists as further head-room (§3). Requires a profile, so it is
+    /// only effective combined with the PGO feedback loop.
+    pub post_link_layout: bool,
+}
+
+/// One replay step: the (possibly adapter-transformed) command.
+struct Step {
+    model: CompilationModel,
+    env: Vec<String>,
+}
+
+/// Run `coMtainer-rebuild`: produce the rebuild layer and register
+/// `<ref>+coMre`. Returns the new ref.
+pub fn rebuild(
+    oci: &mut comt_oci::layout::OciDir,
+    extended_ref: &str,
+    side: &SystemSide,
+    opts: &RebuildOptions,
+) -> Result<String, ComtError> {
+    let cache = load_cache(oci, extended_ref)?;
+    let artifacts = rebuild_artifacts(&cache, side, opts)?;
+    write_rebuild(oci, extended_ref, &artifacts)
+}
+
+/// The rebuild computation without the OCI bookkeeping: returns the
+/// rebuilt artifact map (image path → content). Exposed for the benches'
+/// parallel-vs-serial ablation.
+pub fn rebuild_artifacts(
+    cache: &CacheContents,
+    side: &SystemSide,
+    opts: &RebuildOptions,
+) -> Result<BTreeMap<String, Bytes>, ComtError> {
+    let mut container = Container {
+        fs: side.sysenv_fs.clone(),
+        env: std::collections::BTreeMap::new(),
+        workdir: "/".to_string(),
+        isa: side.isa.clone(),
+    };
+    container
+        .env
+        .insert("PATH".into(), "/usr/local/bin:/usr/bin:/bin".into());
+
+    // Materialize cached sources and any extra files (PGO profiles).
+    for (path, content) in cache.sources.iter().chain(opts.extra_files.iter()) {
+        container
+            .fs
+            .write_file_p(path, content.clone(), 0o644)
+            .map_err(|e| ComtError::Fs(e.to_string()))?;
+    }
+
+    // Pre-transform every recorded command through the adapter pipeline.
+    let ctx = AdapterContext {
+        isa: side.isa.clone(),
+        toolchain: side.toolchain.clone(),
+    };
+    let steps: Vec<Step> = cache
+        .trace
+        .commands
+        .iter()
+        .map(|cmd| {
+            let mut model =
+                CompilationModel::classify(&cmd.argv, &cmd.cwd, &cmd.env, &cmd.inputs);
+            crate::adapters::apply_adapters(&mut model, &side.adapters, &ctx);
+            Step {
+                model,
+                env: cmd.env.clone(),
+            }
+        })
+        .collect();
+
+    let executor = Executor::new(
+        &side.isa,
+        vec![
+            side.toolchain.clone(),
+            Toolchain::llvm(),
+            Toolchain::distro_gcc(),
+        ],
+    )
+    .with_repo(side.repo.clone());
+
+    let ir_mode = cache.models.cache_mode == crate::models::CacheMode::Ir;
+    let mut trace = BuildTrace::default();
+    let mut i = 0usize;
+    while i < steps.len() {
+        // IR mode: compile steps re-generate code from the cached IR
+        // objects instead of compiling sources (paper §4.6's alternative
+        // distribution level).
+        if ir_mode {
+            if let CompilationModel::Compile { .. } = steps[i].model {
+                recodegen_step(&mut container, &steps[i], side)?;
+                i += 1;
+                continue;
+            }
+        }
+        // Batch consecutive compile steps for parallel execution.
+        let batch_end = if opts.parallel {
+            let mut j = i;
+            while j < steps.len() && matches!(steps[j].model, CompilationModel::Compile { .. }) {
+                j += 1;
+            }
+            j
+        } else {
+            i
+        };
+
+        if opts.parallel && batch_end > i + 1 {
+            run_parallel_batch(&executor, &mut container, &steps[i..batch_end], &mut trace)?;
+            i = batch_end;
+        } else {
+            run_one(&executor, &mut container, &steps[i], &mut trace)?;
+            i += 1;
+        }
+    }
+
+    // Collect the rebuilt artifacts named by the image model.
+    let mut artifacts = BTreeMap::new();
+    for (image_path, build_path) in cache.models.image.build_files() {
+        let mut content = container.fs.read(build_path).map_err(|_| {
+            ComtError::Build(format!(
+                "rebuild did not produce {build_path} (needed for {image_path})"
+            ))
+        })?;
+        // Post-link layout optimization over linked binaries.
+        if opts.post_link_layout {
+            if let Ok(comt_toolchain::Artifact::Linked(mut bin)) =
+                comt_toolchain::artifact::read_artifact(&content)
+            {
+                bin.layout_optimized = true;
+                content = Bytes::from(comt_toolchain::artifact::write_linked(&bin));
+            }
+        }
+        artifacts.insert(image_path.to_string(), content);
+    }
+    Ok(artifacts)
+}
+
+/// IR-mode "compile": take the cached IR object at the step's output path
+/// and re-generate code for the adapter-transformed flags.
+fn recodegen_step(
+    container: &mut Container,
+    step: &Step,
+    side: &SystemSide,
+) -> Result<(), ComtError> {
+    let inv = step
+        .model
+        .invocation()
+        .ok_or_else(|| ComtError::Build("unparseable compile step".into()))?;
+    let out_rel = inv
+        .output()
+        .map(String::from)
+        .ok_or_else(|| ComtError::Build("IR compile step without -o".into()))?;
+    let out_path = comt_vfs::join(step.model.cwd(), &out_rel);
+    let raw = container.fs.read(&out_path).map_err(|_| {
+        ComtError::Build(format!("IR object missing from cache: {out_path}"))
+    })?;
+    let mut obj = comt_toolchain::artifact::read_object(&raw)
+        .map_err(|e| ComtError::Build(format!("{out_path}: {e}")))?;
+    comt_toolchain::recodegen(&mut obj, &side.toolchain, &side.isa, &inv)
+        .map_err(|e| ComtError::Build(e.to_string()))?;
+    container
+        .fs
+        .write_file_p(
+            &out_path,
+            Bytes::from(comt_toolchain::artifact::write_object(&obj)),
+            0o644,
+        )
+        .map_err(|e| ComtError::Fs(e.to_string()))?;
+    Ok(())
+}
+
+fn prepare(container: &mut Container, step: &Step) -> Result<(), ComtError> {
+    container
+        .fs
+        .mkdir_p(step.model.cwd())
+        .map_err(|e| ComtError::Fs(e.to_string()))?;
+    container.workdir = step.model.cwd().to_string();
+    container.env = step
+        .env
+        .iter()
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    container
+        .env
+        .entry("PATH".into())
+        .or_insert_with(|| "/usr/local/bin:/usr/bin:/bin".into());
+    Ok(())
+}
+
+fn run_one(
+    executor: &Executor,
+    container: &mut Container,
+    step: &Step,
+    trace: &mut BuildTrace,
+) -> Result<(), ComtError> {
+    prepare(container, step)?;
+    executor
+        .run(container, step.model.argv(), trace)
+        .map_err(|e| ComtError::Build(format!("{}: {e}", step.model.argv().join(" "))))
+}
+
+/// Execute a batch of independent compile steps on scoped threads. All
+/// threads share the container filesystem as an immutable snapshot (the
+/// compile path is read-only); outputs are merged in batch order, so the
+/// result is deterministic regardless of scheduling.
+fn run_parallel_batch(
+    executor: &Executor,
+    container: &mut Container,
+    steps: &[Step],
+    trace: &mut BuildTrace,
+) -> Result<(), ComtError> {
+    type StepOutput = (RawCommand, Vec<(String, Vec<u8>)>);
+    // Resolve the SimCompiler once: compile steps go through the same
+    // dispatch the executor would use.
+    let fs = &container.fs;
+    let compile_one = |step: &Step| -> Result<StepOutput, ComtError> {
+        let argv = step.model.argv();
+        let program = argv.first().map(String::as_str).unwrap_or("");
+        let base = program.rsplit('/').next().unwrap_or(program);
+        let tc = executor
+            .toolchains
+            .iter()
+            .find(|t| t.language_of(base).is_some())
+            .ok_or_else(|| ComtError::Build(format!("no toolchain handles {base}")))?;
+        let sim = comt_toolchain::SimCompiler::new(tc.clone(), &executor.isa);
+        let (outcome, outputs) = sim
+            .compile_only(fs, step.model.cwd(), argv)
+            .map_err(|e| ComtError::Build(format!("{}: {e}", argv.join(" "))))?;
+        Ok((
+            RawCommand {
+                argv: argv.to_vec(),
+                cwd: step.model.cwd().to_string(),
+                env: step.env.clone(),
+                inputs: outcome.inputs,
+                outputs: outcome.outputs,
+            },
+            outputs,
+        ))
+    };
+
+    // Bounded worker pool: one thread per chunk, not per step (simulated
+    // compiles are cheap; real ones aren't, but spawn overhead should not
+    // dominate either way).
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(steps.len());
+    let chunk = steps.len().div_ceil(workers);
+    let results: Vec<Result<StepOutput, ComtError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = steps
+            .chunks(chunk)
+            .map(|chunk_steps| {
+                scope.spawn(move |_| -> Vec<Result<StepOutput, ComtError>> {
+                    chunk_steps.iter().map(compile_one).collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("compile thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    for result in results {
+        let (cmd, outputs) = result?;
+        for (path, content) in outputs {
+            container
+                .fs
+                .write_file_p(&path, Bytes::from(content), 0o644)
+                .map_err(|e| ComtError::Fs(e.to_string()))?;
+        }
+        trace.record(cmd);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{BuildGraph, FileOrigin, ImageModel, ProcessModels};
+    use comt_pkg::catalog;
+
+    /// A hand-built cache: two compile steps + a link, sources embedded.
+    fn fixture_cache() -> CacheContents {
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        let trace = BuildTrace {
+            commands: vec![
+                RawCommand {
+                    argv: argv("apt-get install -y libopenblas0"),
+                    cwd: "/".into(),
+                    env: vec![],
+                    inputs: vec![],
+                    outputs: vec![],
+                },
+                RawCommand {
+                    argv: argv("gcc -O2 -c main.c -o main.o"),
+                    cwd: "/src".into(),
+                    env: vec![],
+                    inputs: vec!["/src/main.c".into()],
+                    outputs: vec!["/src/main.o".into()],
+                },
+                RawCommand {
+                    argv: argv("gcc -O2 -c util.c -o util.o"),
+                    cwd: "/src".into(),
+                    env: vec![],
+                    inputs: vec!["/src/util.c".into()],
+                    outputs: vec!["/src/util.o".into()],
+                },
+                RawCommand {
+                    argv: argv("gcc main.o util.o -lopenblas -lm -o app"),
+                    cwd: "/src".into(),
+                    env: vec![],
+                    inputs: vec!["/src/main.o".into(), "/src/util.o".into()],
+                    outputs: vec!["/src/app".into()],
+                },
+            ],
+        };
+        let mut sources = BTreeMap::new();
+        sources.insert(
+            "/src/main.c".to_string(),
+            Bytes::from(
+                "#pragma comt provides(main)\n#pragma comt requires(util)\n#pragma comt extern(openblas:dgemm, m:sqrt)\n#pragma comt kernel(flops=1e12, blas_frac=0.5)\n",
+            ),
+        );
+        sources.insert(
+            "/src/util.c".to_string(),
+            Bytes::from("#pragma comt provides(util)\n"),
+        );
+        let mut image = ImageModel::default();
+        image
+            .files
+            .insert("/app/run".into(), FileOrigin::Build("/src/app".into()));
+        image.runtime_deps = vec![("libopenblas0".into(), "0.3.26+ds-1".into())];
+        CacheContents {
+            models: ProcessModels {
+                image,
+                graph: BuildGraph::new(),
+                isa: "x86_64".into(),
+                cache_mode: Default::default(),
+            },
+            trace,
+            sources,
+        }
+    }
+
+    fn side() -> SystemSide {
+        SystemSide::native("x86_64", catalog::MINI_SCALE).unwrap()
+    }
+
+    #[test]
+    fn rebuild_replays_with_vendor_toolchain() {
+        let cache = fixture_cache();
+        let side = side();
+        let artifacts =
+            rebuild_artifacts(&cache, &side, &RebuildOptions::default()).unwrap();
+        let bin = comt_toolchain::artifact::read_linked(&artifacts["/app/run"]).unwrap();
+        // Adapted: vendor toolchain, native march, O3.
+        assert_eq!(bin.opt.toolchain, "vendor-x86");
+        assert_eq!(bin.target.as_ref().unwrap().march, "icelake-server");
+        assert_eq!(bin.opt.vector_width, 8);
+        assert!(bin.opt.codegen_quality > 1.2);
+        assert!(bin.needed_libs.contains(&"openblas".to_string()));
+        // Kernel metadata survived the source cache.
+        assert_eq!(bin.kernel.get("flops"), 1e12);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let cache = fixture_cache();
+        let side = side();
+        let serial = rebuild_artifacts(&cache, &side, &RebuildOptions::default()).unwrap();
+        let parallel = rebuild_artifacts(
+            &cache,
+            &side,
+            &RebuildOptions {
+                parallel: true,
+                extra_files: BTreeMap::new(),
+                post_link_layout: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn lto_adapter_takes_effect() {
+        let cache = fixture_cache();
+        let mut side = side();
+        side.adapters.push(Box::new(crate::LtoAdapter::whole_graph()));
+        let artifacts = rebuild_artifacts(&cache, &side, &RebuildOptions::default()).unwrap();
+        let bin = comt_toolchain::artifact::read_linked(&artifacts["/app/run"]).unwrap();
+        assert!(bin.lto_applied);
+    }
+
+    #[test]
+    fn pgo_generate_then_use_via_extra_files() {
+        let cache = fixture_cache();
+        let mut gen_side = side();
+        gen_side.adapters.push(Box::new(crate::PgoAdapter::generate()));
+        let instrumented =
+            rebuild_artifacts(&cache, &gen_side, &RebuildOptions::default()).unwrap();
+        let bin = comt_toolchain::artifact::read_linked(&instrumented["/app/run"]).unwrap();
+        assert_eq!(bin.opt.pgo, comt_toolchain::artifact::PgoMode::Instrumented);
+
+        let mut use_side = side();
+        use_side
+            .adapters
+            .push(Box::new(crate::PgoAdapter::use_profile("/prof/app.prof")));
+        // Without the profile the rebuild must fail…
+        assert!(rebuild_artifacts(&cache, &use_side, &RebuildOptions::default()).is_err());
+        // …and succeed once it is provided.
+        let mut extra = BTreeMap::new();
+        extra.insert(
+            "/prof/app.prof".to_string(),
+            Bytes::from_static(b"comt-profile 1\nhot main 99\n"),
+        );
+        let optimized = rebuild_artifacts(
+            &cache,
+            &use_side,
+            &RebuildOptions {
+                parallel: false,
+                extra_files: extra,
+                post_link_layout: false,
+            },
+        )
+        .unwrap();
+        let bin2 = comt_toolchain::artifact::read_linked(&optimized["/app/run"]).unwrap();
+        assert_eq!(bin2.opt.pgo, comt_toolchain::artifact::PgoMode::Optimized);
+    }
+
+    #[test]
+    fn post_link_layout_marks_binaries() {
+        let cache = fixture_cache();
+        let mut side = side();
+        side.adapters.push(Box::new(crate::LtoAdapter::whole_graph()));
+        let plain = rebuild_artifacts(&cache, &side, &RebuildOptions::default()).unwrap();
+        let bolted = rebuild_artifacts(
+            &cache,
+            &side,
+            &RebuildOptions {
+                parallel: false,
+                extra_files: BTreeMap::new(),
+                post_link_layout: true,
+            },
+        )
+        .unwrap();
+        let b0 = comt_toolchain::artifact::read_linked(&plain["/app/run"]).unwrap();
+        let b1 = comt_toolchain::artifact::read_linked(&bolted["/app/run"]).unwrap();
+        assert!(!b0.layout_optimized);
+        assert!(b1.layout_optimized);
+        // Everything else identical.
+        assert_eq!(b0.defined, b1.defined);
+        assert_eq!(b0.opt, b1.opt);
+    }
+
+    #[test]
+    fn missing_artifact_is_an_error() {
+        let mut cache = fixture_cache();
+        cache
+            .models
+            .image
+            .files
+            .insert("/app/other".into(), FileOrigin::Build("/src/ghost".into()));
+        let err = rebuild_artifacts(&cache, &side(), &RebuildOptions::default()).unwrap_err();
+        assert!(matches!(err, ComtError::Build(_)));
+    }
+}

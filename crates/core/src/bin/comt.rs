@@ -1,0 +1,191 @@
+//! `comt` — a command-line front door to the coMtainer toolset, operating
+//! on on-disk OCI image layout directories (the `xxx.dist.oci` directories
+//! of the paper's workflow).
+//!
+//! ```text
+//! comt refs        <layout-dir>                     list image refs
+//! comt inspect     <layout-dir> <ref>               image + model summary
+//! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt]
+//! comt redirect    <layout-dir> <coMre-ref> [--isa x86_64]
+//! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto]
+//! comt cross-check <layout-dir> <ext-ref>  <target-isa>
+//! ```
+//!
+//! The system side (`--isa`) is synthesized with
+//! [`comtainer::SystemSide::native`]; payloads use the test scale.
+
+use comtainer::crossisa::analyze_cross;
+use comtainer::{
+    comtainer_rebuild, comtainer_redirect, load_cache, LtoAdapter, RebuildOptions, SystemSide,
+};
+use comt_oci::layout::OciDir;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn load_layout(dir: &str) -> Result<OciDir, String> {
+    OciDir::load(Path::new(dir)).map_err(|e| format!("cannot load layout {dir}: {e}"))
+}
+
+fn save_layout(oci: &OciDir, dir: &str) -> Result<(), String> {
+    oci.save(Path::new(dir))
+        .map_err(|e| format!("cannot save layout {dir}: {e}"))
+}
+
+fn system_side(args: &[String]) -> Result<SystemSide, String> {
+    let isa = opt_value(args, "--isa", "x86_64");
+    let mut side = SystemSide::native(&isa, comt_pkg::catalog::MINI_SCALE)
+        .map_err(|e| format!("system side: {e}"))?;
+    if flag(args, "--lto") {
+        side = side.with_adapter(Box::new(LtoAdapter::whole_graph()));
+    }
+    Ok(side)
+}
+
+fn cmd_refs(dir: &str) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    for r in oci.index.ref_names() {
+        let image = oci.load_image(&r).map_err(|e| e.to_string())?;
+        println!(
+            "{r}  {}  {} layers  {:.2} MiB",
+            image.manifest_digest.short(),
+            image.manifest.layers.len(),
+            image.layers_size() as f64 / (1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(dir: &str, r: &str) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    let image = oci.load_image(r).map_err(|e| e.to_string())?;
+    println!("ref          : {r}");
+    println!("manifest     : {}", image.manifest_digest);
+    println!("architecture : {}", image.architecture());
+    println!("layers       : {}", image.manifest.layers.len());
+    println!(
+        "size         : {:.2} MiB",
+        image.layers_size() as f64 / (1024.0 * 1024.0)
+    );
+    if !image.config.config.entrypoint.is_empty() {
+        println!("entrypoint   : {:?}", image.config.config.entrypoint);
+    }
+    match load_cache(&oci, r) {
+        Ok(cache) => {
+            println!("\ncoMtainer extended image:");
+            println!("  cache mode  : {:?}", cache.models.cache_mode);
+            println!("  trace       : {} commands", cache.trace.commands.len());
+            println!(
+                "  build graph : {} nodes ({} products)",
+                cache.models.graph.len(),
+                cache.models.graph.products().count()
+            );
+            println!("  cached files: {}", cache.sources.len());
+            println!("  file origins:");
+            for (class, count) in cache.models.image.origin_counts() {
+                println!("    {class:8} {count}");
+            }
+            println!("  runtime deps:");
+            for (name, version) in &cache.models.image.runtime_deps {
+                println!("    {name} {version}");
+            }
+        }
+        Err(_) => println!("\n(not a coMtainer extended image: no cache layer)"),
+    }
+    Ok(())
+}
+
+fn cmd_rebuild(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
+    let mut oci = load_layout(dir)?;
+    let side = system_side(args)?;
+    let opts = RebuildOptions {
+        parallel: flag(args, "--parallel"),
+        extra_files: Default::default(),
+        post_link_layout: flag(args, "--bolt"),
+    };
+    let new_ref =
+        comtainer_rebuild(&mut oci, r, &side, &opts).map_err(|e| format!("rebuild: {e}"))?;
+    save_layout(&oci, dir)?;
+    println!("rebuilt: {new_ref}");
+    Ok(())
+}
+
+fn cmd_redirect(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
+    let mut oci = load_layout(dir)?;
+    let side = system_side(args)?;
+    let new_ref = comtainer_redirect(&mut oci, r, &side).map_err(|e| format!("redirect: {e}"))?;
+    save_layout(&oci, dir)?;
+    println!("redirected: {new_ref}");
+    Ok(())
+}
+
+fn cmd_adapt(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
+    let mut oci = load_layout(dir)?;
+    let side = system_side(args)?;
+    let rebuilt = comtainer_rebuild(&mut oci, r, &side, &RebuildOptions::default())
+        .map_err(|e| format!("rebuild: {e}"))?;
+    let opt =
+        comtainer_redirect(&mut oci, &rebuilt, &side).map_err(|e| format!("redirect: {e}"))?;
+    save_layout(&oci, dir)?;
+    println!("adapted: {opt}");
+    Ok(())
+}
+
+fn cmd_cross_check(dir: &str, r: &str, target_isa: &str) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    let cache = load_cache(&oci, r).map_err(|e| e.to_string())?;
+    let report = analyze_cross(&cache, target_isa);
+    if report.portable() {
+        println!("portable to {target_isa}: yes, no modifications needed");
+    } else if report.portable_with_script_edits() {
+        println!("portable to {target_isa}: with build-script edits:");
+        for b in &report.blockers {
+            println!("  - {b:?}");
+        }
+    } else {
+        println!("NOT portable to {target_isa}:");
+        for b in &report.blockers {
+            println!("  - {b:?}");
+        }
+        return Err("ISA-specific source content blocks the rebuild".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, dir] if cmd == "refs" => cmd_refs(dir),
+        [cmd, dir, r, ..] if cmd == "inspect" => cmd_inspect(dir, r),
+        [cmd, dir, r, rest @ ..] if cmd == "rebuild" => cmd_rebuild(dir, r, rest),
+        [cmd, dir, r, rest @ ..] if cmd == "redirect" => cmd_redirect(dir, r, rest),
+        [cmd, dir, r, rest @ ..] if cmd == "adapt" => cmd_adapt(dir, r, rest),
+        [cmd, dir, r, isa] if cmd == "cross-check" => cmd_cross_check(dir, r, isa),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! # coMtainer — compilation-assisted HPC container images
+//!
+//! Reproduction of the SC '25 paper's core contribution: a framework that
+//! embeds build-time data into container images so that remote HPC systems
+//! can *rebuild* and *redirect* them with their native toolchains and
+//! libraries, resolving the adaptability issue while keeping the
+//! distributed image generic.
+//!
+//! The crate follows the paper's three-phase toolset architecture (§4.2):
+//!
+//! * **Process models** ([`models`]) — the IR: the *image model* (file
+//!   origins and package dependencies), the *build graph model* (a typed
+//!   DAG of every data transformation recorded during the build) and the
+//!   *compilation models* (parsed compiler command lines).
+//! * **Front-end** ([`frontend`]) — runs on the user side inside the build
+//!   container: parses the raw build trace and the exported `dist` OCI
+//!   image into process models, collects sources from the build
+//!   environment, and writes everything into the **cache layer**
+//!   ([`cache`]), producing the *extended image* (`<ref>+coM`).
+//! * **Back-end** ([`backend`], [`redirect`]) — runs on the system side:
+//!   replays the recorded build with adapter-transformed command lines
+//!   under the system's toolchain (parallel across build-graph levels via
+//!   crossbeam, which is what makes LTO affordable on the system side),
+//!   producing the *rebuild layer* (`<ref>+coMre`), and finally sets up a
+//!   redirect container on the `Rebase` image, installs the (optimized)
+//!   runtime dependencies and commits the fully adapted image.
+//! * **System adapters** ([`adapters`]) — the pluggable transformation
+//!   passes: native-toolchain retargeting, LLVM substitution, LTO, PGO.
+//! * **Workflow** ([`workflow`]) — the `coMtainer-build` /
+//!   `coMtainer-rebuild` / `coMtainer-redirect` entry points mirroring the
+//!   buildah command sequences of §4.1, plus a one-call full pipeline.
+//! * **Cross-ISA** ([`crossisa`]) — the §5.5 exploration: feasibility
+//!   analysis of an extended image against a different ISA and the
+//!   build-script porting cost accounting of Figure 11.
+//! * **Stock images** ([`images`]) — the `Base`, `Env`, `Sysenv` and
+//!   `Rebase` images that anchor the workflow.
+
+pub mod adapters;
+pub mod backend;
+pub mod cache;
+pub mod crossisa;
+pub mod frontend;
+pub mod images;
+pub mod minify;
+pub mod models;
+pub mod redirect;
+pub mod workflow;
+
+pub use adapters::{
+    AdapterContext, LlvmAdapter, LtoAdapter, LtoScope, NativeToolchainAdapter, PgoAdapter,
+    SystemAdapter,
+};
+pub use backend::{rebuild, rebuild_artifacts, RebuildOptions};
+pub use cache::{load_cache, CacheContents};
+pub use frontend::analyze;
+pub use images::StockImages;
+pub use models::{
+    BuildGraph, CacheMode, CompilationModel, FileOrigin, ImageModel, NodeId, NodeKind,
+    ProcessModels,
+};
+#[doc(inline)]
+pub use redirect::redirect;
+pub use workflow::{comtainer_build, comtainer_build_mode, comtainer_rebuild, comtainer_redirect, SystemSide};
+
+/// Errors across the coMtainer pipeline.
+#[derive(Debug)]
+pub enum ComtError {
+    /// OCI-level failure.
+    Oci(String),
+    /// Filesystem failure.
+    Fs(String),
+    /// Build/compile failure during rebuild.
+    Build(String),
+    /// Cache layer missing or malformed.
+    Cache(String),
+    /// Package resolution failure during redirect.
+    Pkg(String),
+    /// Cross-ISA rebuild blocked.
+    CrossIsa(String),
+}
+
+impl std::fmt::Display for ComtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComtError::Oci(e) => write!(f, "oci: {e}"),
+            ComtError::Fs(e) => write!(f, "fs: {e}"),
+            ComtError::Build(e) => write!(f, "build: {e}"),
+            ComtError::Cache(e) => write!(f, "cache: {e}"),
+            ComtError::Pkg(e) => write!(f, "pkg: {e}"),
+            ComtError::CrossIsa(e) => write!(f, "cross-isa: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComtError {}

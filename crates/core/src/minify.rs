@@ -1,0 +1,149 @@
+//! Source minification for the cache layer.
+//!
+//! The paper argues embedding sources is acceptable because "the included
+//! sources don't have to be in their original form — they can be obfuscated
+//! to protect intellectual property while still enabling all the
+//! system-side adaptation and optimizations" (§4.6). This minifier is that
+//! transformation: it preserves everything the rebuild needs —
+//! `#pragma comt …` annotations and `#include` lines — and compacts away
+//! the human-oriented remainder (comments, blank lines, indentation),
+//! shrinking the cache layer substantially.
+
+/// Minify one source file.
+pub fn minify_source(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() / 4);
+    let mut pending: Vec<&str> = Vec::new();
+    let flush = |pending: &mut Vec<&str>, out: &mut String| {
+        if !pending.is_empty() {
+            for (i, code) in pending.iter().enumerate() {
+                if i > 0 && !out.ends_with(';') && !out.ends_with('}') && !out.ends_with('{') {
+                    out.push(';');
+                }
+                out.push_str(code);
+            }
+            out.push('\n');
+            pending.clear();
+        }
+    };
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Comment-only lines vanish.
+        if trimmed.starts_with("//") || trimmed.starts_with("/*") || trimmed.starts_with('*')
+            || trimmed.starts_with("!") && !trimmed.starts_with("!=")
+        {
+            continue;
+        }
+        // Semantics-bearing lines survive verbatim on their own line.
+        if trimmed.starts_with("#pragma comt") || trimmed.starts_with("#include") {
+            flush(&mut pending, &mut out);
+            out.push_str(trimmed);
+            out.push('\n');
+            continue;
+        }
+        // Other preprocessor lines must stay alone too.
+        if trimmed.starts_with('#') {
+            flush(&mut pending, &mut out);
+            out.push_str(trimmed);
+            out.push('\n');
+            continue;
+        }
+        // Code lines: strip trailing // comments, batch-join.
+        let code = match trimmed.find("//") {
+            Some(i) => trimmed[..i].trim_end(),
+            None => trimmed,
+        };
+        if code.is_empty() {
+            continue;
+        }
+        pending.push(code);
+        if pending.len() >= 24 {
+            flush(&mut pending, &mut out);
+        }
+    }
+    let mut tail = pending;
+    flush(&mut tail, &mut out);
+    out
+}
+
+/// Compression ratio achieved (original / minified), for diagnostics.
+pub fn ratio(original: &str, minified: &str) -> f64 {
+    if minified.is_empty() {
+        return 1.0;
+    }
+    original.len() as f64 / minified.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comt_toolchain::parse_source;
+
+    const SRC: &str = r#"// LULESH-like kernel
+#pragma comt provides(CalcForce)
+#pragma comt extern(m:sqrt)
+#pragma comt kernel(flops=1e9)
+#include "app.h"
+
+/* block comment
+ * continues */
+void CalcForce(double* x, int n) {
+    // hot loop
+    for (int i = 0; i < n; ++i) {
+        x[i] = x[i] * 2.0;   // scale
+    }
+}
+"#;
+
+    #[test]
+    fn pragmas_and_includes_survive() {
+        let min = minify_source(SRC);
+        let orig_info = parse_source(SRC);
+        let min_info = parse_source(&min);
+        assert_eq!(min_info.provides, orig_info.provides);
+        assert_eq!(min_info.externs, orig_info.externs);
+        assert_eq!(min_info.kernel, orig_info.kernel);
+        assert_eq!(min_info.includes_quoted, orig_info.includes_quoted);
+    }
+
+    #[test]
+    fn comments_and_blanks_removed() {
+        let min = minify_source(SRC);
+        assert!(!min.contains("LULESH-like"));
+        assert!(!min.contains("hot loop"));
+        assert!(!min.contains("block comment"));
+        assert!(!min.contains("// scale"));
+        assert!(min.len() < SRC.len());
+    }
+
+    #[test]
+    fn code_lines_joined() {
+        let min = minify_source(SRC);
+        // Function body compacted onto fewer lines than the original.
+        assert!(min.lines().count() < SRC.lines().count());
+        assert!(min.contains("x[i] = x[i] * 2.0;"));
+    }
+
+    #[test]
+    fn idempotent_for_semantics() {
+        let once = minify_source(SRC);
+        let twice = minify_source(&once);
+        assert_eq!(parse_source(&once).provides, parse_source(&twice).provides);
+        assert_eq!(parse_source(&once).kernel, parse_source(&twice).kernel);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(minify_source(""), "");
+        assert_eq!(ratio("", ""), 1.0);
+    }
+
+    #[test]
+    fn ratio_reports_shrinkage() {
+        let padded = format!("{}{}", SRC, "// filler comment line\n".repeat(200));
+        let min = minify_source(&padded);
+        assert!(ratio(&padded, &min) > 3.0);
+    }
+}

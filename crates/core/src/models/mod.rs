@@ -1,0 +1,46 @@
+//! The process models — coMtainer's intermediate representation (§4.3).
+//!
+//! "Just like usual compilers, the core of the toolset is the process
+//! models": the image model classifies every file in the final application
+//! image; the build graph model is a DAG of all data transformations in the
+//! build; the compilation models capture how individual nodes were
+//! generated (structured GCC command lines, archive member lists).
+
+mod build_graph;
+mod compilation;
+mod image_model;
+
+pub use build_graph::{BuildGraph, GraphError, Node, NodeId, NodeKind};
+pub use compilation::CompilationModel;
+pub use image_model::{FileOrigin, ImageModel};
+
+use serde::{Deserialize, Serialize};
+
+/// What the cache layer distributes (paper §4.6 discussion).
+///
+/// Source is the default: highest abstraction, full package-replacement
+/// freedom, cross-ISA potential. `Ir` ships compiled IR objects instead —
+/// smaller exposure of the code, still retargetable within the ISA, but
+/// "the application becomes tightly coupled with specific package
+/// versions": the redirect step must pin the exact build-time versions,
+/// forfeiting the `libo` optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CacheMode {
+    #[default]
+    Source,
+    Ir,
+}
+
+/// The complete set of models extracted by the front-end for one image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessModels {
+    /// Structure and origin of the final application image's content.
+    pub image: ImageModel,
+    /// The build-process DAG (compilation models live on its nodes).
+    pub graph: BuildGraph,
+    /// ISA the original build targeted.
+    pub isa: String,
+    /// What the cache layer carries (sources vs compiled IR).
+    #[serde(default)]
+    pub cache_mode: CacheMode,
+}

@@ -1,0 +1,197 @@
+//! The coMtainer workflow entry points (§4.1).
+//!
+//! The three commands mirror the paper's buildah sequences:
+//!
+//! ```text
+//! user side:    buildah run xxx.build -- coMtainer-build
+//! system side:  buildah run xxx.rebuild -- coMtainer-rebuild
+//!               buildah run xxx.redirect -- coMtainer-redirect
+//! ```
+//!
+//! with the OCI layout directory (`xxx.dist.oci`) mounted at
+//! `/.coMtainer/io` playing the role of the shared medium — here an
+//! [`OciDir`] value passed by reference.
+
+use crate::backend::{rebuild as backend_rebuild, RebuildOptions};
+use crate::cache::write_cache;
+use crate::frontend::AnalysisInputs;
+use crate::images::base_rootfs;
+use crate::{ComtError, SystemAdapter};
+use comt_buildsys::{BuildTrace, Container};
+use comt_oci::layout::OciDir;
+use comt_pkg::catalog;
+use comt_toolchain::Toolchain;
+use comt_vfs::Vfs;
+
+/// Everything the system side brings to rebuild/redirect: its identity,
+/// software stack, native toolchain, stock rootfs and adapter pipeline.
+pub struct SystemSide {
+    pub isa: String,
+    /// The system's package repositories (distro overlaid with vendor).
+    pub repo: comt_pkg::Repository,
+    /// The system's native toolchain.
+    pub toolchain: Toolchain,
+    /// Adapter pipeline applied to every compilation model.
+    pub adapters: Vec<Box<dyn SystemAdapter>>,
+    /// Flattened Sysenv rootfs (rebuild containers start here).
+    pub sysenv_fs: Vfs,
+    /// Flattened Rebase rootfs (redirect containers start here).
+    pub rebase_fs: Vfs,
+}
+
+impl SystemSide {
+    /// A native system side for an ISA: vendor toolchain + system repo +
+    /// the [`crate::NativeToolchainAdapter`], at the given payload scale.
+    pub fn native(isa: &str, scale: f64) -> Result<Self, ComtError> {
+        let mut sysenv_fs = base_rootfs(isa, scale)?;
+        // Sysenv = base + dev stack + system toolchains (same recipe as
+        // the stock image, rebuilt here directly as a rootfs).
+        let repo = catalog::generic_repo_scaled(isa, scale);
+        let dev: Vec<comt_pkg::Dependency> = catalog::dev_package_names()
+            .iter()
+            .map(|n| n.parse().unwrap())
+            .collect();
+        let pkgs = comt_pkg::resolve_install(&repo, &dev)
+            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+        let installed: std::collections::BTreeSet<String> =
+            comt_pkg::installed_packages(&sysenv_fs)
+                .map_err(|e| ComtError::Pkg(e.to_string()))?
+                .into_iter()
+                .map(|r| r.package)
+                .collect();
+        let fresh: Vec<comt_pkg::Package> = pkgs
+            .into_iter()
+            .filter(|p| !installed.contains(&p.name))
+            .collect();
+        comt_pkg::install_packages(&mut sysenv_fs, &fresh)
+            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+        // The system's own stack carries the vendor builds of the
+        // performance-relevant libraries (libc/libm, libstdc++, …).
+        let system_repo = catalog::system_repo_scaled(isa, scale);
+        let upgrades: Vec<comt_pkg::Package> = comt_pkg::installed_packages(&sysenv_fs)
+            .map_err(|e| ComtError::Pkg(e.to_string()))?
+            .into_iter()
+            .filter_map(|rec| {
+                let latest = system_repo.latest(&rec.package)?;
+                let relevant = latest.perf.domain != comt_pkg::LibDomain::None;
+                (relevant && latest.version > rec.version).then(|| latest.clone())
+            })
+            .collect();
+        comt_pkg::install_packages(&mut sysenv_fs, &upgrades)
+            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+
+        let vendor = Toolchain::vendor_for(isa);
+        for name in vendor
+            .cc_names
+            .iter()
+            .chain(vendor.cxx_names.iter())
+            .chain(vendor.fc_names.iter())
+            .chain(Toolchain::llvm().cc_names.iter())
+            .chain(Toolchain::llvm().cxx_names.iter())
+            .chain(Toolchain::llvm().fc_names.iter())
+        {
+            sysenv_fs
+                .write_file_p(
+                    &format!("/usr/bin/{name}"),
+                    catalog::synth_bytes(&format!("tc:{name}:{isa}"), 64),
+                    0o755,
+                )
+                .map_err(|e| ComtError::Fs(e.to_string()))?;
+        }
+
+        let rebase_fs = base_rootfs(isa, scale)?;
+        Ok(SystemSide {
+            isa: isa.to_string(),
+            repo: catalog::system_repo_scaled(isa, scale),
+            toolchain: vendor,
+            adapters: vec![Box::new(crate::NativeToolchainAdapter)],
+            sysenv_fs,
+            rebase_fs,
+        })
+    }
+
+    /// Add an adapter to the pipeline (builder style).
+    pub fn with_adapter(mut self, adapter: Box<dyn SystemAdapter>) -> Self {
+        self.adapters.push(adapter);
+        self
+    }
+}
+
+/// `coMtainer-build` (user side): analyze the build container + trace,
+/// attach the cache layer, register `<dist_ref>+coM`. Returns the new ref.
+pub fn comtainer_build(
+    oci: &mut OciDir,
+    dist_ref: &str,
+    build_container: &Container,
+    trace: &BuildTrace,
+    base_fs: &Vfs,
+) -> Result<String, ComtError> {
+    comtainer_build_mode(
+        oci,
+        dist_ref,
+        build_container,
+        trace,
+        base_fs,
+        crate::models::CacheMode::Source,
+    )
+}
+
+/// `coMtainer-build` with an explicit cache mode — `CacheMode::Ir` ships
+/// compiled IR objects instead of sources (paper §4.6's alternative
+/// distribution level, trading package-replacement freedom for source
+/// privacy).
+pub fn comtainer_build_mode(
+    oci: &mut OciDir,
+    dist_ref: &str,
+    build_container: &Container,
+    trace: &BuildTrace,
+    base_fs: &Vfs,
+    mode: crate::models::CacheMode,
+) -> Result<String, ComtError> {
+    let dist_image = oci
+        .load_image(dist_ref)
+        .map_err(|e| ComtError::Oci(e.to_string()))?;
+    let dist_fs =
+        comt_oci::flatten(&oci.blobs, &dist_image).map_err(|e| ComtError::Oci(e.to_string()))?;
+    let analysis = crate::frontend::analyze_mode(
+        &AnalysisInputs {
+            build_fs: &build_container.fs,
+            trace,
+            dist_fs: &dist_fs,
+            base_fs,
+            isa: &build_container.isa,
+        },
+        mode,
+    )?;
+    write_cache(oci, dist_ref, &analysis.models, trace, &analysis.cache_files)
+}
+
+/// `coMtainer-rebuild` (system side). Returns the `+coMre` ref.
+pub fn comtainer_rebuild(
+    oci: &mut OciDir,
+    extended_ref: &str,
+    side: &SystemSide,
+    opts: &RebuildOptions,
+) -> Result<String, ComtError> {
+    backend_rebuild(oci, extended_ref, side, opts)
+}
+
+/// `coMtainer-redirect` (system side). Returns the `+opt` ref.
+pub fn comtainer_redirect(
+    oci: &mut OciDir,
+    rebuilt_ref: &str,
+    side: &SystemSide,
+) -> Result<String, ComtError> {
+    crate::redirect::redirect(oci, rebuilt_ref, side)
+}
+
+/// Convenience: the full system-side flow (rebuild + redirect).
+pub fn adapt(
+    oci: &mut OciDir,
+    extended_ref: &str,
+    side: &SystemSide,
+    opts: &RebuildOptions,
+) -> Result<String, ComtError> {
+    let rebuilt = comtainer_rebuild(oci, extended_ref, side, opts)?;
+    comtainer_redirect(oci, &rebuilt, side)
+}

@@ -1,0 +1,95 @@
+//! Lower-case hex encoding/decoding used by digest strings.
+
+use std::fmt;
+
+/// Error from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length is odd.
+    OddLength,
+    /// A character outside `[0-9a-fA-F]` at the given offset.
+    BadChar(usize),
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::BadChar(i) => write!(f, "invalid hex character at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode bytes as lower-case hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+fn nibble(c: u8, pos: usize) -> Result<u8, HexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(HexError::BadChar(pos)),
+    }
+}
+
+/// Decode a hex string (either case) to bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], i * 2)?;
+        let lo = nibble(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_odd_length() {
+        assert_eq!(decode("abc").unwrap_err(), HexError::OddLength);
+    }
+
+    #[test]
+    fn decode_bad_char_position() {
+        assert_eq!(decode("0g").unwrap_err(), HexError::BadChar(1));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,175 @@
+//! Greedy LZ77 matching with hash chains (the zlib approach, simplified).
+
+/// Window size (maximum backward distance).
+const WINDOW: usize = 32 * 1024;
+/// Minimum/maximum match lengths DEFLATE can encode.
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Hash-chain search depth (speed/ratio tradeoff).
+const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x7F4A));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+/// Tokenize input with greedy longest-match search.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(data.len() / 3 + 16);
+    if data.len() < MIN_MATCH {
+        out.extend(data.iter().map(|&b| Token::Literal(b)));
+        return out;
+    }
+    // head[h] = most recent position with hash h (+1; 0 = none).
+    let mut head = vec![0u32; HASH_SIZE];
+    // prev[i % WINDOW] = previous position with the same hash (+1).
+    let mut prev = vec![0u32; WINDOW];
+
+    let mut i = 0usize;
+    while i < data.len() {
+        if i + MIN_MATCH > data.len() {
+            out.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash3(data, i);
+        let mut candidate = head[h] as usize;
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut chain = 0usize;
+        while candidate > 0 && chain < MAX_CHAIN {
+            let pos = candidate - 1;
+            if i - pos > WINDOW {
+                break;
+            }
+            let dist = i - pos;
+            let max = (data.len() - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < max && data[pos + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = dist;
+                if l >= MAX_MATCH {
+                    break;
+                }
+            }
+            candidate = prev[pos % WINDOW] as usize;
+            chain += 1;
+        }
+
+        // Insert current position into the chains.
+        prev[i % WINDOW] = head[h];
+        head[h] = (i + 1) as u32;
+
+        if best_len >= MIN_MATCH {
+            out.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            // Insert the covered positions too (sparsely, for speed).
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j < end && j + MIN_MATCH <= data.len() {
+                let hj = hash3(data, j);
+                prev[j % WINDOW] = head[hj];
+                head[hj] = (j + 1) as u32;
+                j += 1;
+            }
+            i = end;
+        } else {
+            out.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Expand tokens back to bytes (test helper / reference semantics).
+#[cfg(test)]
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let tokens = tokenize(data);
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn literal_only() {
+        roundtrip(b"abc");
+        roundtrip(b"");
+        roundtrip(b"ab");
+    }
+
+    #[test]
+    fn simple_repeat_found() {
+        let tokens = tokenize(b"abcabcabc");
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        roundtrip(b"abcabcabc");
+    }
+
+    #[test]
+    fn overlapping_match() {
+        // "aaaaaaa" should produce a match with dist 1 (RLE via LZ77).
+        let tokens = tokenize(b"aaaaaaaaaa");
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { dist: 1, .. })));
+        roundtrip(b"aaaaaaaaaa");
+    }
+
+    #[test]
+    fn long_input_roundtrip() {
+        let mut data = Vec::new();
+        for i in 0..50_000u32 {
+            data.extend_from_slice(format!("line {} of text;", i % 100).as_bytes());
+        }
+        roundtrip(&data);
+        // Highly repetitive: tokens far fewer than bytes.
+        let tokens = tokenize(&data);
+        assert!(tokens.len() < data.len() / 5);
+    }
+
+    #[test]
+    fn max_match_respected() {
+        let data = vec![b'z'; 1000];
+        for t in tokenize(&data) {
+            if let Token::Match { len, .. } = t {
+                assert!(len as usize <= MAX_MATCH);
+                assert!(len as usize >= MIN_MATCH);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: compress/decompress is the identity for arbitrary
+//! inputs, and the gzip container detects arbitrary corruption.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn deflate_roundtrip(data in prop::collection::vec(any::<u8>(), 0..8192)) {
+        let comp = comt_flate::deflate(&data);
+        prop_assert_eq!(comt_flate::inflate(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_roundtrip(data in prop::collection::vec(any::<u8>(), 0..8192)) {
+        let gz = comt_flate::gzip(&data);
+        prop_assert_eq!(comt_flate::gunzip(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_input_compresses(
+        unit in prop::collection::vec(any::<u8>(), 4..32),
+        reps in 100usize..400,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let gz = comt_flate::gzip(&data);
+        prop_assert!(gz.len() < data.len() / 2);
+        prop_assert_eq!(comt_flate::gunzip(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn bit_flips_never_pass_silently(
+        data in prop::collection::vec(any::<u8>(), 64..512),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let gz = comt_flate::gzip(&data);
+        let mut bad = gz.clone();
+        let i = byte_idx.index(bad.len());
+        bad[i] ^= 1 << bit;
+        match comt_flate::gunzip(&bad) {
+            // Either an error…
+            Err(_) => {}
+            // …or (if the flip hit a dont-care header byte) the original.
+            Ok(out) => prop_assert_eq!(out, data),
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Image assembly and flattening.
+
+use crate::spec::{
+    Descriptor, HistoryEntry, ImageConfig, ImageManifest, MediaType, RuntimeConfig,
+};
+use crate::store::BlobStore;
+use bytes::Bytes;
+use comt_digest::Digest;
+use comt_vfs::Vfs;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors during image assembly or flattening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    MissingBlob(String),
+    CorruptJson(String),
+    BadLayer(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::MissingBlob(d) => write!(f, "missing blob {d}"),
+            ImageError::CorruptJson(e) => write!(f, "corrupt json blob: {e}"),
+            ImageError::BadLayer(e) => write!(f, "bad layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A loaded image: its manifest digest plus parsed manifest and config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    pub manifest_digest: Digest,
+    pub manifest: ImageManifest,
+    pub config: ImageConfig,
+}
+
+impl Image {
+    /// Load an image from a store by manifest digest.
+    pub fn load(store: &BlobStore, manifest_digest: Digest) -> Result<Self, ImageError> {
+        let raw = store
+            .get(&manifest_digest)
+            .ok_or_else(|| ImageError::MissingBlob(manifest_digest.to_string()))?;
+        let manifest: ImageManifest =
+            serde_json::from_slice(&raw).map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+        let cfg_digest = manifest
+            .config
+            .parsed_digest()
+            .map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+        let raw_cfg = store
+            .get(&cfg_digest)
+            .ok_or_else(|| ImageError::MissingBlob(cfg_digest.to_string()))?;
+        let config: ImageConfig = serde_json::from_slice(&raw_cfg)
+            .map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+        Ok(Image {
+            manifest_digest,
+            manifest,
+            config,
+        })
+    }
+
+    /// Total size of all layer blobs (the "image size" users see).
+    pub fn layers_size(&self) -> u64 {
+        self.manifest.layers.iter().map(|l| l.size).sum()
+    }
+
+    /// Architecture from the config.
+    pub fn architecture(&self) -> &str {
+        &self.config.architecture
+    }
+}
+
+/// Builder assembling a new image into a [`BlobStore`].
+pub struct ImageBuilder {
+    arch: String,
+    /// Existing layer descriptors inherited from a base image.
+    layers: Vec<Descriptor>,
+    diff_ids: Vec<String>,
+    history: Vec<HistoryEntry>,
+    /// Raw tars of layers added by this builder (stored at commit).
+    new_layers: Vec<(Vec<u8>, String)>,
+    runtime: RuntimeConfig,
+    annotations: BTreeMap<String, String>,
+    /// Store new layers gzip-compressed (`tar+gzip` media type).
+    compress: bool,
+}
+
+impl ImageBuilder {
+    /// Start from an empty image.
+    pub fn from_scratch(arch: &str) -> Self {
+        ImageBuilder {
+            arch: arch.to_string(),
+            layers: Vec::new(),
+            diff_ids: Vec::new(),
+            history: Vec::new(),
+            new_layers: Vec::new(),
+            runtime: RuntimeConfig::default(),
+            annotations: BTreeMap::new(),
+            compress: false,
+        }
+    }
+
+    /// Start from an existing base image (inherits layers, env, history).
+    pub fn from_base(store: &BlobStore, base: &Image) -> Result<Self, ImageError> {
+        // Ensure all base layers exist so commit cannot dangle.
+        for l in &base.manifest.layers {
+            let d = l
+                .parsed_digest()
+                .map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+            if !store.contains(&d) {
+                return Err(ImageError::MissingBlob(l.digest.clone()));
+            }
+        }
+        Ok(ImageBuilder {
+            arch: base.config.architecture.clone(),
+            layers: base.manifest.layers.clone(),
+            diff_ids: base.config.rootfs.diff_ids.clone(),
+            history: base.config.history.clone(),
+            new_layers: Vec::new(),
+            runtime: base.config.config.clone(),
+            annotations: BTreeMap::new(),
+            compress: false,
+        })
+    }
+
+    /// Store the layers this builder adds gzip-compressed, the common
+    /// production media type (`…layer.v1.tar+gzip`).
+    pub fn with_compression(mut self) -> Self {
+        self.compress = true;
+        self
+    }
+
+    /// Add a raw tar changeset as the next layer.
+    pub fn with_layer_tar(mut self, tar: Vec<u8>, created_by: &str) -> Self {
+        self.new_layers.push((tar, created_by.to_string()));
+        self
+    }
+
+    /// Add a layer computed as the diff between two filesystem states.
+    pub fn with_layer_from_fs(self, from: &Vfs, to: &Vfs) -> Self {
+        let entries = comt_vfs::diff_layers(from, to);
+        let tar = comt_tar::write_archive(&entries);
+        self.with_layer_tar(tar, "layer-from-fs")
+    }
+
+    pub fn with_env(mut self, var: &str, value: &str) -> Self {
+        self.runtime.env.retain(|e| !e.starts_with(&format!("{var}=")));
+        self.runtime.env.push(format!("{var}={value}"));
+        self
+    }
+
+    pub fn with_entrypoint(mut self, entrypoint: Vec<String>) -> Self {
+        self.runtime.entrypoint = entrypoint;
+        self
+    }
+
+    pub fn with_cmd(mut self, cmd: Vec<String>) -> Self {
+        self.runtime.cmd = cmd;
+        self
+    }
+
+    pub fn with_working_dir(mut self, dir: &str) -> Self {
+        self.runtime.working_dir = dir.to_string();
+        self
+    }
+
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.runtime.labels.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    pub fn with_annotation(mut self, key: &str, value: &str) -> Self {
+        self.annotations.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Write config + layers + manifest blobs and return the loaded image.
+    pub fn commit(mut self, store: &mut BlobStore) -> Result<Image, ImageError> {
+        for (tar, created_by) in std::mem::take(&mut self.new_layers) {
+            // diff_id is always the digest of the *uncompressed* tar.
+            let diff_id = Digest::of(&tar).to_oci_string();
+            let (blob, media_type) = if self.compress {
+                (comt_flate::gzip(&tar), MediaType::LayerTarGzip)
+            } else {
+                (tar, MediaType::LayerTar)
+            };
+            let size = blob.len() as u64;
+            let digest = store.put(Bytes::from(blob));
+            self.layers.push(Descriptor::new(media_type, digest, size));
+            self.diff_ids.push(diff_id);
+            self.history.push(HistoryEntry {
+                created_by,
+                empty_layer: false,
+            });
+        }
+
+        let mut config = ImageConfig::new(&self.arch);
+        config.config = self.runtime;
+        config.rootfs.diff_ids = self.diff_ids;
+        config.history = self.history;
+        let cfg_json =
+            serde_json::to_vec(&config).map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+        let cfg_size = cfg_json.len() as u64;
+        let cfg_digest = store.put(Bytes::from(cfg_json));
+
+        let manifest = ImageManifest {
+            schema_version: 2,
+            media_type: MediaType::ImageManifest,
+            config: Descriptor::new(MediaType::ImageConfig, cfg_digest, cfg_size),
+            layers: self.layers,
+            annotations: self.annotations,
+        };
+        let man_json =
+            serde_json::to_vec(&manifest).map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+        let manifest_digest = store.put(Bytes::from(man_json));
+
+        Ok(Image {
+            manifest_digest,
+            manifest,
+            config,
+        })
+    }
+}
+
+/// Compute the final filesystem state of an image by applying all layers in
+/// order — the "POSIX file system simulator" step of the paper (§4.5).
+pub fn flatten(store: &BlobStore, image: &Image) -> Result<Vfs, ImageError> {
+    let mut fs = Vfs::new();
+    for layer in &image.manifest.layers {
+        let d = layer
+            .parsed_digest()
+            .map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+        let blob = store
+            .get(&d)
+            .ok_or_else(|| ImageError::MissingBlob(layer.digest.clone()))?;
+        let tar = match layer.media_type {
+            crate::spec::MediaType::LayerTarGzip => Bytes::from(
+                comt_flate::gunzip(&blob).map_err(|e| ImageError::BadLayer(e.to_string()))?,
+            ),
+            _ => blob,
+        };
+        let entries =
+            comt_tar::read_archive(&tar).map_err(|e| ImageError::BadLayer(e.to_string()))?;
+        comt_vfs::apply_layer(&mut fs, &entries)
+            .map_err(|e| ImageError::BadLayer(e.to_string()))?;
+    }
+    Ok(fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with(files: &[(&str, &str)]) -> Vfs {
+        let mut v = Vfs::new();
+        for (p, c) in files {
+            v.write_file_p(p, Bytes::from(c.as_bytes().to_vec()), 0o644)
+                .unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn builder_from_scratch_single_layer() {
+        let mut store = BlobStore::new();
+        let fs = fs_with(&[("/a", "1")]);
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        assert_eq!(img.manifest.layers.len(), 1);
+        assert_eq!(img.config.rootfs.diff_ids.len(), 1);
+        assert_eq!(flatten(&store, &img).unwrap(), fs);
+    }
+
+    #[test]
+    fn diff_ids_match_uncompressed_layer_digests() {
+        let mut store = BlobStore::new();
+        let fs = fs_with(&[("/a", "1")]);
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        // Uncompressed layers: diff_id == layer blob digest.
+        assert_eq!(
+            img.config.rootfs.diff_ids[0],
+            img.manifest.layers[0].digest
+        );
+    }
+
+    #[test]
+    fn layered_build_on_base() {
+        let mut store = BlobStore::new();
+        let base_fs = fs_with(&[("/bin/sh", "sh")]);
+        let base = ImageBuilder::from_scratch("aarch64")
+            .with_layer_from_fs(&Vfs::new(), &base_fs)
+            .with_env("PATH", "/bin")
+            .commit(&mut store)
+            .unwrap();
+
+        let app_fs = {
+            let mut f = base_fs.clone();
+            f.write_file_p("/app/x", Bytes::from_static(b"X"), 0o755)
+                .unwrap();
+            f
+        };
+        let app = ImageBuilder::from_base(&store, &base)
+            .unwrap()
+            .with_layer_from_fs(&base_fs, &app_fs)
+            .commit(&mut store)
+            .unwrap();
+
+        assert_eq!(app.manifest.layers.len(), 2);
+        assert_eq!(app.config.config.env, vec!["PATH=/bin"]);
+        assert_eq!(app.architecture(), "aarch64");
+        assert_eq!(flatten(&store, &app).unwrap(), app_fs);
+    }
+
+    #[test]
+    fn env_replacement_not_duplication() {
+        let mut store = BlobStore::new();
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_env("CC", "gcc")
+            .with_env("CC", "clang")
+            .commit(&mut store)
+            .unwrap();
+        assert_eq!(img.config.config.env, vec!["CC=clang"]);
+    }
+
+    #[test]
+    fn image_reload_identical() {
+        let mut store = BlobStore::new();
+        let fs = fs_with(&[("/f", "x")]);
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .with_label("app", "demo")
+            .commit(&mut store)
+            .unwrap();
+        let reloaded = Image::load(&store, img.manifest_digest).unwrap();
+        assert_eq!(reloaded, img);
+    }
+
+    #[test]
+    fn from_base_missing_layer_fails() {
+        let mut store = BlobStore::new();
+        let fs = fs_with(&[("/f", "x")]);
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        let empty = BlobStore::new();
+        assert!(matches!(
+            ImageBuilder::from_base(&empty, &img),
+            Err(ImageError::MissingBlob(_))
+        ));
+    }
+
+    #[test]
+    fn flatten_missing_layer_fails() {
+        let mut store = BlobStore::new();
+        let fs = fs_with(&[("/f", "x")]);
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        let empty = BlobStore::new();
+        assert!(matches!(
+            flatten(&empty, &img),
+            Err(ImageError::MissingBlob(_))
+        ));
+    }
+
+    #[test]
+    fn compressed_layers_roundtrip() {
+        let mut store = BlobStore::new();
+        // Repetitive payload so compression actually shrinks the blob.
+        let fs = fs_with(&[("/data/table", &"row 1;row 2;row 3;".repeat(500))]);
+        let plain = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        let gz = ImageBuilder::from_scratch("x86_64")
+            .with_compression()
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        assert_eq!(
+            gz.manifest.layers[0].media_type,
+            crate::spec::MediaType::LayerTarGzip
+        );
+        assert!(gz.layers_size() < plain.layers_size() / 2);
+        // diff_ids describe the uncompressed tar: identical across forms.
+        assert_eq!(gz.config.rootfs.diff_ids, plain.config.rootfs.diff_ids);
+        assert_eq!(flatten(&store, &gz).unwrap(), fs);
+    }
+
+    #[test]
+    fn mixed_plain_and_gzip_layers() {
+        let mut store = BlobStore::new();
+        let base_fs = fs_with(&[("/base", "B")]);
+        let base = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &base_fs)
+            .commit(&mut store)
+            .unwrap();
+        let mut upper = base_fs.clone();
+        upper
+            .write_file_p("/app/x", Bytes::from_static(b"X"), 0o755)
+            .unwrap();
+        let img = ImageBuilder::from_base(&store, &base)
+            .unwrap()
+            .with_compression()
+            .with_layer_from_fs(&base_fs, &upper)
+            .commit(&mut store)
+            .unwrap();
+        assert_eq!(img.manifest.layers[0].media_type, crate::spec::MediaType::LayerTar);
+        assert_eq!(
+            img.manifest.layers[1].media_type,
+            crate::spec::MediaType::LayerTarGzip
+        );
+        assert_eq!(flatten(&store, &img).unwrap(), upper);
+    }
+
+    #[test]
+    fn layers_size_sums() {
+        let mut store = BlobStore::new();
+        let fs = fs_with(&[("/f", "x")]);
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        assert_eq!(img.layers_size(), img.manifest.layers[0].size);
+        assert!(img.layers_size() > 0);
+    }
+}

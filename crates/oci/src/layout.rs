@@ -1,0 +1,306 @@
+//! The OCI image layout: the directory interchange format.
+//!
+//! In the coMtainer workflow the `dist` image is exported as an OCI layout
+//! directory (`buildah push xxx.dist oci:./xxx.dist.oci`) which is then
+//! bind-mounted into the build/rebuild/redirect containers. We model that
+//! directory both **in memory** ([`OciDir`], the form "mounted" into
+//! simulated containers) and **on disk** (`save`/`load`), with the standard
+//! structure:
+//!
+//! ```text
+//! oci-layout          # {"imageLayoutVersion": "1.0.0"}
+//! index.json          # ImageIndex with ref.name annotations
+//! blobs/sha256/<hex>  # content-addressed blobs
+//! ```
+
+use crate::spec::{Descriptor, ImageIndex, MediaType};
+use crate::store::BlobStore;
+use bytes::Bytes;
+use comt_digest::Digest;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// An OCI layout held in memory: the unit mounted at `/.coMtainer/io`.
+#[derive(Debug, Clone, Default)]
+pub struct OciDir {
+    pub index: ImageIndex,
+    pub blobs: BlobStore,
+}
+
+/// Errors from layout I/O.
+#[derive(Debug)]
+pub enum LayoutError {
+    Io(io::Error),
+    BadJson(String),
+    BadDigest(String),
+    /// A blob file's name does not match its content digest.
+    DigestMismatch { path: String },
+    UnknownRef(String),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Io(e) => write!(f, "io error: {e}"),
+            LayoutError::BadJson(e) => write!(f, "bad json: {e}"),
+            LayoutError::BadDigest(e) => write!(f, "bad digest: {e}"),
+            LayoutError::DigestMismatch { path } => {
+                write!(f, "blob content does not match its digest: {path}")
+            }
+            LayoutError::UnknownRef(r) => write!(f, "unknown ref: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl From<io::Error> for LayoutError {
+    fn from(e: io::Error) -> Self {
+        LayoutError::Io(e)
+    }
+}
+
+impl OciDir {
+    pub fn new() -> Self {
+        OciDir::default()
+    }
+
+    /// Export an image (manifest closure) from `src` into this layout under
+    /// the ref name `name` — the `buildah push … oci:./dir` step.
+    pub fn export(
+        &mut self,
+        name: &str,
+        manifest_digest: Digest,
+        src: &BlobStore,
+    ) -> Result<(), LayoutError> {
+        let raw = src
+            .get(&manifest_digest)
+            .ok_or_else(|| LayoutError::BadDigest(manifest_digest.to_string()))?;
+        let manifest: crate::spec::ImageManifest =
+            serde_json::from_slice(&raw).map_err(|e| LayoutError::BadJson(e.to_string()))?;
+
+        let mut needed = vec![manifest_digest];
+        needed.push(
+            manifest
+                .config
+                .parsed_digest()
+                .map_err(|e| LayoutError::BadDigest(e.to_string()))?,
+        );
+        for l in &manifest.layers {
+            needed.push(
+                l.parsed_digest()
+                    .map_err(|e| LayoutError::BadDigest(e.to_string()))?,
+            );
+        }
+        for d in needed {
+            if !self.blobs.fetch_from(src, &d) {
+                return Err(LayoutError::BadDigest(d.to_string()));
+            }
+        }
+
+        let size = raw.len() as u64;
+        self.index.set_ref(
+            name,
+            Descriptor::new(MediaType::ImageManifest, manifest_digest, size),
+        );
+        Ok(())
+    }
+
+    /// Resolve a ref name to its manifest digest.
+    pub fn resolve(&self, name: &str) -> Result<Digest, LayoutError> {
+        let desc = self
+            .index
+            .find_ref(name)
+            .ok_or_else(|| LayoutError::UnknownRef(name.to_string()))?;
+        desc.parsed_digest()
+            .map_err(|e| LayoutError::BadDigest(e.to_string()))
+    }
+
+    /// Load an [`crate::Image`] by ref name.
+    pub fn load_image(&self, name: &str) -> Result<crate::Image, LayoutError> {
+        let d = self.resolve(name)?;
+        crate::Image::load(&self.blobs, d).map_err(|e| LayoutError::BadJson(e.to_string()))
+    }
+
+    /// Garbage-collect blobs unreachable from any indexed manifest —
+    /// repeated rebuild/redirect rounds replace `+coMre`/`+opt` manifests
+    /// and orphan their old layers. Returns the number of blobs dropped.
+    pub fn gc(&mut self) -> usize {
+        let mut live: std::collections::BTreeSet<comt_digest::Digest> =
+            std::collections::BTreeSet::new();
+        for desc in &self.index.manifests {
+            let Ok(md) = desc.parsed_digest() else { continue };
+            let Some(raw) = self.blobs.get(&md) else { continue };
+            live.insert(md);
+            let Ok(manifest) = serde_json::from_slice::<crate::spec::ImageManifest>(&raw) else {
+                continue;
+            };
+            if let Ok(d) = manifest.config.parsed_digest() {
+                live.insert(d);
+            }
+            for layer in &manifest.layers {
+                if let Ok(d) = layer.parsed_digest() {
+                    live.insert(d);
+                }
+            }
+        }
+        self.blobs.retain(|d| live.contains(d))
+    }
+
+    /// Persist to a real directory in standard OCI layout form.
+    pub fn save(&self, dir: &Path) -> Result<(), LayoutError> {
+        let blobs_dir = dir.join("blobs").join("sha256");
+        std::fs::create_dir_all(&blobs_dir)?;
+        std::fs::write(
+            dir.join("oci-layout"),
+            b"{\"imageLayoutVersion\": \"1.0.0\"}",
+        )?;
+        let index_json = serde_json::to_vec_pretty(&self.index)
+            .map_err(|e| LayoutError::BadJson(e.to_string()))?;
+        std::fs::write(dir.join("index.json"), index_json)?;
+        for (digest, blob) in self.blobs.iter() {
+            let path = blobs_dir.join(digest.hex());
+            if !path.exists() {
+                std::fs::write(path, blob)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load from a real directory, verifying every blob against its name.
+    pub fn load(dir: &Path) -> Result<Self, LayoutError> {
+        let index_raw = std::fs::read(dir.join("index.json"))?;
+        let index: ImageIndex =
+            serde_json::from_slice(&index_raw).map_err(|e| LayoutError::BadJson(e.to_string()))?;
+        let mut blobs = BlobStore::new();
+        let blobs_dir = dir.join("blobs").join("sha256");
+        if blobs_dir.is_dir() {
+            for entry in std::fs::read_dir(&blobs_dir)? {
+                let entry = entry?;
+                let data = std::fs::read(entry.path())?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let stored = blobs.put(Bytes::from(data));
+                if stored.hex() != name {
+                    return Err(LayoutError::DigestMismatch {
+                        path: entry.path().display().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(OciDir { index, blobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageBuilder;
+    use comt_vfs::Vfs;
+
+    fn tiny_image(store: &mut BlobStore) -> Digest {
+        let mut fs = Vfs::new();
+        fs.write_file_p("/app/bin", Bytes::from_static(b"B"), 0o755)
+            .unwrap();
+        ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(store)
+            .unwrap()
+            .manifest_digest
+    }
+
+    #[test]
+    fn export_and_resolve() {
+        let mut store = BlobStore::new();
+        let md = tiny_image(&mut store);
+        let mut dir = OciDir::new();
+        dir.export("app.dist", md, &store).unwrap();
+        assert_eq!(dir.resolve("app.dist").unwrap(), md);
+        assert_eq!(dir.blobs.len(), 3);
+        assert!(dir.load_image("app.dist").is_ok());
+    }
+
+    #[test]
+    fn resolve_unknown_ref() {
+        let dir = OciDir::new();
+        assert!(matches!(
+            dir.resolve("ghost"),
+            Err(LayoutError::UnknownRef(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let mut store = BlobStore::new();
+        let md = tiny_image(&mut store);
+        let mut dir = OciDir::new();
+        dir.export("app.dist", md, &store).unwrap();
+
+        let tmp = std::env::temp_dir().join(format!("comt-oci-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        dir.save(&tmp).unwrap();
+
+        assert!(tmp.join("oci-layout").exists());
+        assert!(tmp.join("index.json").exists());
+
+        let back = OciDir::load(&tmp).unwrap();
+        assert_eq!(back.index, dir.index);
+        assert_eq!(back.blobs.len(), dir.blobs.len());
+        assert_eq!(back.resolve("app.dist").unwrap(), md);
+
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn load_detects_corrupt_blob() {
+        let mut store = BlobStore::new();
+        let md = tiny_image(&mut store);
+        let mut dir = OciDir::new();
+        dir.export("app.dist", md, &store).unwrap();
+
+        let tmp = std::env::temp_dir().join(format!("comt-oci-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        dir.save(&tmp).unwrap();
+
+        // Corrupt one blob file.
+        let blob_dir = tmp.join("blobs").join("sha256");
+        let victim = std::fs::read_dir(&blob_dir).unwrap().next().unwrap().unwrap();
+        std::fs::write(victim.path(), b"corrupted!").unwrap();
+
+        assert!(matches!(
+            OciDir::load(&tmp),
+            Err(LayoutError::DigestMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn gc_drops_orphaned_blobs() {
+        let mut store = BlobStore::new();
+        let md = tiny_image(&mut store);
+        let mut dir = OciDir::new();
+        dir.export("app.dist", md, &store).unwrap();
+        // Orphans: a stray blob and a replaced manifest generation.
+        dir.blobs.put(Bytes::from_static(b"orphaned layer bytes"));
+        let before = dir.blobs.len();
+        let dropped = dir.gc();
+        assert_eq!(dropped, 1);
+        assert_eq!(dir.blobs.len(), before - 1);
+        // Image still loads and flattens after GC.
+        let img = dir.load_image("app.dist").unwrap();
+        assert!(crate::flatten(&dir.blobs, &img).is_ok());
+        // Idempotent.
+        assert_eq!(dir.gc(), 0);
+    }
+
+    #[test]
+    fn multiple_refs_share_blobs() {
+        let mut store = BlobStore::new();
+        let md = tiny_image(&mut store);
+        let mut dir = OciDir::new();
+        dir.export("app:1", md, &store).unwrap();
+        dir.export("app:1+coM", md, &store).unwrap();
+        assert_eq!(dir.blobs.len(), 3); // shared closure
+        assert_eq!(dir.index.ref_names(), vec!["app:1", "app:1+coM"]);
+    }
+}

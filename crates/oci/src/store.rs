@@ -1,0 +1,285 @@
+//! Content-addressed blob storage and the simulated registry.
+
+use bytes::Bytes;
+use comt_digest::Digest;
+use std::collections::BTreeMap;
+
+/// Content-addressed blob store. Blobs are immutable; storing the same
+/// content twice is a no-op (deduplication by digest).
+#[derive(Debug, Clone, Default)]
+pub struct BlobStore {
+    blobs: BTreeMap<Digest, Bytes>,
+}
+
+impl BlobStore {
+    pub fn new() -> Self {
+        BlobStore::default()
+    }
+
+    /// Store a blob, returning its digest.
+    pub fn put(&mut self, data: impl Into<Bytes>) -> Digest {
+        let data = data.into();
+        let d = Digest::of(&data);
+        self.blobs.entry(d).or_insert(data);
+        d
+    }
+
+    /// Fetch a blob by digest.
+    pub fn get(&self, digest: &Digest) -> Option<Bytes> {
+        self.blobs.get(digest).cloned()
+    }
+
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.blobs.contains_key(digest)
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total stored bytes (deduplicated).
+    pub fn total_size(&self) -> u64 {
+        self.blobs.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Iterate all `(digest, blob)` pairs in digest order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Digest, &Bytes)> {
+        self.blobs.iter()
+    }
+
+    /// Keep only blobs whose digest satisfies the predicate; returns how
+    /// many were dropped (garbage collection support).
+    pub fn retain(&mut self, keep: impl Fn(&Digest) -> bool) -> usize {
+        let before = self.blobs.len();
+        self.blobs.retain(|d, _| keep(d));
+        before - self.blobs.len()
+    }
+
+    /// Copy a blob from another store if missing here.
+    pub fn fetch_from(&mut self, other: &BlobStore, digest: &Digest) -> bool {
+        if self.contains(digest) {
+            return true;
+        }
+        match other.get(digest) {
+            Some(b) => {
+                self.blobs.insert(*digest, b);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No manifest tagged with the requested name.
+    UnknownTag(String),
+    /// A referenced blob is missing from the source store.
+    MissingBlob(String),
+    /// Manifest blob failed to parse.
+    CorruptManifest(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownTag(t) => write!(f, "unknown tag: {t}"),
+            RegistryError::MissingBlob(d) => write!(f, "missing blob: {d}"),
+            RegistryError::CorruptManifest(e) => write!(f, "corrupt manifest: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A simulated OCI registry: tag → manifest digest, backed by a blob store.
+///
+/// `push`/`pull` between registries transfer only missing blobs, mirroring
+/// real registry cross-repo behaviour. The registry is also the transport
+/// between the user side and the HPC system side in the coMtainer workflow.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    tags: BTreeMap<String, Digest>,
+    store: BlobStore,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn store(&self) -> &BlobStore {
+        &self.store
+    }
+
+    pub fn store_mut(&mut self) -> &mut BlobStore {
+        &mut self.store
+    }
+
+    /// Tags present, sorted.
+    pub fn tags(&self) -> Vec<String> {
+        self.tags.keys().cloned().collect()
+    }
+
+    /// Manifest digest for a tag.
+    pub fn resolve(&self, tag: &str) -> Option<Digest> {
+        self.tags.get(tag).copied()
+    }
+
+    /// Recursively collect the digests reachable from a manifest: the
+    /// manifest itself, its config, and all layers.
+    fn closure(
+        src: &BlobStore,
+        manifest_digest: &Digest,
+    ) -> Result<Vec<Digest>, RegistryError> {
+        let raw = src
+            .get(manifest_digest)
+            .ok_or_else(|| RegistryError::MissingBlob(manifest_digest.to_string()))?;
+        let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw)
+            .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
+        let mut out = vec![*manifest_digest];
+        let cfg = manifest
+            .config
+            .parsed_digest()
+            .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
+        out.push(cfg);
+        for layer in &manifest.layers {
+            out.push(
+                layer
+                    .parsed_digest()
+                    .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Push a manifest (and its blob closure) from a local store under `tag`.
+    pub fn push(
+        &mut self,
+        tag: &str,
+        manifest_digest: Digest,
+        src: &BlobStore,
+    ) -> Result<usize, RegistryError> {
+        let mut transferred = 0usize;
+        for d in Self::closure(src, &manifest_digest)? {
+            if !self.store.contains(&d) {
+                if !self.store.fetch_from(src, &d) {
+                    return Err(RegistryError::MissingBlob(d.to_string()));
+                }
+                transferred += 1;
+            }
+        }
+        self.tags.insert(tag.to_string(), manifest_digest);
+        Ok(transferred)
+    }
+
+    /// Pull a tag's manifest closure into a local store; returns the
+    /// manifest digest and how many blobs were transferred.
+    pub fn pull(
+        &self,
+        tag: &str,
+        dst: &mut BlobStore,
+    ) -> Result<(Digest, usize), RegistryError> {
+        let manifest_digest = self
+            .resolve(tag)
+            .ok_or_else(|| RegistryError::UnknownTag(tag.to_string()))?;
+        let mut transferred = 0usize;
+        for d in Self::closure(&self.store, &manifest_digest)? {
+            if !dst.contains(&d) {
+                if !dst.fetch_from(&self.store, &d) {
+                    return Err(RegistryError::MissingBlob(d.to_string()));
+                }
+                transferred += 1;
+            }
+        }
+        Ok((manifest_digest, transferred))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageBuilder;
+    use bytes::Bytes;
+    use comt_vfs::Vfs;
+
+    #[test]
+    fn put_dedupes() {
+        let mut s = BlobStore::new();
+        let d1 = s.put(Bytes::from_static(b"same"));
+        let d2 = s.put(Bytes::from_static(b"same"));
+        assert_eq!(d1, d2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_size(), 4);
+    }
+
+    #[test]
+    fn get_missing() {
+        let s = BlobStore::new();
+        assert!(s.get(&Digest::of(b"nope")).is_none());
+    }
+
+    #[test]
+    fn fetch_from_copies_once() {
+        let mut a = BlobStore::new();
+        let d = a.put(Bytes::from_static(b"blob"));
+        let mut b = BlobStore::new();
+        assert!(b.fetch_from(&a, &d));
+        assert!(b.fetch_from(&a, &d)); // idempotent
+        assert!(!b.fetch_from(&a, &Digest::of(b"missing")));
+    }
+
+    fn tiny_image(store: &mut BlobStore) -> Digest {
+        let mut fs = Vfs::new();
+        fs.write_file_p("/bin/x", Bytes::from_static(b"X"), 0o755)
+            .unwrap();
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(store)
+            .unwrap();
+        img.manifest_digest
+    }
+
+    #[test]
+    fn push_pull_transfers_closure() {
+        let mut local = BlobStore::new();
+        let md = tiny_image(&mut local);
+
+        let mut reg = Registry::new();
+        let n = reg.push("app:1.0", md, &local).unwrap();
+        assert_eq!(n, 3); // manifest + config + 1 layer
+
+        // Second push transfers nothing.
+        assert_eq!(reg.push("app:dup", md, &local).unwrap(), 0);
+
+        let mut remote = BlobStore::new();
+        let (got, n2) = reg.pull("app:1.0", &mut remote).unwrap();
+        assert_eq!(got, md);
+        assert_eq!(n2, 3);
+        assert!(remote.contains(&md));
+    }
+
+    #[test]
+    fn pull_unknown_tag() {
+        let reg = Registry::new();
+        let mut dst = BlobStore::new();
+        assert!(matches!(
+            reg.pull("ghost:latest", &mut dst),
+            Err(RegistryError::UnknownTag(_))
+        ));
+    }
+
+    #[test]
+    fn push_with_missing_blob_fails() {
+        let local = BlobStore::new();
+        let mut reg = Registry::new();
+        let err = reg.push("x", Digest::of(b"not-a-manifest"), &local);
+        assert!(matches!(err, Err(RegistryError::MissingBlob(_))));
+    }
+}

@@ -1,0 +1,473 @@
+//! The execution-time model.
+
+use crate::libenv::LibEnv;
+use crate::systems::SystemConfig;
+use comt_pkg::LibDomain;
+use comt_toolchain::artifact::{KernelParams, LinkedBinary, PgoMode};
+
+/// Kernel parameter keys understood by the model (all optional, default 0):
+///
+/// | key | meaning |
+/// |---|---|
+/// | `flops` | total useful floating-point work |
+/// | `bytes` | total memory traffic |
+/// | `vec_frac` | fraction of app compute that vectorizes |
+/// | `blas_frac` | fraction of compute inside BLAS/LAPACK |
+/// | `math_frac` | fraction inside libm/libc |
+/// | `fft_frac` | fraction inside the FFT library |
+/// | `comm_msgs` | messages per full 16-node run |
+/// | `comm_bytes` | bytes communicated per full 16-node run |
+/// | `call_frac` | call-overhead fraction removable by LTO |
+/// | `branch_frac` | branch/layout fraction addressable by PGO |
+/// | `lto_resp` | workload response to LTO in [-1, 1] |
+/// | `pgo_resp` | workload response to PGO in [-1, 1] |
+/// | `tc_resp` | response to toolchain codegen quality in [-1, 1] |
+pub const KERNEL_KEYS: &[&str] = &[
+    "flops",
+    "bytes",
+    "vec_frac",
+    "blas_frac",
+    "math_frac",
+    "fft_frac",
+    "comm_msgs",
+    "comm_bytes",
+    "call_frac",
+    "branch_frac",
+    "lto_resp",
+    "pgo_resp",
+    "tc_resp",
+];
+
+/// Per-phase timing breakdown (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Application (non-library) compute.
+    pub app_s: f64,
+    /// Library compute (BLAS + libm + FFT).
+    pub lib_s: f64,
+    /// Memory-bound extra time beyond compute (roofline excess).
+    pub mem_s: f64,
+    /// Communication.
+    pub comm_s: f64,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    pub seconds: f64,
+    pub breakdown: Breakdown,
+    /// Present when the binary was PGO-instrumented: the collected profile.
+    pub profile: Option<String>,
+}
+
+/// Overhead multiplier for `-fprofile-generate` instrumented binaries.
+const INSTRUMENTATION_OVERHEAD: f64 = 1.22;
+/// Baseline vector width the `flops` anchor assumes.
+const BASE_VW: f64 = 2.0;
+/// Fraction of nominal codegen-quality delta applied to library-side code
+/// (libraries ship prebuilt; toolchain only affects app code).
+const FAST_MATH_BONUS: f64 = 0.02;
+/// Additional layout-optimization strength relative to compiler PGO (BOLT
+/// recovers roughly a third again on top of PGO in published results).
+const LAYOUT_OPT_STRENGTH: f64 = 0.35;
+
+fn domain_of_lib(name: &str) -> Option<LibDomain> {
+    match name {
+        "openblas" | "blas" | "lapack" => Some(LibDomain::Blas),
+        "m" | "c" => Some(LibDomain::StdC),
+        "stdc++" => Some(LibDomain::StdCxx),
+        "mpi" => Some(LibDomain::Mpi),
+        "fftw3" => Some(LibDomain::Fft),
+        "z" => Some(LibDomain::Compression),
+        _ => None,
+    }
+}
+
+/// Deterministic ±0.5 % perturbation from a seed string.
+fn jitter(seed: &str) -> f64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for b in seed.bytes() {
+        h ^= b as u64;
+        h = h.rotate_left(13).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    1.0 + (unit - 0.5) * 0.01
+}
+
+/// Simulate one run of `binary` on `system` across `nodes` nodes, with the
+/// image's installed libraries described by `env`.
+pub fn execute(
+    binary: &LinkedBinary,
+    env: &LibEnv,
+    system: &SystemConfig,
+    nodes: u32,
+) -> RunResult {
+    execute_with_deck(binary, &KernelParams::default(), env, system, nodes)
+}
+
+/// Like [`execute`], with an *input deck*: per-input kernel overrides laid
+/// over the binary's compiled-in characteristics. This models what real
+/// inputs do — the same binary runs different problem sizes, communication
+/// volumes and hot paths depending on its input (the very input-dependence
+/// that makes PGO "typical input" selection hard, §4.4).
+pub fn execute_with_deck(
+    binary: &LinkedBinary,
+    deck: &KernelParams,
+    env: &LibEnv,
+    system: &SystemConfig,
+    nodes: u32,
+) -> RunResult {
+    let mut merged = binary.kernel.clone();
+    for (key, v) in &deck.0 {
+        merged.0.insert(key.clone(), *v);
+    }
+    let k = &merged;
+    let flops = k.get("flops");
+    let bytes = k.get("bytes");
+    let vec_frac = k.get("vec_frac").clamp(0.0, 1.0);
+    let tc_resp = if k.0.contains_key("tc_resp") {
+        k.get("tc_resp").clamp(-1.0, 1.0)
+    } else {
+        1.0
+    };
+
+    // Library fractions only apply when the corresponding library is
+    // actually linked.
+    let linked_domain = |d: LibDomain| {
+        binary
+            .needed_libs
+            .iter()
+            .any(|l| domain_of_lib(l) == Some(d))
+    };
+    let blas_frac = if linked_domain(LibDomain::Blas) {
+        k.get("blas_frac").clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let math_frac = if linked_domain(LibDomain::StdC) {
+        k.get("math_frac").clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let fft_frac = if linked_domain(LibDomain::Fft) {
+        k.get("fft_frac").clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let lib_frac = (blas_frac + math_frac + fft_frac).min(0.95);
+    let app_frac = 1.0 - lib_frac;
+
+    // Aggregate compute rate.
+    let agg_gflops = system.node_gflops * nodes as f64;
+
+    // App-code speed: codegen quality × Amdahl vectorization speedup,
+    // jointly modulated by the workload's toolchain response. A negative
+    // response models code where the system toolchain's aggressive codegen
+    // (including vectorization) backfires — the paper's HPCCG anomaly.
+    let vw = binary.opt.vector_width.max(1) as f64;
+    let vec_speedup = 1.0 / ((1.0 - vec_frac) + vec_frac * BASE_VW / vw);
+    let nominal_gain = binary.opt.codegen_quality * vec_speedup;
+    let effective_gain = (1.0 + (nominal_gain - 1.0) * tc_resp).max(0.1);
+    let mut app_rate = agg_gflops * 1e9 * effective_gain;
+    if binary.opt.fast_math {
+        app_rate *= 1.0 + FAST_MATH_BONUS;
+    }
+
+    // LTO removes call overhead; PGO improves layout/branches; both signed
+    // by the workload's response factor.
+    let mut app_work = flops * app_frac;
+    if binary.lto_applied {
+        let effect = k.get("lto_resp").clamp(-1.0, 1.0) * k.get("call_frac").clamp(0.0, 0.5);
+        app_work *= 1.0 - effect;
+    }
+    match binary.opt.pgo {
+        PgoMode::Optimized => {
+            let effect = k.get("pgo_resp").clamp(-1.0, 1.0) * k.get("branch_frac").clamp(0.0, 0.5);
+            app_work *= 1.0 - effect;
+        }
+        PgoMode::Instrumented => {
+            app_work *= INSTRUMENTATION_OVERHEAD;
+        }
+        PgoMode::None => {}
+    }
+    // BOLT-style post-link layout optimization: profile-driven basic-block
+    // reordering recovers i-cache/i-TLB misses beyond compiler PGO. Only
+    // workloads that respond positively to profile-driven layout benefit.
+    if binary.layout_optimized {
+        let effect =
+            LAYOUT_OPT_STRENGTH * k.get("pgo_resp").clamp(0.0, 1.0) * k.get("branch_frac").clamp(0.0, 0.5);
+        app_work *= 1.0 - effect;
+    }
+    let app_s = app_work / app_rate;
+
+    // Library-side compute: installed library quality, per domain. The
+    // vectorization of library kernels is the library's business (baked
+    // into its quality), not the app compiler's.
+    let lib_rate_base = agg_gflops * 1e9;
+    let lib_s = flops * blas_frac / (lib_rate_base * env.quality(LibDomain::Blas))
+        + flops * math_frac / (lib_rate_base * env.quality(LibDomain::StdC))
+        + flops * fft_frac / (lib_rate_base * env.quality(LibDomain::Fft));
+
+    // Roofline: memory traffic bounds total node-side time.
+    let mem_floor = bytes / (system.mem_bw_gbs * 1e9 * nodes as f64);
+    let cpu_s = app_s + lib_s;
+    let node_s = cpu_s.max(mem_floor);
+    let mem_s = (mem_floor - cpu_s).max(0.0);
+
+    // Communication: only meaningful on multi-node runs; scaled so the
+    // kernel parameters describe the full 16-node run.
+    let comm_scale = if nodes <= 1 {
+        0.0
+    } else {
+        (nodes as f64 - 1.0) / 15.0
+    };
+    let (lat_us, bw_gbs) = if env.mpi_native {
+        let q = env.quality(LibDomain::Mpi).max(1.0);
+        (system.hsn_latency_us / q, system.hsn_bw_gbs * q)
+    } else {
+        (system.eth_latency_us, system.eth_bw_gbs)
+    };
+    let comm_s = comm_scale
+        * (k.get("comm_msgs") * lat_us * 1e-6 + k.get("comm_bytes") / (bw_gbs * 1e9));
+
+    let seed = format!(
+        "{}|{}|{}|{}|{}",
+        binary.opt.toolchain, binary.opt.vector_width, system.name, nodes, flops
+    );
+    let seconds = (node_s + comm_s) * jitter(&seed);
+
+    // Instrumented runs emit a profile listing the hot symbols.
+    let profile = if binary.opt.pgo == PgoMode::Instrumented {
+        let mut p = String::from("comt-profile 1\n");
+        for (i, sym) in binary.defined.iter().take(8).enumerate() {
+            p.push_str(&format!("hot {} {}\n", sym, 100 - i * 10));
+        }
+        p.push_str(&format!("flops {flops}\n"));
+        Some(p)
+    } else {
+        None
+    };
+
+    RunResult {
+        seconds,
+        breakdown: Breakdown {
+            app_s,
+            lib_s,
+            mem_s,
+            comm_s,
+        },
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::x86_cluster;
+    use comt_toolchain::artifact::{BinKind, KernelParams, OptProvenance, TargetInfo};
+
+    fn bin(kernel: &[(&str, f64)]) -> LinkedBinary {
+        let mut k = KernelParams::default();
+        for (key, v) in kernel {
+            k.0.insert(key.to_string(), *v);
+        }
+        LinkedBinary {
+            kind: BinKind::Executable,
+            defined: vec!["main".into(), "kernel_a".into()],
+            externs: vec![],
+            needed_libs: vec!["c".into(), "m".into(), "openblas".into(), "mpi".into(), "fftw3".into()],
+            objects: vec![],
+            target: Some(TargetInfo {
+                isa: "x86_64".into(),
+                march: "x86-64".into(),
+            }),
+            opt: OptProvenance::default(),
+            lto_applied: false,
+            layout_optimized: false,
+            kernel: k,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = bin(&[("flops", 1e13)]);
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        assert_eq!(execute(&b, &e, &s, 1).seconds, execute(&b, &e, &s, 1).seconds);
+    }
+
+    #[test]
+    fn flops_anchor_sanity() {
+        // 3.33e13 flops on a 333 GF/s node ≈ 100 s at baseline.
+        let b = bin(&[("flops", 3.33e13)]);
+        let t = execute(&b, &LibEnv::generic(), &x86_cluster(), 1).seconds;
+        assert!((90.0..110.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn strong_scaling_across_nodes() {
+        let b = bin(&[("flops", 1e14)]);
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        let t1 = execute(&b, &e, &s, 1).seconds;
+        let t16 = execute(&b, &e, &s, 16).seconds;
+        assert!(t16 < t1 / 12.0, "compute-bound scales ({t1} vs {t16})");
+    }
+
+    #[test]
+    fn memory_bound_roofline() {
+        let b = bin(&[("flops", 1e10), ("bytes", 1e13)]);
+        let r = execute(&b, &LibEnv::generic(), &x86_cluster(), 1);
+        assert!(r.breakdown.mem_s > 0.0);
+        // ~1e13 bytes / 380 GB/s ≈ 26 s.
+        assert!((20.0..35.0).contains(&r.seconds), "{}", r.seconds);
+    }
+
+    #[test]
+    fn lto_response_sign_matters() {
+        let mut pos = bin(&[("flops", 1e13), ("call_frac", 0.3), ("lto_resp", 1.0)]);
+        pos.lto_applied = true;
+        let mut neg = pos.clone();
+        neg.kernel.0.insert("lto_resp".into(), -1.0);
+        let base = bin(&[("flops", 1e13), ("call_frac", 0.3), ("lto_resp", 1.0)]);
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        let t_base = execute(&base, &e, &s, 1).seconds;
+        let t_pos = execute(&pos, &e, &s, 1).seconds;
+        let t_neg = execute(&neg, &e, &s, 1).seconds;
+        assert!(t_pos < t_base);
+        assert!(t_neg > t_base);
+    }
+
+    #[test]
+    fn pgo_lifecycle() {
+        let mut instrumented = bin(&[("flops", 1e13), ("branch_frac", 0.2), ("pgo_resp", 0.8)]);
+        instrumented.opt.pgo = PgoMode::Instrumented;
+        let r = execute(&instrumented, &LibEnv::generic(), &x86_cluster(), 1);
+        assert!(r.profile.is_some());
+        assert!(r.profile.as_ref().unwrap().contains("hot main"));
+
+        let base = bin(&[("flops", 1e13), ("branch_frac", 0.2), ("pgo_resp", 0.8)]);
+        let mut optimized = base.clone();
+        optimized.opt.pgo = PgoMode::Optimized;
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        let t_instr = r.seconds;
+        let t_base = execute(&base, &e, &s, 1).seconds;
+        let t_opt = execute(&optimized, &e, &s, 1).seconds;
+        assert!(t_instr > t_base, "instrumentation costs");
+        assert!(t_opt < t_base, "pgo pays off");
+        assert!(execute(&optimized, &e, &s, 1).profile.is_none());
+    }
+
+    #[test]
+    fn unlinked_library_fraction_ignored() {
+        let mut b = bin(&[("flops", 1e13), ("blas_frac", 0.8)]);
+        b.needed_libs = vec!["c".into()]; // no BLAS linked
+        let e = crate::LibEnv::vendor_x86_like();
+        let s = x86_cluster();
+        let with_blas = execute(&bin(&[("flops", 1e13), ("blas_frac", 0.8)]), &e, &s, 1);
+        let without = execute(&b, &e, &s, 1);
+        assert!(without.seconds > with_blas.seconds, "vendor BLAS can't help unlinked code");
+    }
+
+    #[test]
+    fn negative_toolchain_response_degrades() {
+        let mut b = bin(&[("flops", 1e13), ("tc_resp", -0.5)]);
+        b.opt.codegen_quality = 1.3; // aggressive vendor compiler
+        let base = {
+            let mut x = bin(&[("flops", 1e13), ("tc_resp", -0.5)]);
+            x.opt.codegen_quality = 1.0;
+            x
+        };
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        assert!(execute(&b, &e, &s, 1).seconds > execute(&base, &e, &s, 1).seconds);
+    }
+
+    #[test]
+    fn layout_optimization_stacks_on_pgo() {
+        let base = bin(&[("flops", 1e13), ("branch_frac", 0.3), ("pgo_resp", 0.8)]);
+        let mut pgo = base.clone();
+        pgo.opt.pgo = PgoMode::Optimized;
+        let mut bolt = pgo.clone();
+        bolt.layout_optimized = true;
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        let t_pgo = execute(&pgo, &e, &s, 1).seconds;
+        let t_bolt = execute(&bolt, &e, &s, 1).seconds;
+        assert!(t_bolt < t_pgo, "layout opt adds on top of PGO");
+        // But not for layout-averse workloads.
+        let averse = bin(&[("flops", 1e13), ("branch_frac", 0.3), ("pgo_resp", -0.8)]);
+        let mut averse_bolt = averse.clone();
+        averse_bolt.layout_optimized = true;
+        let t_a = execute(&averse, &e, &s, 1).seconds;
+        let t_ab = execute(&averse_bolt, &e, &s, 1).seconds;
+        assert!((t_ab / t_a - 1.0).abs() < 0.001, "no effect when profile-averse");
+    }
+
+    #[test]
+    fn comm_absent_on_single_node() {
+        let b = bin(&[("flops", 1e12), ("comm_msgs", 1e6), ("comm_bytes", 1e11)]);
+        let r1 = execute(&b, &LibEnv::generic(), &x86_cluster(), 1);
+        assert_eq!(r1.breakdown.comm_s, 0.0);
+        let r16 = execute(&b, &LibEnv::generic(), &x86_cluster(), 16);
+        assert!(r16.breakdown.comm_s > 0.0);
+    }
+
+    #[test]
+    fn jitter_small_and_deterministic() {
+        let j = jitter("seed");
+        assert!((0.995..=1.005).contains(&j));
+        assert_eq!(j, jitter("seed"));
+        assert_ne!(j, jitter("other"));
+    }
+}
+
+#[cfg(test)]
+mod deck_tests {
+    use super::*;
+    use crate::systems::x86_cluster;
+    use comt_toolchain::artifact::{BinKind, KernelParams, LinkedBinary, OptProvenance};
+
+    fn bin() -> LinkedBinary {
+        let mut k = KernelParams::default();
+        k.0.insert("flops".into(), 1e13);
+        k.0.insert("vec_frac".into(), 0.5);
+        LinkedBinary {
+            kind: BinKind::Executable,
+            defined: vec!["main".into()],
+            externs: vec![],
+            needed_libs: vec!["c".into()],
+            objects: vec![],
+            target: None,
+            opt: OptProvenance::default(),
+            lto_applied: false,
+            layout_optimized: false,
+            kernel: k,
+        }
+    }
+
+    #[test]
+    fn deck_overrides_magnitudes() {
+        let b = bin();
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        let base = execute(&b, &e, &s, 1).seconds;
+        let mut deck = KernelParams::default();
+        deck.0.insert("flops".into(), 2e13);
+        let doubled = execute_with_deck(&b, &deck, &e, &s, 1).seconds;
+        assert!((doubled / base - 2.0).abs() < 0.05, "{}", doubled / base);
+    }
+
+    #[test]
+    fn empty_deck_matches_plain_execute() {
+        let b = bin();
+        let e = LibEnv::generic();
+        let s = x86_cluster();
+        assert_eq!(
+            execute(&b, &e, &s, 4).seconds,
+            execute_with_deck(&b, &KernelParams::default(), &e, &s, 4).seconds
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The two HPC systems of the paper's Table 1.
+
+/// Configuration of one HPC cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Human name.
+    pub name: String,
+    /// ISA string (`x86_64` / `aarch64`).
+    pub isa: String,
+    /// CPU description (Table 1).
+    pub cpu: String,
+    /// RAM per node in GiB (Table 1).
+    pub ram_gb: u32,
+    /// Operating system (Table 1).
+    pub os: String,
+    /// Node count (Table 1).
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Clock in GHz.
+    pub ghz: f64,
+    /// Sustained scalar GFLOP/s per node at baseline codegen (the model's
+    /// compute-rate anchor; vectorization and quality scale it).
+    pub node_gflops: f64,
+    /// Sustained memory bandwidth per node, GB/s.
+    pub mem_bw_gbs: f64,
+    /// High-speed interconnect: one-way latency (µs) and per-node
+    /// bandwidth (GB/s). Usable only by MPI builds with vendor plugins.
+    pub hsn_latency_us: f64,
+    pub hsn_bw_gbs: f64,
+    /// Fallback transport (TCP-over-management-net) used by generic MPI.
+    pub eth_latency_us: f64,
+    pub eth_bw_gbs: f64,
+}
+
+/// The x86-64 cluster: 2 × Intel Xeon Platinum 8358P @ 2.60 GHz, 512 GB,
+/// Ubuntu 22.04, 16 nodes.
+pub fn x86_cluster() -> SystemConfig {
+    SystemConfig {
+        name: "x86-64 cluster".into(),
+        isa: "x86_64".into(),
+        cpu: "2 x Intel Xeon Platinum 8358P @ 2.60GHz".into(),
+        ram_gb: 512,
+        os: "Ubuntu 22.04".into(),
+        nodes: 16,
+        cores_per_node: 64,
+        ghz: 2.6,
+        // 64 cores × 2.6 GHz × 2 (FMA) sustained scalar.
+        node_gflops: 333.0,
+        mem_bw_gbs: 380.0,
+        hsn_latency_us: 1.5,
+        hsn_bw_gbs: 12.5,
+        eth_latency_us: 45.0,
+        eth_bw_gbs: 1.2,
+    }
+}
+
+/// The AArch64 cluster: Phytium FT-2000+/64 @ 2.2 GHz, 128 GB, Kylin Linux
+/// Advanced Server V10, 16 nodes.
+pub fn arm_cluster() -> SystemConfig {
+    SystemConfig {
+        name: "AArch64 cluster".into(),
+        isa: "aarch64".into(),
+        cpu: "1 x Phytium FT-2000+/64 @ 2.2GHz".into(),
+        ram_gb: 128,
+        os: "Kylin Linux Advanced Server V10".into(),
+        nodes: 16,
+        cores_per_node: 64,
+        ghz: 2.2,
+        node_gflops: 113.0,
+        mem_bw_gbs: 150.0,
+        hsn_latency_us: 2.0,
+        hsn_bw_gbs: 10.0,
+        eth_latency_us: 60.0,
+        eth_bw_gbs: 1.0,
+    }
+}
+
+/// The system for an ISA name.
+pub fn system_for(isa: &str) -> SystemConfig {
+    match isa {
+        "aarch64" => arm_cluster(),
+        _ => x86_cluster(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let x = x86_cluster();
+        assert_eq!(x.nodes, 16);
+        assert_eq!(x.ram_gb, 512);
+        assert!(x.cpu.contains("8358P"));
+        let a = arm_cluster();
+        assert_eq!(a.nodes, 16);
+        assert_eq!(a.ram_gb, 128);
+        assert!(a.cpu.contains("FT-2000+"));
+        assert!(a.os.contains("Kylin"));
+    }
+
+    #[test]
+    fn x86_is_beefier() {
+        let x = x86_cluster();
+        let a = arm_cluster();
+        assert!(x.node_gflops > a.node_gflops);
+        assert!(x.mem_bw_gbs > a.mem_bw_gbs);
+    }
+
+    #[test]
+    fn hsn_much_faster_than_fallback() {
+        for s in [x86_cluster(), arm_cluster()] {
+            assert!(s.hsn_bw_gbs > 8.0 * s.eth_bw_gbs);
+            assert!(s.hsn_latency_us < s.eth_latency_us / 10.0);
+        }
+    }
+
+    #[test]
+    fn system_for_isa() {
+        assert_eq!(system_for("aarch64").isa, "aarch64");
+        assert_eq!(system_for("x86_64").isa, "x86_64");
+    }
+}

@@ -1,0 +1,367 @@
+//! The simulated package ecosystems.
+//!
+//! Three repositories exist per the paper's setting:
+//!
+//! * the **generic distro** repository (`nebula`, Ubuntu-24.04-like): default
+//!   toolchain and libraries every user-side image builds against,
+//! * the **x86-64 vendor** repository: the target HPC system's software
+//!   stack (optimized BLAS/math/FFT, vendor MPI with high-speed-network
+//!   plugins, vendor compiler packages),
+//! * the **AArch64 vendor** repository: same idea for the Phytium-like
+//!   system.
+//!
+//! Vendor packages reuse the distro package *names* at higher versions with
+//! a vendor revision (`-1vendor1`), so merging a vendor repository over the
+//! distro one makes the resolver naturally prefer the optimized stack —
+//! exactly the package-replacement optimization of paper §4.4.
+//!
+//! Package payload sizes are calibrated (at `scale = 1.0`) so that base +
+//! runtime stacks land near the paper's Table 3 image sizes: ~170 MiB
+//! (x86-64) and ~95 MiB (AArch64). Tests use [`MINI_SCALE`] to keep
+//! fixtures fast.
+
+use crate::package::{LibDomain, Package, PackageFile, PerfTraits};
+use crate::repo::Repository;
+use bytes::Bytes;
+
+/// Scale factor for fast test fixtures (payloads shrunk 256×).
+pub const MINI_SCALE: f64 = 1.0 / 256.0;
+
+/// Map an ISA name to the dpkg architecture string.
+pub fn dpkg_arch(isa: &str) -> &'static str {
+    match isa {
+        "x86_64" => "amd64",
+        "aarch64" => "arm64",
+        _ => "all",
+    }
+}
+
+/// Payload size multiplier per ISA: the paper observes "x86-64 has a more
+/// bloated software stack" (Table 3: 170 vs 95 MiB images).
+fn arch_factor(isa: &str) -> f64 {
+    match isa {
+        "aarch64" => 0.55,
+        _ => 1.0,
+    }
+}
+
+/// Deterministic pseudo-random bytes for package payloads (xorshift64*
+/// seeded from the seed string), so image digests are reproducible.
+pub fn synth_bytes(seed: &str, len: usize) -> Bytes {
+    let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed.bytes() {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x1000_0000_01b3);
+    }
+    if state == 0 {
+        state = 0x9e37_79b9_7f4a_7c15;
+    }
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let word = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.truncate(len);
+    Bytes::from(out)
+}
+
+/// Payload size in bytes for a package file.
+fn sized(kib: f64, isa: &str, scale: f64) -> usize {
+    ((kib * 1024.0 * arch_factor(isa) * scale) as usize).max(16)
+}
+
+struct PkgSpec {
+    name: &'static str,
+    version: &'static str,
+    kib: f64,
+    depends: &'static str,
+    provides: &'static [&'static str],
+    description: &'static str,
+    perf: PerfTraits,
+    essential: bool,
+    /// Install paths; payload is split evenly across them.
+    paths: &'static [&'static str],
+}
+
+impl PkgSpec {
+    fn build(&self, isa: &str, scale: f64) -> Package {
+        let total = sized(self.kib, isa, scale);
+        let per_file = (total / self.paths.len().max(1)).max(16);
+        let mut p = Package::new(self.name, self.version, dpkg_arch(isa))
+            .with_depends(self.depends)
+            .with_provides(self.provides)
+            .with_description(self.description)
+            .with_perf(self.perf);
+        if self.essential {
+            p = p.essential();
+        }
+        for path in self.paths {
+            let seed = format!("{}:{}:{}:{}", self.name, self.version, isa, path);
+            p = p.with_file(PackageFile::new(
+                path.to_string(),
+                synth_bytes(&seed, per_file),
+                if path.contains("/bin/") { 0o755 } else { 0o644 },
+            ));
+        }
+        p
+    }
+}
+
+const NEUTRAL: PerfTraits = PerfTraits {
+    domain: LibDomain::None,
+    quality: 1.0,
+    native_interconnect: false,
+};
+
+const fn lib(domain: LibDomain, quality: f64, native_interconnect: bool) -> PerfTraits {
+    PerfTraits {
+        domain,
+        quality,
+        native_interconnect,
+    }
+}
+
+/// Packages pre-installed in the distro base image (the `dist` stage base).
+/// Sizes sum to ≈ 150 MiB on x86-64 at scale 1.0.
+fn base_specs() -> Vec<PkgSpec> {
+    vec![
+        PkgSpec { name: "base-files", version: "13ubuntu10", kib: 400.0, depends: "", provides: &[], description: "Debian base system files", perf: NEUTRAL, essential: true, paths: &["/etc/debian_version", "/usr/share/base-files/motd"] },
+        PkgSpec { name: "libc6", version: "2.39-0ubuntu8", kib: 13_300.0, depends: "", provides: &["libc.so.6", "libm.so.6"], description: "GNU C Library: shared libraries", perf: lib(LibDomain::StdC, 1.0, false), essential: true, paths: &["/usr/lib/libc.so.6", "/usr/lib/libm.so.6", "/usr/lib/ld-linux.so.2"] },
+        PkgSpec { name: "libgcc-s1", version: "14-20240412-0ubuntu1", kib: 950.0, depends: "libc6", provides: &[], description: "GCC support library", perf: NEUTRAL, essential: true, paths: &["/usr/lib/libgcc_s.so.1"] },
+        PkgSpec { name: "libstdc++6", version: "14-20240412-0ubuntu1", kib: 2_850.0, depends: "libc6, libgcc-s1", provides: &["libstdc++.so.6"], description: "GNU Standard C++ Library v3", perf: lib(LibDomain::StdCxx, 1.0, false), essential: true, paths: &["/usr/lib/libstdc++.so.6"] },
+        PkgSpec { name: "bash", version: "5.2.21-2ubuntu4", kib: 7_200.0, depends: "libc6", provides: &["sh"], description: "GNU Bourne Again SHell", perf: NEUTRAL, essential: true, paths: &["/usr/bin/bash", "/usr/bin/sh"] },
+        PkgSpec { name: "coreutils", version: "9.4-3ubuntu6", kib: 18_500.0, depends: "libc6", provides: &[], description: "GNU core utilities", perf: NEUTRAL, essential: true, paths: &["/usr/bin/cp", "/usr/bin/ls", "/usr/bin/install", "/usr/bin/mkdir", "/usr/bin/cat"] },
+        PkgSpec { name: "dpkg", version: "1.22.6ubuntu6", kib: 6_900.0, depends: "libc6", provides: &[], description: "Debian package management system", perf: NEUTRAL, essential: true, paths: &["/usr/bin/dpkg", "/usr/bin/dpkg-query"] },
+        PkgSpec { name: "apt", version: "2.7.14", kib: 4_500.0, depends: "libc6, libstdc++6", provides: &[], description: "commandline package manager", perf: NEUTRAL, essential: true, paths: &["/usr/bin/apt", "/usr/bin/apt-get"] },
+        PkgSpec { name: "perl-base", version: "5.38.2-3.2", kib: 39_000.0, depends: "libc6", provides: &[], description: "minimal Perl system", perf: NEUTRAL, essential: true, paths: &["/usr/bin/perl", "/usr/lib/perl-base/libperl.so"] },
+        PkgSpec { name: "zlib1g", version: "1:1.3.dfsg-3.1ubuntu2", kib: 420.0, depends: "libc6", provides: &["libz.so.1"], description: "compression library - runtime", perf: lib(LibDomain::Compression, 1.0, false), essential: true, paths: &["/usr/lib/libz.so.1"] },
+        PkgSpec { name: "libssl3", version: "3.0.13-0ubuntu3", kib: 6_800.0, depends: "libc6", provides: &[], description: "Secure Sockets Layer toolkit", perf: NEUTRAL, essential: true, paths: &["/usr/lib/libssl.so.3", "/usr/lib/libcrypto.so.3"] },
+        PkgSpec { name: "tzdata", version: "2024a-2ubuntu1", kib: 11_900.0, depends: "", provides: &[], description: "time zone and daylight-saving time data", perf: NEUTRAL, essential: true, paths: &["/usr/share/zoneinfo/zone.tab", "/usr/share/zoneinfo/UTC"] },
+        PkgSpec { name: "util-linux", version: "2.39.3-9ubuntu6", kib: 12_100.0, depends: "libc6", provides: &[], description: "miscellaneous system utilities", perf: NEUTRAL, essential: true, paths: &["/usr/bin/mount", "/usr/bin/lsblk", "/usr/bin/setsid"] },
+        PkgSpec { name: "grep", version: "3.11-4", kib: 1_200.0, depends: "libc6", provides: &[], description: "GNU grep", perf: NEUTRAL, essential: true, paths: &["/usr/bin/grep"] },
+        PkgSpec { name: "sed", version: "4.9-2", kib: 980.0, depends: "libc6", provides: &[], description: "GNU stream editor", perf: NEUTRAL, essential: true, paths: &["/usr/bin/sed"] },
+        PkgSpec { name: "tar", version: "1.35+dfsg-3", kib: 2_800.0, depends: "libc6", provides: &[], description: "GNU version of the tar archiving utility", perf: NEUTRAL, essential: true, paths: &["/usr/bin/tar"] },
+        PkgSpec { name: "gzip", version: "1.12-1ubuntu3", kib: 750.0, depends: "libc6", provides: &[], description: "GNU compression utilities", perf: NEUTRAL, essential: true, paths: &["/usr/bin/gzip"] },
+        PkgSpec { name: "findutils", version: "4.9.0-5", kib: 1_900.0, depends: "libc6", provides: &[], description: "utilities for finding files", perf: NEUTRAL, essential: true, paths: &["/usr/bin/find", "/usr/bin/xargs"] },
+        PkgSpec { name: "libsystemd0", version: "255.4-1ubuntu8", kib: 2_100.0, depends: "libc6", provides: &[], description: "systemd utility library", perf: NEUTRAL, essential: true, paths: &["/usr/lib/libsystemd.so.0"] },
+        PkgSpec { name: "ca-certificates", version: "20240203", kib: 1_400.0, depends: "", provides: &[], description: "Common CA certificates", perf: NEUTRAL, essential: true, paths: &["/etc/ssl/certs/ca-certificates.crt"] },
+        PkgSpec { name: "ncurses-base", version: "6.4+20240113-1ubuntu2", kib: 6_700.0, depends: "", provides: &[], description: "basic terminal type definitions", perf: NEUTRAL, essential: true, paths: &["/usr/share/terminfo/x/xterm", "/usr/lib/libncursesw.so.6"] },
+        PkgSpec { name: "libpcre2-8-0", version: "10.42-4ubuntu2", kib: 1_600.0, depends: "libc6", provides: &[], description: "Perl 5 Compatible Regular Expression Library", perf: NEUTRAL, essential: true, paths: &["/usr/lib/libpcre2-8.so.0"] },
+        PkgSpec { name: "locales", version: "2.39-0ubuntu8", kib: 17_800.0, depends: "libc6", provides: &[], description: "GNU C Library: National Language (locale) data", perf: NEUTRAL, essential: true, paths: &["/usr/lib/locale/locale-archive", "/usr/share/i18n/SUPPORTED"] },
+        PkgSpec { name: "libgmp10", version: "2:6.3.0+dfsg-2ubuntu6", kib: 1_500.0, depends: "libc6", provides: &[], description: "Multiprecision arithmetic library", perf: NEUTRAL, essential: true, paths: &["/usr/lib/libgmp.so.10"] },
+    ]
+}
+
+/// Development packages (build-stage only: toolchain + headers).
+fn dev_specs() -> Vec<PkgSpec> {
+    vec![
+        PkgSpec { name: "binutils", version: "2.42-4ubuntu2", kib: 19_800.0, depends: "libc6", provides: &[], description: "GNU assembler, linker and binary utilities", perf: NEUTRAL, essential: false, paths: &["/usr/bin/ld", "/usr/bin/as", "/usr/bin/ar", "/usr/bin/ranlib", "/usr/bin/objcopy"] },
+        PkgSpec { name: "cpp-13", version: "13.2.0-23ubuntu4", kib: 11_500.0, depends: "libc6", provides: &[], description: "GNU C preprocessor", perf: NEUTRAL, essential: false, paths: &["/usr/bin/cpp-13", "/usr/libexec/gcc/cc1"] },
+        PkgSpec { name: "gcc-13", version: "13.2.0-23ubuntu4", kib: 52_000.0, depends: "libc6, binutils, cpp-13", provides: &["gcc", "cc"], description: "GNU C compiler", perf: NEUTRAL, essential: false, paths: &["/usr/bin/gcc-13", "/usr/bin/gcc", "/usr/bin/cc", "/usr/libexec/gcc/collect2"] },
+        PkgSpec { name: "g++-13", version: "13.2.0-23ubuntu4", kib: 15_000.0, depends: "gcc-13, libstdc++-13-dev", provides: &["g++", "c++"], description: "GNU C++ compiler", perf: NEUTRAL, essential: false, paths: &["/usr/bin/g++-13", "/usr/bin/g++", "/usr/bin/c++"] },
+        PkgSpec { name: "gfortran-13", version: "13.2.0-23ubuntu4", kib: 14_200.0, depends: "gcc-13", provides: &["gfortran", "fortran-compiler"], description: "GNU Fortran compiler", perf: NEUTRAL, essential: false, paths: &["/usr/bin/gfortran-13", "/usr/bin/gfortran"] },
+        PkgSpec { name: "make", version: "4.3-4.1", kib: 1_300.0, depends: "libc6", provides: &[], description: "utility for directing compilation", perf: NEUTRAL, essential: false, paths: &["/usr/bin/make"] },
+        PkgSpec { name: "libc6-dev", version: "2.39-0ubuntu8", kib: 9_800.0, depends: "libc6", provides: &[], description: "GNU C Library: development files", perf: NEUTRAL, essential: false, paths: &["/usr/include/stdio.h", "/usr/include/stdlib.h", "/usr/include/math.h", "/usr/lib/libc.a", "/usr/lib/libm.a", "/usr/lib/crt1.o"] },
+        PkgSpec { name: "libstdc++-13-dev", version: "13.2.0-23ubuntu4", kib: 16_900.0, depends: "libstdc++6, libc6-dev", provides: &[], description: "GNU Standard C++ Library: development files", perf: NEUTRAL, essential: false, paths: &["/usr/include/c++/13/vector", "/usr/include/c++/13/iostream", "/usr/lib/libstdc++.a"] },
+        PkgSpec { name: "pkg-config", version: "1.8.1-2", kib: 300.0, depends: "libc6", provides: &[], description: "manage compile and link flags for libraries", perf: NEUTRAL, essential: false, paths: &["/usr/bin/pkg-config"] },
+        PkgSpec { name: "cmake", version: "3.28.3-1", kib: 32_000.0, depends: "libc6, libstdc++6", provides: &[], description: "cross-platform, open-source make system", perf: NEUTRAL, essential: false, paths: &["/usr/bin/cmake", "/usr/bin/ctest", "/usr/share/cmake-3.28/Modules/CMakeLists.txt"] },
+    ]
+}
+
+/// Generic runtime/HPC libraries (quality 1.0: the user-side defaults whose
+/// replacement by vendor stacks is the `libo` optimization of Figure 3).
+fn hpc_specs() -> Vec<PkgSpec> {
+    vec![
+        PkgSpec { name: "libgomp1", version: "14-20240412-0ubuntu1", kib: 350.0, depends: "libc6", provides: &["libgomp.so.1"], description: "GCC OpenMP (GOMP) support library", perf: NEUTRAL, essential: false, paths: &["/usr/lib/libgomp.so.1"] },
+        PkgSpec { name: "libopenblas0", version: "0.3.26+ds-1", kib: 11_700.0, depends: "libc6, libgfortran5", provides: &["libblas.so.3", "liblapack.so.3", "blas-implementation"], description: "Optimized BLAS (generic kernels)", perf: lib(LibDomain::Blas, 1.0, false), essential: false, paths: &["/usr/lib/libopenblas.so.0"] },
+        PkgSpec { name: "libgfortran5", version: "14-20240412-0ubuntu1", kib: 1_700.0, depends: "libc6", provides: &[], description: "Runtime library for GNU Fortran applications", perf: NEUTRAL, essential: false, paths: &["/usr/lib/libgfortran.so.5"] },
+        PkgSpec { name: "mpich", version: "4.2.0-5build1", kib: 8_400.0, depends: "libc6, libgfortran5", provides: &["mpi", "libmpi.so.12", "mpi-dev"], description: "Implementation of the MPI Message Passing Interface standard", perf: lib(LibDomain::Mpi, 1.0, false), essential: false, paths: &["/usr/bin/mpicc", "/usr/bin/mpicxx", "/usr/bin/mpirun", "/usr/lib/libmpi.so.12"] },
+        PkgSpec { name: "libfftw3-double3", version: "3.3.10-1ubuntu3", kib: 4_900.0, depends: "libc6", provides: &["libfftw3.so.3", "fftw-implementation"], description: "Library for computing Fast Fourier Transforms", perf: lib(LibDomain::Fft, 1.0, false), essential: false, paths: &["/usr/lib/libfftw3.so.3"] },
+        PkgSpec { name: "liblapack3", version: "3.12.0-3build1", kib: 7_300.0, depends: "libc6, libgfortran5", provides: &["lapack-implementation"], description: "Library of linear algebra routines", perf: lib(LibDomain::Blas, 1.0, false), essential: false, paths: &["/usr/lib/liblapack.so.3"] },
+    ]
+}
+
+/// Vendor stack for the x86-64 system (Intel-Xeon-like: mature vendor
+/// libraries, large BLAS/math gains, high-speed-network MPI).
+fn vendor_x86_specs() -> Vec<PkgSpec> {
+    vec![
+        PkgSpec { name: "libc6", version: "2.39-0ubuntu8vendor1", kib: 14_100.0, depends: "", provides: &["libc.so.6", "libm.so.6"], description: "Vendor-tuned C/math library (AVX-512 kernels)", perf: lib(LibDomain::StdC, 1.30, false), essential: false, paths: &["/usr/lib/libc.so.6", "/usr/lib/libm.so.6", "/usr/lib/ld-linux.so.2"] },
+        PkgSpec { name: "libstdc++6", version: "14-20240412-0ubuntu1vendor1", kib: 3_000.0, depends: "libc6", provides: &["libstdc++.so.6"], description: "Vendor-tuned C++ runtime", perf: lib(LibDomain::StdCxx, 1.20, false), essential: false, paths: &["/usr/lib/libstdc++.so.6"] },
+        PkgSpec { name: "libopenblas0", version: "0.3.26+ds-1vendor1", kib: 24_000.0, depends: "libc6", provides: &["libblas.so.3", "liblapack.so.3", "blas-implementation"], description: "Vendor math kernel library (MKL-like)", perf: lib(LibDomain::Blas, 1.70, false), essential: false, paths: &["/usr/lib/libopenblas.so.0"] },
+        PkgSpec { name: "liblapack3", version: "3.12.0-3vendor1", kib: 9_000.0, depends: "libc6", provides: &["lapack-implementation"], description: "Vendor LAPACK", perf: lib(LibDomain::Blas, 1.70, false), essential: false, paths: &["/usr/lib/liblapack.so.3"] },
+        PkgSpec { name: "mpich", version: "4.2.0-5vendor1", kib: 15_500.0, depends: "libc6", provides: &["mpi", "libmpi.so.12", "mpi-dev"], description: "Vendor MPI with high-speed-network (HSN) plugins", perf: lib(LibDomain::Mpi, 1.6, true), essential: false, paths: &["/usr/bin/mpicc", "/usr/bin/mpicxx", "/usr/bin/mpirun", "/usr/lib/libmpi.so.12", "/usr/lib/libhsn-plugin.so"] },
+        PkgSpec { name: "libfftw3-double3", version: "3.3.10-1vendor1", kib: 6_200.0, depends: "libc6", provides: &["libfftw3.so.3", "fftw-implementation"], description: "Vendor FFT with AVX-512 codelets", perf: lib(LibDomain::Fft, 1.65, false), essential: false, paths: &["/usr/lib/libfftw3.so.3"] },
+        PkgSpec { name: "libgomp1", version: "14-20240412vendor1", kib: 400.0, depends: "libc6", provides: &["libgomp.so.1"], description: "Vendor OpenMP runtime", perf: NEUTRAL, essential: false, paths: &["/usr/lib/libgomp.so.1"] },
+    ]
+}
+
+/// Vendor stack for the AArch64 system (Phytium FT-2000+-like: younger
+/// ecosystem, smaller but still decisive gains; interconnect plugin is the
+/// big one).
+fn vendor_arm_specs() -> Vec<PkgSpec> {
+    vec![
+        PkgSpec { name: "libc6", version: "2.39-0ubuntu8vendor1", kib: 13_000.0, depends: "", provides: &["libc.so.6", "libm.so.6"], description: "Vendor-tuned C/math library (NEON/SVE kernels)", perf: lib(LibDomain::StdC, 1.45, false), essential: false, paths: &["/usr/lib/libc.so.6", "/usr/lib/libm.so.6", "/usr/lib/ld-linux-aarch64.so.1"] },
+        PkgSpec { name: "libstdc++6", version: "14-20240412-0ubuntu1vendor1", kib: 2_900.0, depends: "libc6", provides: &["libstdc++.so.6"], description: "Vendor-tuned C++ runtime", perf: lib(LibDomain::StdCxx, 1.3, false), essential: false, paths: &["/usr/lib/libstdc++.so.6"] },
+        PkgSpec { name: "libopenblas0", version: "0.3.26+ds-1vendor1", kib: 18_000.0, depends: "libc6", provides: &["libblas.so.3", "liblapack.so.3", "blas-implementation"], description: "Vendor BLAS tuned for FT-2000+", perf: lib(LibDomain::Blas, 1.6, false), essential: false, paths: &["/usr/lib/libopenblas.so.0"] },
+        PkgSpec { name: "liblapack3", version: "3.12.0-3vendor1", kib: 8_000.0, depends: "libc6", provides: &["lapack-implementation"], description: "Vendor LAPACK", perf: lib(LibDomain::Blas, 1.6, false), essential: false, paths: &["/usr/lib/liblapack.so.3"] },
+        PkgSpec { name: "mpich", version: "4.2.0-5vendor1", kib: 14_000.0, depends: "libc6", provides: &["mpi", "libmpi.so.12", "mpi-dev"], description: "Vendor MPI with proprietary interconnect plugins", perf: lib(LibDomain::Mpi, 1.8, true), essential: false, paths: &["/usr/bin/mpicc", "/usr/bin/mpicxx", "/usr/bin/mpirun", "/usr/lib/libmpi.so.12", "/usr/lib/libglex-plugin.so"] },
+        PkgSpec { name: "libfftw3-double3", version: "3.3.10-1vendor1", kib: 5_500.0, depends: "libc6", provides: &["libfftw3.so.3", "fftw-implementation"], description: "Vendor FFT with NEON codelets", perf: lib(LibDomain::Fft, 1.5, false), essential: false, paths: &["/usr/lib/libfftw3.so.3"] },
+        PkgSpec { name: "libgomp1", version: "14-20240412vendor1", kib: 380.0, depends: "libc6", provides: &["libgomp.so.1"], description: "Vendor OpenMP runtime", perf: NEUTRAL, essential: false, paths: &["/usr/lib/libgomp.so.1"] },
+    ]
+}
+
+fn build_repo(name: &str, specs: &[Vec<PkgSpec>], isa: &str, scale: f64) -> Repository {
+    let mut r = Repository::new(name);
+    for group in specs {
+        for s in group {
+            r.add(s.build(isa, scale));
+        }
+    }
+    r
+}
+
+/// The generic distro repository for an ISA at test scale.
+pub fn generic_repo(isa: &str) -> Repository {
+    generic_repo_scaled(isa, MINI_SCALE)
+}
+
+/// The generic distro repository at an explicit payload scale.
+pub fn generic_repo_scaled(isa: &str, scale: f64) -> Repository {
+    build_repo(
+        "nebula-generic",
+        &[base_specs(), dev_specs(), hpc_specs()],
+        isa,
+        scale,
+    )
+}
+
+/// The vendor repository for a target system at an explicit payload scale.
+/// `isa` must be `x86_64` or `aarch64`.
+pub fn vendor_repo_scaled(isa: &str, scale: f64) -> Repository {
+    let specs = match isa {
+        "aarch64" => vendor_arm_specs(),
+        _ => vendor_x86_specs(),
+    };
+    build_repo(&format!("{isa}-vendor"), &[specs], isa, scale)
+}
+
+/// The vendor repository at test scale.
+pub fn vendor_repo(isa: &str) -> Repository {
+    vendor_repo_scaled(isa, MINI_SCALE)
+}
+
+/// Combined system-side repository: distro overlaid with the vendor stack,
+/// so resolution prefers vendor builds (same names, newer versions).
+pub fn system_repo_scaled(isa: &str, scale: f64) -> Repository {
+    let mut r = generic_repo_scaled(isa, scale);
+    r.merge(&vendor_repo_scaled(isa, scale));
+    r.name = format!("{isa}-system");
+    r
+}
+
+/// Combined system-side repository at test scale.
+pub fn system_repo(isa: &str) -> Repository {
+    system_repo_scaled(isa, MINI_SCALE)
+}
+
+/// Names of the packages pre-installed in distro base images.
+pub fn base_package_names() -> Vec<&'static str> {
+    base_specs().iter().map(|s| s.name).collect()
+}
+
+/// Names of the development packages added in `Env` (build-stage) images.
+pub fn dev_package_names() -> Vec<&'static str> {
+    dev_specs().iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dep::Dependency;
+    use crate::resolver::resolve_install;
+
+    #[test]
+    fn synth_bytes_deterministic_and_sized() {
+        let a = synth_bytes("seed", 1000);
+        let b = synth_bytes("seed", 1000);
+        let c = synth_bytes("other", 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn repos_have_expected_shape() {
+        let g = generic_repo("x86_64");
+        assert!(g.len() > 30);
+        assert!(g.latest("gcc-13").is_some());
+        assert!(g.latest("libopenblas0").is_some());
+        let v = vendor_repo("x86_64");
+        assert!(v.latest("mpich").unwrap().perf.native_interconnect);
+    }
+
+    #[test]
+    fn system_repo_prefers_vendor_versions() {
+        let s = system_repo("x86_64");
+        let blas = s.latest("libopenblas0").unwrap();
+        assert!(blas.version.to_string().contains("vendor"));
+        assert!(blas.perf.quality > 1.5);
+        // Generic version still available for constraint-pinned requests.
+        assert_eq!(s.versions("libopenblas0").len(), 2);
+    }
+
+    #[test]
+    fn vendor_arm_differs_from_x86() {
+        let x = vendor_repo("x86_64").latest("libopenblas0").unwrap().perf.quality;
+        let a = vendor_repo("aarch64").latest("libopenblas0").unwrap().perf.quality;
+        assert!(x > a, "x86 vendor BLAS more mature ({x} vs {a})");
+    }
+
+    #[test]
+    fn base_stack_resolves_and_sizes_scale() {
+        let g = generic_repo_scaled("x86_64", 1.0);
+        let deps: Vec<Dependency> = base_package_names()
+            .iter()
+            .map(|n| n.parse().unwrap())
+            .collect();
+        let pkgs = resolve_install(&g, &deps).unwrap();
+        let total: u64 = pkgs.iter().map(|p| p.installed_size()).sum();
+        let mib = total as f64 / (1024.0 * 1024.0);
+        // Calibration target: base stack ≈ 135-160 MiB on x86-64.
+        assert!((120.0..180.0).contains(&mib), "x86 base stack {mib:.1} MiB");
+
+        let ga = generic_repo_scaled("aarch64", 1.0);
+        let pkgs_a = resolve_install(&ga, &deps).unwrap();
+        let total_a: u64 = pkgs_a.iter().map(|p| p.installed_size()).sum();
+        assert!(total_a < total, "aarch64 stack smaller than x86");
+    }
+
+    #[test]
+    fn dpkg_arch_mapping() {
+        assert_eq!(dpkg_arch("x86_64"), "amd64");
+        assert_eq!(dpkg_arch("aarch64"), "arm64");
+        assert_eq!(dpkg_arch("riscv"), "all");
+    }
+
+    #[test]
+    fn mini_scale_payloads_are_small() {
+        let g = generic_repo("x86_64");
+        let gcc = g.latest("gcc-13").unwrap();
+        assert!(gcc.installed_size() < 1024 * 1024);
+    }
+
+    #[test]
+    fn dev_stack_resolves_on_top_of_base() {
+        let g = generic_repo("aarch64");
+        let deps: Vec<Dependency> = dev_package_names()
+            .iter()
+            .map(|n| n.parse().unwrap())
+            .collect();
+        let pkgs = resolve_install(&g, &deps).unwrap();
+        assert!(pkgs.iter().any(|p| p.name == "g++-13"));
+        assert!(pkgs.iter().any(|p| p.name == "binutils"));
+    }
+}

@@ -1,0 +1,68 @@
+//! dpkg/apt-style package management simulation.
+//!
+//! coMtainer "relies on the package manager of the base image to analyze the
+//! application software stack" (paper §4.6): the image model learns which
+//! files belong to which package from the dpkg database inside the image,
+//! and the system side substitutes generic packages with optimized
+//! equivalents from the target system's repositories. This crate reproduces
+//! the data model those steps need:
+//!
+//! * [`version`] — the Debian version-ordering algorithm (epoch, `~`, digit
+//!   runs), required for candidate selection,
+//! * [`dep`] — dependency expressions (`libfoo (>= 1.2), libbar | libbaz`),
+//! * [`Package`] / [`Repository`] — package metadata, file payloads and the
+//!   per-system repositories (generic distro, x86-64 vendor, AArch64 vendor),
+//! * [`resolver`] — install-closure resolution with virtual packages,
+//! * [`status`] — the `/var/lib/dpkg/status` + `info/<pkg>.list` database:
+//!   installing packages into a [`comt_vfs::Vfs`] and parsing the database
+//!   back out of an image.
+//!
+//! Optimized packages carry a [`PerfTraits`] record (library domain and a
+//! quality factor) consumed by the performance model when a rebuilt image
+//! links against them.
+
+pub mod catalog;
+pub mod dep;
+pub mod package;
+pub mod repo;
+pub mod resolver;
+pub mod rpm;
+pub mod status;
+pub mod version;
+
+pub use dep::{DepError, Dependency, DependencyList, VersionConstraint};
+pub use package::{LibDomain, Package, PackageFile, PerfTraits};
+pub use repo::Repository;
+pub use resolver::{resolve_install, ResolveError};
+pub use status::{installed_packages, install_packages, owner_index, InstallError, StatusRecord};
+pub use rpm::{is_rpm_image, rpm_evr_cmp, rpm_installed_packages, rpm_install_packages, rpm_owner_index, rpmvercmp, RpmRecord};
+pub use version::{cmp_versions, Version};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comt_vfs::Vfs;
+
+    #[test]
+    fn end_to_end_install_and_introspect() {
+        let repo = catalog::generic_repo("x86_64");
+        let names = resolve_install(&repo, &["gcc-13".parse::<Dependency>().unwrap()]).unwrap();
+        assert!(names.iter().any(|p| p.name == "gcc-13"));
+        assert!(names.iter().any(|p| p.name == "libc6"));
+
+        let mut fs = Vfs::new();
+        install_packages(&mut fs, &names).unwrap();
+
+        // The dpkg database can be read back from the filesystem.
+        let installed = installed_packages(&fs).unwrap();
+        assert!(installed.iter().any(|r| r.package == "gcc-13"));
+
+        // And the owner index maps files back to packages.
+        let owners = owner_index(&fs).unwrap();
+        let (_path, owner) = owners
+            .iter()
+            .find(|(p, _)| p.contains("gcc-13"))
+            .expect("gcc files present");
+        assert_eq!(owner, "gcc-13");
+    }
+}

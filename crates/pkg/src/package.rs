@@ -1,0 +1,186 @@
+//! Package metadata and payload model.
+
+use crate::dep::DependencyList;
+use crate::version::Version;
+use bytes::Bytes;
+
+/// Which performance-relevant library domain a package implements.
+///
+/// The performance model uses this to decide which part of a workload's
+/// runtime a package-replacement optimization affects (e.g. swapping the
+/// generic BLAS for a vendor BLAS accelerates the BLAS-bound fraction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LibDomain {
+    /// C standard library / math library.
+    StdC,
+    /// C++ standard library.
+    StdCxx,
+    /// Dense linear algebra (BLAS/LAPACK).
+    Blas,
+    /// MPI communication library.
+    Mpi,
+    /// Compression (zlib-style).
+    Compression,
+    /// FFT library.
+    Fft,
+    /// Not performance-relevant (toolchain, data, misc).
+    None,
+}
+
+/// Performance traits of a package, consumed by `comt-perfsim`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfTraits {
+    /// Domain the package accelerates.
+    pub domain: LibDomain,
+    /// Relative speed of this implementation vs the generic baseline
+    /// (1.0 = generic; vendor-optimized packages are > 1).
+    pub quality: f64,
+    /// For MPI packages: whether the implementation can drive the system's
+    /// high-speed interconnect (vendor plugins). Generic MPI falls back to
+    /// the slow transport, the root cause of the paper's LULESH anomaly.
+    pub native_interconnect: bool,
+}
+
+impl Default for PerfTraits {
+    fn default() -> Self {
+        PerfTraits {
+            domain: LibDomain::None,
+            quality: 1.0,
+            native_interconnect: false,
+        }
+    }
+}
+
+/// One file installed by a package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageFile {
+    /// Absolute install path.
+    pub path: String,
+    /// File content (synthesized deterministically by the catalog).
+    pub content: Bytes,
+    /// POSIX mode bits.
+    pub mode: u32,
+}
+
+impl PackageFile {
+    pub fn new(path: impl Into<String>, content: impl Into<Bytes>, mode: u32) -> Self {
+        PackageFile {
+            path: path.into(),
+            content: content.into(),
+            mode,
+        }
+    }
+}
+
+/// A package: metadata plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Package {
+    pub name: String,
+    pub version: Version,
+    /// dpkg architecture string (`amd64`, `arm64`, `all`).
+    pub architecture: String,
+    pub depends: DependencyList,
+    /// Virtual package names this package provides.
+    pub provides: Vec<String>,
+    pub description: String,
+    pub files: Vec<PackageFile>,
+    /// Performance traits for the simulator.
+    pub perf: PerfTraits,
+    /// Whether this package is part of the minimal base system (pre-installed
+    /// in base images, `Priority: essential` in dpkg terms).
+    pub essential: bool,
+}
+
+impl Package {
+    /// Builder-style constructor with empty payload.
+    pub fn new(name: &str, version: &str, architecture: &str) -> Self {
+        Package {
+            name: name.to_string(),
+            version: Version::new(version),
+            architecture: architecture.to_string(),
+            depends: Vec::new(),
+            provides: Vec::new(),
+            description: String::new(),
+            files: Vec::new(),
+            perf: PerfTraits::default(),
+            essential: false,
+        }
+    }
+
+    pub fn with_depends(mut self, deps: &str) -> Self {
+        self.depends = crate::dep::parse_list(deps).expect("valid depends in catalog");
+        self
+    }
+
+    pub fn with_provides(mut self, provides: &[&str]) -> Self {
+        self.provides = provides.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn with_description(mut self, d: &str) -> Self {
+        self.description = d.to_string();
+        self
+    }
+
+    pub fn with_file(mut self, f: PackageFile) -> Self {
+        self.files.push(f);
+        self
+    }
+
+    pub fn with_perf(mut self, perf: PerfTraits) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    pub fn essential(mut self) -> Self {
+        self.essential = true;
+        self
+    }
+
+    /// Total payload bytes.
+    pub fn installed_size(&self) -> u64 {
+        self.files.iter().map(|f| f.content.len() as u64).sum()
+    }
+
+    /// Whether this package satisfies the named (possibly virtual) package.
+    pub fn satisfies_name(&self, name: &str) -> bool {
+        self.name == name || self.provides.iter().any(|p| p == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let p = Package::new("libblas3", "3.12.0-1", "amd64")
+            .with_depends("libc6 (>= 2.38)")
+            .with_provides(&["libblas.so.3"])
+            .with_description("Basic Linear Algebra Subroutines")
+            .with_file(PackageFile::new(
+                "/usr/lib/libblas.so.3",
+                Bytes::from_static(b"BLAS"),
+                0o644,
+            ))
+            .with_perf(PerfTraits {
+                domain: LibDomain::Blas,
+                quality: 1.0,
+                native_interconnect: false,
+            });
+        assert_eq!(p.installed_size(), 4);
+        assert!(p.satisfies_name("libblas3"));
+        assert!(p.satisfies_name("libblas.so.3"));
+        assert!(!p.satisfies_name("liblapack3"));
+        assert_eq!(p.depends.len(), 1);
+    }
+
+    #[test]
+    fn default_perf_is_neutral() {
+        let p = Package::new("coreutils", "9.4-1", "amd64");
+        assert_eq!(p.perf.domain, LibDomain::None);
+        assert_eq!(p.perf.quality, 1.0);
+        assert!(!p.perf.native_interconnect);
+        assert!(!p.essential);
+    }
+}

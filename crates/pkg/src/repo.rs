@@ -1,0 +1,166 @@
+//! Package repositories: indexed collections of packages.
+
+use crate::dep::SimpleDep;
+use crate::package::Package;
+use std::collections::BTreeMap;
+
+/// A repository: packages indexed by name, multiple versions per name, plus
+/// a virtual-package (provides) index.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    /// Human name, e.g. `ubuntu24-generic` or `x86-vendor`.
+    pub name: String,
+    by_name: BTreeMap<String, Vec<Package>>,
+    /// virtual name → concrete provider names.
+    provides: BTreeMap<String, Vec<String>>,
+}
+
+impl Repository {
+    pub fn new(name: &str) -> Self {
+        Repository {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a package (versions kept sorted, newest last).
+    pub fn add(&mut self, pkg: Package) {
+        for v in &pkg.provides {
+            let entry = self.provides.entry(v.clone()).or_default();
+            if !entry.contains(&pkg.name) {
+                entry.push(pkg.name.clone());
+            }
+        }
+        let versions = self.by_name.entry(pkg.name.clone()).or_default();
+        versions.push(pkg);
+        versions.sort_by(|a, b| a.version.cmp(&b.version));
+    }
+
+    /// Merge all packages from another repository (overlay, e.g. vendor repo
+    /// on top of the distro repo). Later-added versions win ties.
+    pub fn merge(&mut self, other: &Repository) {
+        for pkgs in other.by_name.values() {
+            for p in pkgs {
+                self.add(p.clone());
+            }
+        }
+    }
+
+    /// Number of distinct package names.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// All package names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect()
+    }
+
+    /// Newest version of a concrete package name.
+    pub fn latest(&self, name: &str) -> Option<&Package> {
+        self.by_name.get(name).and_then(|v| v.last())
+    }
+
+    /// All versions of a name, oldest → newest.
+    pub fn versions(&self, name: &str) -> &[Package] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Best candidate for a dependency alternative: the newest version of
+    /// the named package satisfying the constraint, falling back to virtual
+    /// providers (newest of the first provider name).
+    pub fn candidate(&self, dep: &SimpleDep) -> Option<&Package> {
+        if let Some(versions) = self.by_name.get(&dep.name) {
+            if let Some(best) = versions
+                .iter()
+                .rev()
+                .find(|p| dep.matches(&p.name, &p.version))
+            {
+                return Some(best);
+            }
+        }
+        // Virtual packages: constraints on virtual names are unsatisfiable
+        // by policy (providers have unrelated versions), so only
+        // unconstrained deps match.
+        if dep.constraint.is_none() {
+            if let Some(providers) = self.provides.get(&dep.name) {
+                for provider in providers {
+                    if let Some(p) = self.latest(provider) {
+                        return Some(p);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dep::Dependency;
+
+    fn repo() -> Repository {
+        let mut r = Repository::new("test");
+        r.add(Package::new("libfoo", "1.0-1", "amd64"));
+        r.add(Package::new("libfoo", "2.0-1", "amd64"));
+        r.add(Package::new("mpich", "4.1-2", "amd64").with_provides(&["mpi"]));
+        r
+    }
+
+    fn dep(s: &str) -> SimpleDep {
+        s.parse::<Dependency>().unwrap().alternatives[0].clone()
+    }
+
+    #[test]
+    fn latest_picks_newest() {
+        let r = repo();
+        assert_eq!(r.latest("libfoo").unwrap().version.upstream, "2.0");
+    }
+
+    #[test]
+    fn candidate_respects_constraint() {
+        let r = repo();
+        assert_eq!(
+            r.candidate(&dep("libfoo (<< 2.0)")).unwrap().version.upstream,
+            "1.0"
+        );
+        assert_eq!(
+            r.candidate(&dep("libfoo (>= 1.5)")).unwrap().version.upstream,
+            "2.0"
+        );
+        assert!(r.candidate(&dep("libfoo (>> 9.0)")).is_none());
+    }
+
+    #[test]
+    fn candidate_via_provides() {
+        let r = repo();
+        assert_eq!(r.candidate(&dep("mpi")).unwrap().name, "mpich");
+        // Constrained virtual deps don't match.
+        assert!(r.candidate(&dep("mpi (>= 1)")).is_none());
+    }
+
+    #[test]
+    fn merge_overlays() {
+        let mut base = repo();
+        let mut vendor = Repository::new("vendor");
+        vendor.add(Package::new("libfoo", "2.0-1vendor1", "amd64"));
+        base.merge(&vendor);
+        assert_eq!(
+            base.latest("libfoo").unwrap().version.to_string(),
+            "2.0-1vendor1"
+        );
+        assert_eq!(base.versions("libfoo").len(), 3);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let r = repo();
+        assert_eq!(r.names(), vec!["libfoo", "mpich"]);
+        assert_eq!(r.len(), 2);
+    }
+}

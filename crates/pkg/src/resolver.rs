@@ -1,0 +1,239 @@
+//! Install-closure resolution.
+//!
+//! Given a set of requested dependencies and a repository, compute the full
+//! set of packages to install, following `Depends:` transitively, choosing
+//! the first satisfiable alternative, and supporting virtual packages. The
+//! result is returned in dependency order (dependencies before dependents)
+//! so installation can proceed linearly.
+
+use crate::dep::Dependency;
+use crate::package::Package;
+use crate::repo::Repository;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No candidate in the repository satisfies any alternative.
+    Unsatisfiable {
+        dependency: String,
+        required_by: String,
+    },
+    /// Two resolved packages claim the same name at different versions.
+    VersionConflict {
+        package: String,
+        first: String,
+        second: String,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Unsatisfiable {
+                dependency,
+                required_by,
+            } => write!(f, "unsatisfiable dependency {dependency} (required by {required_by})"),
+            ResolveError::VersionConflict {
+                package,
+                first,
+                second,
+            } => write!(f, "version conflict on {package}: {first} vs {second}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Resolve the install closure of `requested` against `repo`.
+pub fn resolve_install(
+    repo: &Repository,
+    requested: &[Dependency],
+) -> Result<Vec<Package>, ResolveError> {
+    let mut chosen: BTreeMap<String, Package> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut visiting: BTreeSet<String> = BTreeSet::new();
+
+    fn visit(
+        repo: &Repository,
+        dep: &Dependency,
+        required_by: &str,
+        chosen: &mut BTreeMap<String, Package>,
+        order: &mut Vec<String>,
+        visiting: &mut BTreeSet<String>,
+    ) -> Result<(), ResolveError> {
+        // Already satisfied by a chosen package?
+        for alt in &dep.alternatives {
+            if let Some(existing) = chosen
+                .values()
+                .find(|p| p.satisfies_name(&alt.name))
+            {
+                if alt.matches(&existing.name, &existing.version)
+                    || existing.provides.iter().any(|v| v == &alt.name)
+                {
+                    return Ok(());
+                }
+                // Same name but constraint violated → conflict.
+                if existing.name == alt.name {
+                    if let Some(c) = &alt.constraint {
+                        return Err(ResolveError::VersionConflict {
+                            package: alt.name.clone(),
+                            first: existing.version.to_string(),
+                            second: format!("{} {}", c.op, c.version),
+                        });
+                    }
+                }
+            }
+        }
+        // Pick the first alternative with a candidate.
+        let candidate = dep
+            .alternatives
+            .iter()
+            .find_map(|alt| repo.candidate(alt))
+            .ok_or_else(|| ResolveError::Unsatisfiable {
+                dependency: dep.to_string(),
+                required_by: required_by.to_string(),
+            })?
+            .clone();
+
+        if visiting.contains(&candidate.name) {
+            // Dependency cycle (dpkg tolerates these); the package is
+            // already being processed, so just let the cycle close.
+            return Ok(());
+        }
+        visiting.insert(candidate.name.clone());
+        for d in candidate.depends.clone() {
+            visit(repo, &d, &candidate.name, chosen, order, visiting)?;
+        }
+        visiting.remove(&candidate.name);
+
+        if !chosen.contains_key(&candidate.name) {
+            order.push(candidate.name.clone());
+            chosen.insert(candidate.name.clone(), candidate);
+        }
+        Ok(())
+    }
+
+    for dep in requested {
+        visit(repo, dep, "(user request)", &mut chosen, &mut order, &mut visiting)?;
+    }
+
+    Ok(order
+        .into_iter()
+        .map(|n| chosen.remove(&n).expect("ordered name chosen"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(s: &str) -> Dependency {
+        s.parse().unwrap()
+    }
+
+    fn repo() -> Repository {
+        let mut r = Repository::new("t");
+        r.add(Package::new("libc6", "2.39-1", "amd64"));
+        r.add(Package::new("libstdc++6", "13.2-1", "amd64").with_depends("libc6 (>= 2.30)"));
+        r.add(
+            Package::new("gcc-13", "13.2-1", "amd64")
+                .with_depends("libc6 (>= 2.30), binutils"),
+        );
+        r.add(Package::new("binutils", "2.42-1", "amd64").with_depends("libc6"));
+        r.add(
+            Package::new("mpich", "4.1-2", "amd64")
+                .with_depends("libc6")
+                .with_provides(&["mpi"]),
+        );
+        r.add(
+            Package::new("openmpi", "4.1.6-1", "amd64")
+                .with_depends("libc6")
+                .with_provides(&["mpi"]),
+        );
+        r
+    }
+
+    #[test]
+    fn closure_is_dependency_ordered() {
+        let got = resolve_install(&repo(), &[dep("gcc-13")]).unwrap();
+        let names: Vec<&str> = got.iter().map(|p| p.name.as_str()).collect();
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("libc6") < pos("binutils"));
+        assert!(pos("binutils") < pos("gcc-13"));
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let got = resolve_install(&repo(), &[dep("gcc-13"), dep("libstdc++6")]).unwrap();
+        let mut names: Vec<&str> = got.iter().map(|p| p.name.as_str()).collect();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        // libc6 appears exactly once despite being required 3 times.
+        assert_eq!(got.iter().filter(|p| p.name == "libc6").count(), 1);
+    }
+
+    #[test]
+    fn virtual_package_resolved() {
+        let got = resolve_install(&repo(), &[dep("mpi")]).unwrap();
+        assert!(got.iter().any(|p| p.provides.contains(&"mpi".to_string())));
+    }
+
+    #[test]
+    fn alternative_fallback() {
+        let got = resolve_install(&repo(), &[dep("nonexistent | gcc-13")]).unwrap();
+        assert!(got.iter().any(|p| p.name == "gcc-13"));
+    }
+
+    #[test]
+    fn virtual_already_satisfied_not_duplicated() {
+        let got = resolve_install(&repo(), &[dep("mpich"), dep("mpi")]).unwrap();
+        // mpich provides mpi; openmpi must not be pulled.
+        assert!(got.iter().any(|p| p.name == "mpich"));
+        assert!(!got.iter().any(|p| p.name == "openmpi"));
+    }
+
+    #[test]
+    fn unsatisfiable_reports_chain() {
+        let err = resolve_install(&repo(), &[dep("no-such-pkg")]).unwrap_err();
+        match err {
+            ResolveError::Unsatisfiable {
+                dependency,
+                required_by,
+            } => {
+                assert_eq!(dependency, "no-such-pkg");
+                assert_eq!(required_by, "(user request)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_transitive() {
+        let mut r = repo();
+        r.add(Package::new("broken", "1.0", "amd64").with_depends("ghost-lib"));
+        let err = resolve_install(&r, &[dep("broken")]).unwrap_err();
+        assert!(matches!(err, ResolveError::Unsatisfiable { required_by, .. } if required_by == "broken"));
+    }
+
+    #[test]
+    fn version_conflict_detected() {
+        let mut r = repo();
+        r.add(Package::new("appA", "1.0", "amd64").with_depends("libc6 (>= 2.30)"));
+        r.add(Package::new("appB", "1.0", "amd64").with_depends("libc6 (<< 2.0)"));
+        let err = resolve_install(&r, &[dep("appA"), dep("appB")]).unwrap_err();
+        // libc6 2.39 chosen for appA violates appB's << 2.0.
+        assert!(matches!(err, ResolveError::VersionConflict { .. }));
+    }
+
+    #[test]
+    fn dependency_cycle_tolerated() {
+        let mut r = Repository::new("cyc");
+        r.add(Package::new("a", "1.0", "amd64").with_depends("b"));
+        r.add(Package::new("b", "1.0", "amd64").with_depends("a"));
+        let got = resolve_install(&r, &[dep("a")]).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Debian version comparison (deb-version(7)).
+//!
+//! A version is `[epoch:]upstream[-revision]`. Comparison walks alternating
+//! non-digit / digit runs; in non-digit runs `~` sorts before everything
+//! (including the empty string), letters sort before non-letters, and
+//! otherwise byte order applies.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed Debian version.
+///
+/// Equality follows the comparison algorithm (so `1.02 == 1.2`), keeping
+/// `Eq` consistent with `Ord` as the trait contract requires.
+#[derive(Debug, Clone)]
+pub struct Version {
+    pub epoch: u32,
+    pub upstream: String,
+    pub revision: String,
+}
+
+impl PartialEq for Version {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_versions(self, other) == Ordering::Equal
+    }
+}
+
+impl Eq for Version {}
+
+impl Version {
+    pub fn new(s: &str) -> Self {
+        s.parse().expect("infallible")
+    }
+}
+
+impl FromStr for Version {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (epoch, rest) = match s.find(':') {
+            Some(i) if s[..i].chars().all(|c| c.is_ascii_digit()) && i > 0 => {
+                (s[..i].parse().unwrap_or(0), &s[i + 1..])
+            }
+            _ => (0, s),
+        };
+        let (upstream, revision) = match rest.rfind('-') {
+            Some(i) => (rest[..i].to_string(), rest[i + 1..].to_string()),
+            None => (rest.to_string(), String::new()),
+        };
+        Ok(Version {
+            epoch,
+            upstream,
+            revision,
+        })
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.epoch != 0 {
+            write!(f, "{}:", self.epoch)?;
+        }
+        write!(f, "{}", self.upstream)?;
+        if !self.revision.is_empty() {
+            write!(f, "-{}", self.revision)?;
+        }
+        Ok(())
+    }
+}
+
+/// Order of a character inside a non-digit run: `~` < end-of-string <
+/// letters < everything else (by byte value).
+fn char_order(c: Option<u8>) -> i32 {
+    match c {
+        Some(b'~') => -1,
+        None => 0,
+        Some(c) if c.is_ascii_alphabetic() => c as i32,
+        Some(c) => c as i32 + 256,
+    }
+}
+
+/// Compare two version *parts* (upstream or revision strings).
+fn cmp_part(a: &str, b: &str) -> Ordering {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        // Non-digit run.
+        while i < a.len() && !a[i].is_ascii_digit() || j < b.len() && !b[j].is_ascii_digit() {
+            let ca = if i < a.len() && !a[i].is_ascii_digit() {
+                Some(a[i])
+            } else {
+                None
+            };
+            let cb = if j < b.len() && !b[j].is_ascii_digit() {
+                Some(b[j])
+            } else {
+                None
+            };
+            match char_order(ca).cmp(&char_order(cb)) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+            if ca.is_some() {
+                i += 1;
+            }
+            if cb.is_some() {
+                j += 1;
+            }
+            if ca.is_none() && cb.is_none() {
+                break;
+            }
+        }
+        if i >= a.len() && j >= b.len() {
+            return Ordering::Equal;
+        }
+        // Digit run: compare numerically (skip leading zeros).
+        let di = i;
+        while i < a.len() && a[i].is_ascii_digit() {
+            i += 1;
+        }
+        let dj = j;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+        let na = std::str::from_utf8(&a[di..i]).unwrap().trim_start_matches('0');
+        let nb = std::str::from_utf8(&b[dj..j]).unwrap().trim_start_matches('0');
+        match na.len().cmp(&nb.len()).then_with(|| na.cmp(nb)) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        if i >= a.len() && j >= b.len() {
+            return Ordering::Equal;
+        }
+    }
+}
+
+/// Full version comparison: epoch, then upstream, then revision.
+pub fn cmp_versions(a: &Version, b: &Version) -> Ordering {
+    a.epoch
+        .cmp(&b.epoch)
+        .then_with(|| cmp_part(&a.upstream, &b.upstream))
+        .then_with(|| cmp_part(&a.revision, &b.revision))
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_versions(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::new(s)
+    }
+
+    #[test]
+    fn parse_fields() {
+        let x = v("2:1.2.3-4ubuntu5");
+        assert_eq!(x.epoch, 2);
+        assert_eq!(x.upstream, "1.2.3");
+        assert_eq!(x.revision, "4ubuntu5");
+        assert_eq!(x.to_string(), "2:1.2.3-4ubuntu5");
+    }
+
+    #[test]
+    fn parse_no_epoch_no_revision() {
+        let x = v("13.2.0");
+        assert_eq!(x.epoch, 0);
+        assert_eq!(x.revision, "");
+        assert_eq!(x.to_string(), "13.2.0");
+    }
+
+    #[test]
+    fn hyphen_in_upstream_splits_at_last() {
+        let x = v("1.0-rc1-3");
+        assert_eq!(x.upstream, "1.0-rc1");
+        assert_eq!(x.revision, "3");
+    }
+
+    #[test]
+    fn numeric_ordering() {
+        assert!(v("1.9") < v("1.10"));
+        assert!(v("1.02") == v("1.2"));
+        assert!(v("10") > v("9"));
+    }
+
+    #[test]
+    fn epoch_dominates() {
+        assert!(v("1:0.1") > v("9.9"));
+    }
+
+    #[test]
+    fn tilde_sorts_before_release() {
+        assert!(v("1.0~rc1") < v("1.0"));
+        assert!(v("1.0~rc1") < v("1.0~rc2"));
+        assert!(v("1.0~~") < v("1.0~a"));
+    }
+
+    #[test]
+    fn letters_before_symbols() {
+        assert!(v("1.0a") < v("1.0+"));
+        // Trailing letters sort after end-of-string (only `~` sorts before).
+        assert!(v("1.0alpha") > v("1.0-1"));
+    }
+
+    #[test]
+    fn revision_breaks_ties() {
+        assert!(v("1.0-1") < v("1.0-2"));
+        assert!(v("1.0-1ubuntu1") > v("1.0-1"));
+    }
+
+    #[test]
+    fn classic_debian_policy_examples() {
+        // From Debian policy / dpkg test suite.
+        let ordered = [
+            "~~", "~~a", "~", "", "a",
+        ];
+        for w in ordered.windows(2) {
+            let a = v(&format!("1.0{}", w[0]));
+            let b = v(&format!("1.0{}", w[1]));
+            assert!(a < b, "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn total_order_transitivity_spotcheck() {
+        let versions: Vec<Version> = ["1.0", "1.0~rc1", "1.0-1", "2:0.5", "1.0a", "1.0+dfsg"]
+            .iter()
+            .map(|s| v(s))
+            .collect();
+        let mut sorted = versions.clone();
+        sorted.sort();
+        // Sorting twice gives the same order (total order sanity).
+        let mut again = sorted.clone();
+        again.sort();
+        assert_eq!(sorted, again);
+    }
+}

@@ -1,0 +1,210 @@
+//! In-memory USTAR (POSIX.1-1988 + GNU long-name) archives.
+//!
+//! OCI layers are tar changesets; this crate provides the archive substrate
+//! used by `comt-oci` to serialize layer diffs and by `comtainer` to encode
+//! the cache layer. It is a from-scratch implementation covering exactly the
+//! feature set container layers need:
+//!
+//! * regular files, directories, symlinks, hardlinks,
+//! * `mode`/`uid`/`gid`/`mtime` metadata,
+//! * header checksum generation and validation,
+//! * `name`+`prefix` splitting, with GNU `L` long-name records as fallback
+//!   for paths that do not fit the USTAR fields.
+//!
+//! Archives live fully in memory (`Vec<u8>`), matching the simulated blob
+//! store in `comt-oci`.
+
+mod header;
+mod reader;
+mod writer;
+
+pub use reader::{read_archive, ReadError};
+pub use writer::Writer;
+
+/// Type of an archive member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Regular file with its content.
+    File(Vec<u8>),
+    /// Directory.
+    Dir,
+    /// Symbolic link to `target` (not resolved by the archive layer).
+    Symlink(String),
+    /// Hard link to a previously-archived path.
+    Hardlink(String),
+}
+
+/// One archive member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Slash-separated path, no leading `/` (tar convention).
+    pub path: String,
+    /// Member type and payload.
+    pub kind: EntryKind,
+    /// POSIX permission bits (e.g. `0o644`).
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Modification time, seconds since the epoch.
+    pub mtime: u64,
+}
+
+impl Entry {
+    /// Regular file with default root ownership.
+    pub fn file(path: impl Into<String>, content: impl Into<Vec<u8>>, mode: u32) -> Self {
+        Entry {
+            path: path.into(),
+            kind: EntryKind::File(content.into()),
+            mode,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        }
+    }
+
+    /// Directory entry.
+    pub fn dir(path: impl Into<String>, mode: u32) -> Self {
+        Entry {
+            path: path.into(),
+            kind: EntryKind::Dir,
+            mode,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        }
+    }
+
+    /// Symlink entry.
+    pub fn symlink(path: impl Into<String>, target: impl Into<String>) -> Self {
+        Entry {
+            path: path.into(),
+            kind: EntryKind::Symlink(target.into()),
+            mode: 0o777,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        }
+    }
+
+    /// Size of the payload (files only; other kinds are zero).
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            EntryKind::File(c) => c.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Serialize entries into a complete archive (convenience over [`Writer`]).
+pub fn write_archive(entries: &[Entry]) -> Vec<u8> {
+    let mut w = Writer::new();
+    for e in entries {
+        w.append(e);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(entries: Vec<Entry>) -> Vec<Entry> {
+        read_archive(&write_archive(&entries)).expect("roundtrip read")
+    }
+
+    #[test]
+    fn roundtrip_simple_file() {
+        let e = vec![Entry::file("hello.txt", b"hi".to_vec(), 0o644)];
+        assert_eq!(roundtrip(e.clone()), e);
+    }
+
+    #[test]
+    fn roundtrip_mixed_kinds() {
+        let e = vec![
+            Entry::dir("usr", 0o755),
+            Entry::dir("usr/bin", 0o755),
+            Entry::file("usr/bin/app", vec![1, 2, 3, 4, 5], 0o755),
+            Entry::symlink("usr/bin/app-link", "app"),
+            Entry {
+                path: "usr/bin/app-hard".into(),
+                kind: EntryKind::Hardlink("usr/bin/app".into()),
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+                mtime: 0,
+            },
+        ];
+        assert_eq!(roundtrip(e.clone()), e);
+    }
+
+    #[test]
+    fn roundtrip_metadata() {
+        let e = vec![Entry {
+            path: "data.bin".into(),
+            kind: EntryKind::File(vec![0u8; 1000]),
+            mode: 0o600,
+            uid: 1000,
+            gid: 100,
+            mtime: 1_700_000_000,
+        }];
+        assert_eq!(roundtrip(e.clone()), e);
+    }
+
+    #[test]
+    fn roundtrip_content_not_block_aligned() {
+        for len in [0usize, 1, 511, 512, 513, 1024, 1025] {
+            let e = vec![Entry::file("f", vec![7u8; len], 0o644)];
+            assert_eq!(roundtrip(e.clone()), e, "len {len}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_long_path_gnu_extension() {
+        let long = format!("{}/deep/file.txt", "component-with-a-long-name/".repeat(12));
+        let e = vec![Entry::file(long, b"x".to_vec(), 0o644)];
+        assert_eq!(roundtrip(e.clone()), e);
+    }
+
+    #[test]
+    fn roundtrip_path_using_ustar_prefix() {
+        // Longer than 100 but splittable into prefix+name.
+        let long = format!("{}end", "abcdefgh/".repeat(14));
+        assert!(long.len() > 100 && long.len() < 255);
+        let e = vec![Entry::file(long, b"y".to_vec(), 0o644)];
+        assert_eq!(roundtrip(e.clone()), e);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let bytes = write_archive(&[]);
+        assert_eq!(bytes.len(), 1024); // two zero end blocks
+        assert!(read_archive(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn archive_is_block_aligned() {
+        let bytes = write_archive(&[Entry::file("a", vec![9u8; 700], 0o644)]);
+        assert_eq!(bytes.len() % 512, 0);
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let mut bytes = write_archive(&[Entry::file("a", b"z".to_vec(), 0o644)]);
+        bytes[0] ^= 0xff; // clobber first name byte
+        assert!(matches!(
+            read_archive(&bytes),
+            Err(ReadError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_archive_rejected() {
+        let bytes = write_archive(&[Entry::file("a", vec![1u8; 600], 0o644)]);
+        assert!(matches!(
+            read_archive(&bytes[..700]),
+            Err(ReadError::UnexpectedEof)
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! Streaming archive writer.
+
+use crate::header::{
+    self, BLOCK, TYPE_DIR, TYPE_FILE, TYPE_GNU_LONGNAME, TYPE_HARDLINK, TYPE_SYMLINK,
+};
+use crate::{Entry, EntryKind};
+
+/// Incremental USTAR writer producing an in-memory archive.
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    /// Empty archive under construction.
+    pub fn new() -> Self {
+        Writer { out: Vec::new() }
+    }
+
+    /// Bytes emitted so far (headers + padded payloads, no terminator).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Append one entry.
+    pub fn append(&mut self, entry: &Entry) {
+        let (typeflag, linkname, content): (u8, &str, Option<&[u8]>) = match &entry.kind {
+            EntryKind::File(c) => (TYPE_FILE, "", Some(c)),
+            EntryKind::Dir => (TYPE_DIR, "", None),
+            EntryKind::Symlink(t) => (TYPE_SYMLINK, t, None),
+            EntryKind::Hardlink(t) => (TYPE_HARDLINK, t, None),
+        };
+
+        let (prefix, name) = match header::split_path(&entry.path) {
+            Some(split) => split,
+            None => {
+                // GNU long-name record: payload is the path + NUL.
+                let mut payload = entry.path.clone().into_bytes();
+                payload.push(0);
+                let hdr = header::encode(
+                    "././@LongLink",
+                    "",
+                    0o644,
+                    0,
+                    0,
+                    payload.len() as u64,
+                    0,
+                    TYPE_GNU_LONGNAME,
+                    "",
+                );
+                self.out.extend_from_slice(&hdr);
+                self.append_padded(&payload);
+                // Truncated name in the real header; readers use the L record.
+                (String::new(), entry.path.chars().take(100).collect())
+            }
+        };
+
+        let size = content.map(|c| c.len() as u64).unwrap_or(0);
+        let hdr = header::encode(
+            &name,
+            &prefix,
+            entry.mode,
+            entry.uid,
+            entry.gid,
+            size,
+            entry.mtime,
+            typeflag,
+            linkname,
+        );
+        self.out.extend_from_slice(&hdr);
+        if let Some(c) = content {
+            self.append_padded(c);
+        }
+    }
+
+    fn append_padded(&mut self, data: &[u8]) {
+        self.out.extend_from_slice(data);
+        let rem = data.len() % BLOCK;
+        if rem != 0 {
+            self.out.extend(std::iter::repeat_n(0u8, BLOCK - rem));
+        }
+    }
+
+    /// Terminate with two zero blocks and return the archive bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_len_tracks_blocks() {
+        let mut w = Writer::new();
+        assert!(w.is_empty());
+        w.append(&Entry::file("a", vec![1u8; 10], 0o644));
+        assert_eq!(w.len(), 1024); // header + one padded block
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2048);
+    }
+
+    #[test]
+    fn dir_has_no_payload() {
+        let mut w = Writer::new();
+        w.append(&Entry::dir("d", 0o755));
+        assert_eq!(w.len(), 512);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests: any sequence of valid entries survives a write/read
+//! round trip byte-for-byte.
+
+use comt_tar::{read_archive, write_archive, Entry, EntryKind};
+use proptest::prelude::*;
+
+/// Path segments avoid NUL and '/'; whole path stays under the GNU limit we
+/// exercise separately.
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9._-]{1,12}", 1..6).prop_map(|segs| segs.join("/"))
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (
+        arb_path(),
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..2048).prop_map(EntryKind::File),
+            Just(EntryKind::Dir),
+            arb_path().prop_map(EntryKind::Symlink),
+            arb_path().prop_map(EntryKind::Hardlink),
+        ],
+        0u32..0o7777,
+        0u32..65536,
+        0u32..65536,
+        0u64..4_000_000_000,
+    )
+        .prop_map(|(path, kind, mode, uid, gid, mtime)| Entry {
+            path,
+            kind,
+            mode,
+            uid,
+            gid,
+            mtime,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_entries(entries in prop::collection::vec(arb_entry(), 0..12)) {
+        let bytes = write_archive(&entries);
+        prop_assert_eq!(bytes.len() % 512, 0);
+        let back = read_archive(&bytes).unwrap();
+        prop_assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn roundtrip_long_paths(depth in 10usize..40, name in "[a-z]{1,20}") {
+        let path = format!("{}{}", "segment-dir/".repeat(depth), name);
+        let entries = vec![Entry::file(path, b"content".to_vec(), 0o644)];
+        let back = read_archive(&write_archive(&entries)).unwrap();
+        prop_assert_eq!(back, entries);
+    }
+}

@@ -1,0 +1,281 @@
+//! OCI layer changesets: application and computation.
+//!
+//! A layer is an ordered list of tar entries; deletions are encoded as
+//! *whiteout* files (`.wh.<name>`) and a directory can be reset with the
+//! *opaque* marker (`.wh..wh..opq`), per the OCI image spec.
+
+use crate::path::{normalize, parent};
+use crate::vfs::{Node, NodeKind, Vfs, VfsError};
+use bytes::Bytes;
+use comt_tar::{Entry, EntryKind};
+
+/// Prefix marking a whiteout entry.
+pub const WHITEOUT_PREFIX: &str = ".wh.";
+/// Basename marking an opaque directory.
+pub const OPAQUE_MARKER: &str = ".wh..wh..opq";
+
+/// Apply a layer changeset to a filesystem in place.
+pub fn apply_layer(fs: &mut Vfs, entries: &[Entry]) -> Result<(), VfsError> {
+    for e in entries {
+        let abs = normalize(&format!("/{}", e.path));
+        let name = crate::path::file_name(&abs);
+
+        if name == OPAQUE_MARKER {
+            // Clear the directory's contents but keep the directory.
+            let dir = parent(&abs);
+            let children: Vec<String> = fs
+                .walk_prefix(&dir)
+                .iter()
+                .map(|(k, _)| (*k).clone())
+                .collect();
+            for c in children {
+                // Children may already be gone if an ancestor was removed.
+                let _ = fs.remove(&c);
+            }
+            fs.mkdir_p(&dir)?;
+            continue;
+        }
+
+        if let Some(victim) = name.strip_prefix(WHITEOUT_PREFIX) {
+            let target = format!("{}/{}", parent(&abs), victim);
+            // Whiteout of a missing path is tolerated (tar streams may
+            // whiteout files shadowed by earlier layers we never saw).
+            let _ = fs.remove(&target);
+            continue;
+        }
+
+        let node = match &e.kind {
+            EntryKind::File(content) => Node {
+                kind: NodeKind::File(Bytes::from(content.clone())),
+                mode: e.mode,
+                uid: e.uid,
+                gid: e.gid,
+                mtime: e.mtime,
+            },
+            EntryKind::Dir => Node {
+                kind: NodeKind::Dir,
+                mode: e.mode,
+                uid: e.uid,
+                gid: e.gid,
+                mtime: e.mtime,
+            },
+            EntryKind::Symlink(t) => Node {
+                kind: NodeKind::Symlink(t.clone()),
+                mode: e.mode,
+                uid: e.uid,
+                gid: e.gid,
+                mtime: e.mtime,
+            },
+            EntryKind::Hardlink(t) => {
+                // Materialize hardlinks as content copies: the simulated fs
+                // has no inode identity, and layer semantics only require
+                // content equivalence.
+                let src = normalize(&format!("/{t}"));
+                let content = fs.read(&src)?;
+                Node {
+                    kind: NodeKind::File(content),
+                    mode: e.mode,
+                    uid: e.uid,
+                    gid: e.gid,
+                    mtime: e.mtime,
+                }
+            }
+        };
+        fs.insert_node(&abs, node)?;
+    }
+    Ok(())
+}
+
+fn node_to_entry(path: &str, node: &Node) -> Entry {
+    let rel = path.trim_start_matches('/').to_string();
+    let kind = match &node.kind {
+        NodeKind::File(c) => EntryKind::File(c.to_vec()),
+        NodeKind::Dir => EntryKind::Dir,
+        NodeKind::Symlink(t) => EntryKind::Symlink(t.clone()),
+    };
+    Entry {
+        path: rel,
+        kind,
+        mode: node.mode,
+        uid: node.uid,
+        gid: node.gid,
+        mtime: node.mtime,
+    }
+}
+
+/// Compute the changeset that transforms `base` into `upper`.
+///
+/// Produces adds/modifications in sorted path order (parents naturally come
+/// first) and whiteouts for removals. Removal of a whole subtree emits a
+/// single whiteout for the subtree root.
+pub fn diff_layers(base: &Vfs, upper: &Vfs) -> Vec<Entry> {
+    let mut entries = Vec::new();
+
+    // Removals: in base but not in upper. Skip paths whose ancestor is
+    // already whited out.
+    let mut removed_roots: Vec<String> = Vec::new();
+    for (path, _) in base.walk() {
+        if !upper.exists(path) {
+            let covered = removed_roots
+                .iter()
+                .any(|r| path.starts_with(&format!("{r}/")));
+            if !covered {
+                removed_roots.push(path.clone());
+            }
+        }
+    }
+    for root in &removed_roots {
+        let dir = parent(root);
+        let name = crate::path::file_name(root);
+        let rel_dir = dir.trim_start_matches('/');
+        let wh = if rel_dir.is_empty() {
+            format!("{WHITEOUT_PREFIX}{name}")
+        } else {
+            format!("{rel_dir}/{WHITEOUT_PREFIX}{name}")
+        };
+        entries.push(Entry {
+            path: wh,
+            kind: EntryKind::File(Vec::new()),
+            mode: 0o644,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        });
+    }
+
+    // Adds and modifications: in upper and different-or-missing in base.
+    for (path, node) in upper.walk() {
+        match base.lstat(path) {
+            Some(old) if old == node => {}
+            _ => entries.push(node_to_entry(path, node)),
+        }
+    }
+
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with(files: &[(&str, &str)]) -> Vfs {
+        let mut v = Vfs::new();
+        for (p, c) in files {
+            v.write_file_p(p, Bytes::from(c.as_bytes().to_vec()), 0o644)
+                .unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn diff_empty_when_identical() {
+        let a = fs_with(&[("/a/b", "x")]);
+        assert!(diff_layers(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn diff_add() {
+        let a = fs_with(&[("/a/b", "x")]);
+        let mut b = a.clone();
+        b.write_file_p("/a/c", Bytes::from_static(b"y"), 0o644)
+            .unwrap();
+        let d = diff_layers(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, "a/c");
+    }
+
+    #[test]
+    fn diff_modify_content_and_mode() {
+        let a = fs_with(&[("/f", "old")]);
+        let mut b = a.clone();
+        b.write_file("/f", Bytes::from_static(b"new"), 0o600).unwrap();
+        let d = diff_layers(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].mode, 0o600);
+    }
+
+    #[test]
+    fn diff_remove_emits_whiteout() {
+        let a = fs_with(&[("/d/f", "x"), ("/keep", "k")]);
+        let mut b = a.clone();
+        b.remove("/d/f").unwrap();
+        let d = diff_layers(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, "d/.wh.f");
+    }
+
+    #[test]
+    fn diff_subtree_removal_single_whiteout() {
+        let a = fs_with(&[("/d/x/1", "1"), ("/d/x/2", "2")]);
+        let mut b = a.clone();
+        b.remove("/d").unwrap();
+        let d = diff_layers(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].path, ".wh.d");
+    }
+
+    #[test]
+    fn apply_whiteout_removes() {
+        let mut fs = fs_with(&[("/d/f", "x")]);
+        let wh = Entry::file("d/.wh.f", Vec::new(), 0o644);
+        apply_layer(&mut fs, &[wh]).unwrap();
+        assert!(!fs.exists("/d/f"));
+        assert!(fs.exists("/d"));
+    }
+
+    #[test]
+    fn apply_opaque_clears_dir() {
+        let mut fs = fs_with(&[("/d/a", "1"), ("/d/b", "2"), ("/other", "o")]);
+        let opq = Entry::file("d/.wh..wh..opq", Vec::new(), 0o644);
+        let add = Entry::file("d/fresh", b"f".to_vec(), 0o644);
+        apply_layer(&mut fs, &[opq, add]).unwrap();
+        assert!(!fs.exists("/d/a"));
+        assert!(!fs.exists("/d/b"));
+        assert_eq!(fs.read_string("/d/fresh").unwrap(), "f");
+        assert!(fs.exists("/other"));
+    }
+
+    #[test]
+    fn apply_hardlink_copies_content() {
+        let mut fs = fs_with(&[("/bin/tool", "ELF")]);
+        let hl = Entry {
+            path: "bin/tool2".into(),
+            kind: EntryKind::Hardlink("bin/tool".into()),
+            mode: 0o755,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        };
+        apply_layer(&mut fs, &[hl]).unwrap();
+        assert_eq!(fs.read_string("/bin/tool2").unwrap(), "ELF");
+    }
+
+    #[test]
+    fn apply_creates_missing_parents() {
+        let mut fs = Vfs::new();
+        let e = Entry::file("deep/nested/file", b"x".to_vec(), 0o644);
+        apply_layer(&mut fs, &[e]).unwrap();
+        assert!(fs.stat("/deep/nested").unwrap().is_dir());
+    }
+
+    #[test]
+    fn roundtrip_diff_apply_with_symlinks_and_dirs() {
+        let mut a = Vfs::new();
+        a.mkdir_p("/usr/lib").unwrap();
+        a.write_file("/usr/lib/libm.so.6", Bytes::from_static(b"M6"), 0o644)
+            .unwrap();
+        a.symlink("/usr/lib/libm.so", "libm.so.6").unwrap();
+
+        let mut b = a.clone();
+        b.remove("/usr/lib/libm.so").unwrap();
+        b.write_file("/usr/lib/libm.so.6", Bytes::from_static(b"M7"), 0o644)
+            .unwrap();
+        b.symlink("/usr/lib/libm.so", "/usr/lib/libm.so.6").unwrap();
+        b.mkdir_p("/var/cache").unwrap();
+
+        let d = diff_layers(&a, &b);
+        let mut rebuilt = a.clone();
+        apply_layer(&mut rebuilt, &d).unwrap();
+        assert_eq!(rebuilt, b);
+    }
+}

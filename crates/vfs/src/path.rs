@@ -1,0 +1,104 @@
+//! Path normalization for the simulated filesystem.
+//!
+//! All paths inside the VFS are absolute, slash-separated, with no `.`/`..`
+//! components and no trailing slash (except the root `/` itself).
+
+/// Normalize a path to canonical absolute form.
+///
+/// Relative paths are interpreted against `/`. `..` that would escape the
+/// root is clamped at the root, matching kernel behaviour.
+pub fn normalize(path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            c => parts.push(c),
+        }
+    }
+    if parts.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", parts.join("/"))
+    }
+}
+
+/// Join `rel` onto `base`; if `rel` is absolute it wins.
+pub fn join(base: &str, rel: &str) -> String {
+    if rel.starts_with('/') {
+        normalize(rel)
+    } else {
+        normalize(&format!("{base}/{rel}"))
+    }
+}
+
+/// Parent directory of a normalized path; the root's parent is the root.
+pub fn parent(path: &str) -> String {
+    let norm = normalize(path);
+    if norm == "/" {
+        return norm;
+    }
+    match norm.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => norm[..i].to_string(),
+        None => "/".to_string(),
+    }
+}
+
+/// Final component of a normalized path (empty for the root).
+pub fn file_name(path: &str) -> String {
+    let norm = normalize(path);
+    if norm == "/" {
+        return String::new();
+    }
+    norm.rsplit('/').next().unwrap_or("").to_string()
+}
+
+/// Split into `(parent, file_name)`.
+pub fn split(path: &str) -> (String, String) {
+    (parent(path), file_name(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basics() {
+        assert_eq!(normalize("/usr//bin/"), "/usr/bin");
+        assert_eq!(normalize("usr/bin"), "/usr/bin");
+        assert_eq!(normalize("/"), "/");
+        assert_eq!(normalize(""), "/");
+    }
+
+    #[test]
+    fn normalize_dots() {
+        assert_eq!(normalize("/a/./b"), "/a/b");
+        assert_eq!(normalize("/a/b/../c"), "/a/c");
+        assert_eq!(normalize("/../../x"), "/x");
+        assert_eq!(normalize("/a/.."), "/");
+    }
+
+    #[test]
+    fn join_relative_and_absolute() {
+        assert_eq!(join("/work", "src/main.c"), "/work/src/main.c");
+        assert_eq!(join("/work", "/etc/passwd"), "/etc/passwd");
+        assert_eq!(join("/work", "../tmp"), "/tmp");
+    }
+
+    #[test]
+    fn parent_and_name() {
+        assert_eq!(parent("/usr/bin/gcc"), "/usr/bin");
+        assert_eq!(parent("/usr"), "/");
+        assert_eq!(parent("/"), "/");
+        assert_eq!(file_name("/usr/bin/gcc"), "gcc");
+        assert_eq!(file_name("/"), "");
+    }
+
+    #[test]
+    fn split_pair() {
+        assert_eq!(split("/a/b"), ("/a".to_string(), "b".to_string()));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the layer algebra: for arbitrary filesystem states A
+//! and B, `apply(A, diff(A, B)) == B`, and snapshots round-trip through tar.
+
+use bytes::Bytes;
+use comt_vfs::{apply_layer, diff_layers, Vfs};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(String, Vec<u8>, u32),
+    Mkdir(String),
+    Remove(String),
+    Symlink(String, String),
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    // Small component alphabet so collisions (and thus removes/overwrites)
+    // actually happen.
+    prop::collection::vec(prop_oneof!["a", "b", "c", "d"], 1..4)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_path(), prop::collection::vec(any::<u8>(), 0..64), 0u32..0o777)
+            .prop_map(|(p, c, m)| Op::Write(p, c, m)),
+        arb_path().prop_map(Op::Mkdir),
+        arb_path().prop_map(Op::Remove),
+        (arb_path(), prop_oneof!["a", "b/c", "/d"].prop_map(String::from))
+            .prop_map(|(p, t)| Op::Symlink(p, t)),
+    ]
+}
+
+fn build(ops: &[Op]) -> Vfs {
+    let mut fs = Vfs::new();
+    for op in ops {
+        // Errors (removing a missing path, symlinking over a file, symlink
+        // loops on write) are legal no-ops for this test.
+        let _ = match op {
+            Op::Write(p, c, m) => fs.write_file_p(p, Bytes::from(c.clone()), *m),
+            Op::Mkdir(p) => fs.mkdir_p(p),
+            Op::Remove(p) => fs.remove(p),
+            Op::Symlink(p, t) => fs.symlink(p, t),
+        };
+    }
+    fs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn apply_diff_reconstructs(
+        ops_a in prop::collection::vec(arb_op(), 0..20),
+        ops_b in prop::collection::vec(arb_op(), 0..20),
+    ) {
+        let a = build(&ops_a);
+        let mut b = a.clone();
+        for op in &ops_b {
+            let _ = match op {
+                Op::Write(p, c, m) => b.write_file_p(p, Bytes::from(c.clone()), *m),
+                Op::Mkdir(p) => b.mkdir_p(p),
+                Op::Remove(p) => b.remove(p),
+                Op::Symlink(p, t) => b.symlink(p, t),
+            };
+        }
+        let changeset = diff_layers(&a, &b);
+        let mut rebuilt = a.clone();
+        apply_layer(&mut rebuilt, &changeset).unwrap();
+        prop_assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn diff_of_identical_is_empty(ops in prop::collection::vec(arb_op(), 0..25)) {
+        let a = build(&ops);
+        prop_assert!(diff_layers(&a, &a.clone()).is_empty());
+    }
+}

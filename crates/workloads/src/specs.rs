@@ -1,0 +1,452 @@
+//! The application and workload roster with calibrated characteristics.
+//!
+//! Structural characteristics (library-boundness, vectorizability,
+//! call-overhead and branch fractions, responses to toolchain/LTO/PGO)
+//! live here; they are embedded into each application's main translation
+//! unit and travel through compilation into the linked binary. Problem
+//! magnitudes (flops, bytes, communication) are per-input, per-system
+//! *decks* in [`crate::decks`].
+
+/// Source language of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    C,
+    Cxx,
+    Fortran,
+}
+
+impl Lang {
+    /// Source file extension.
+    pub fn ext(&self) -> &'static str {
+        match self {
+            Lang::C => "c",
+            Lang::Cxx => "cc",
+            Lang::Fortran => "f90",
+        }
+    }
+
+    /// MPI compiler wrapper for this language.
+    pub fn mpi_cc(&self) -> &'static str {
+        match self {
+            Lang::C => "mpicc",
+            Lang::Cxx => "mpicxx",
+            Lang::Fortran => "mpif90",
+        }
+    }
+}
+
+/// One application of Table 2.
+pub struct AppSpec {
+    pub name: &'static str,
+    pub lang: Lang,
+    /// Total source lines (Table 2).
+    pub total_loc: u64,
+    /// Number of compiled translation units.
+    pub units: usize,
+    /// Average bytes per source line (calibrated so cache-layer sizes land
+    /// near Table 3; real code density varies wildly per project).
+    pub density: usize,
+    /// Libraries linked (`-l` names; `mpi` implied by the wrapper).
+    pub libs: &'static [&'static str],
+    /// Packages installed in the build stage.
+    pub build_pkgs: &'static [&'static str],
+    /// Packages installed in the dist stage (runtime deps).
+    pub runtime_pkgs: &'static [&'static str],
+    pub openmp: bool,
+    /// Structural kernel characteristics embedded in the main unit.
+    pub fracs: &'static [(&'static str, f64)],
+    /// ISA-specific flags the app's build script uses on x86-64 (the
+    /// crossable, script-level blockers of §5.5).
+    pub isa_flags_x86: &'static [&'static str],
+    /// Translation units with ISA-specific *source* (inline asm /
+    /// intrinsics): these block cross-ISA rebuilds entirely.
+    pub isa_specific_units: usize,
+    /// Platform-independent data shipped in the image, MiB at scale 1.
+    pub data_mib: f64,
+    /// Whether intermediate objects are collected into a static archive.
+    pub use_archive: bool,
+}
+
+/// A workload: an application plus an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadRef {
+    pub app: &'static str,
+    /// Input name; empty for single-input benchmarks.
+    pub input: &'static str,
+}
+
+impl WorkloadRef {
+    /// Display label (`lammps.lj`, `lulesh`).
+    pub fn label(&self) -> String {
+        if self.input.is_empty() {
+            self.app.to_string()
+        } else {
+            format!("{}.{}", self.app, self.input)
+        }
+    }
+}
+
+static APPS: &[AppSpec] = &[
+    AppSpec {
+        name: "hpl",
+        lang: Lang::C,
+        total_loc: 37_556,
+        units: 18,
+        density: 37,
+        libs: &["openblas", "m"],
+        build_pkgs: &["libopenblas0", "mpich"],
+        runtime_pkgs: &["libopenblas0", "mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.75),
+            ("blas_frac", 0.62),
+            ("math_frac", 0.03),
+            ("call_frac", 0.05),
+            ("branch_frac", 0.05),
+            ("lto_resp", 0.25),
+            ("pgo_resp", 0.25),
+            ("tc_resp", 0.7),
+        ],
+        isa_flags_x86: &[],
+        isa_specific_units: 2, // hand-tuned DGEMM micro-kernels
+        data_mib: 0.3,
+        use_archive: true,
+    },
+    AppSpec {
+        name: "hpcg",
+        lang: Lang::Cxx,
+        total_loc: 5_529,
+        units: 7,
+        density: 152,
+        libs: &["m"],
+        build_pkgs: &["mpich", "libgomp1"],
+        runtime_pkgs: &["mpich", "libgomp1"],
+        openmp: true,
+        fracs: &[
+            ("vec_frac", 0.45),
+            ("math_frac", 0.04),
+            ("call_frac", 0.10),
+            ("branch_frac", 0.24),
+            ("lto_resp", 0.20),
+            ("pgo_resp", -0.95),
+            ("tc_resp", 0.55),
+        ],
+        isa_flags_x86: &["-mavx2"],
+        isa_specific_units: 0,
+        data_mib: 0.2,
+        use_archive: false,
+    },
+    AppSpec {
+        name: "lulesh",
+        lang: Lang::Cxx,
+        total_loc: 5_546,
+        units: 9,
+        density: 125,
+        libs: &["m"],
+        build_pkgs: &["mpich", "libgomp1"],
+        runtime_pkgs: &["mpich", "libgomp1"],
+        openmp: true,
+        fracs: &[
+            ("vec_frac", 0.60),
+            ("math_frac", 0.12),
+            ("call_frac", 0.25),
+            ("branch_frac", 0.15),
+            ("lto_resp", 0.70),
+            ("pgo_resp", 0.64),
+            ("tc_resp", 0.80),
+        ],
+        isa_flags_x86: &["-mavx2"],
+        isa_specific_units: 0,
+        data_mib: 0.5,
+        use_archive: false,
+    },
+    AppSpec {
+        name: "comd",
+        lang: Lang::C,
+        total_loc: 4_668,
+        units: 9,
+        density: 168,
+        libs: &["m"],
+        build_pkgs: &["mpich"],
+        runtime_pkgs: &["mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.55),
+            ("math_frac", 0.30),
+            ("call_frac", 0.10),
+            ("branch_frac", 0.10),
+            ("lto_resp", 0.40),
+            ("pgo_resp", 0.40),
+            ("tc_resp", 0.70),
+        ],
+        isa_flags_x86: &[],
+        isa_specific_units: 1, // SIMD force loops
+        data_mib: 0.4,
+        use_archive: false,
+    },
+    AppSpec {
+        name: "hpccg",
+        lang: Lang::Cxx,
+        total_loc: 1_563,
+        units: 4,
+        density: 396,
+        libs: &["m"],
+        build_pkgs: &["mpich"],
+        runtime_pkgs: &["mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.35),
+            ("math_frac", 0.04),
+            ("call_frac", 0.08),
+            ("branch_frac", 0.10),
+            ("lto_resp", 0.20),
+            ("pgo_resp", 0.15),
+            // The paper's anomaly: "the only workload that shows
+            // performance degradation in native and adapted … we attribute
+            // this to the over-aggressive optimizations of system-specific
+            // compiler toolchains."
+            ("tc_resp", -0.18),
+        ],
+        isa_flags_x86: &[],
+        isa_specific_units: 0,
+        data_mib: 0.1,
+        use_archive: false,
+    },
+    AppSpec {
+        name: "miniaero",
+        lang: Lang::Cxx,
+        total_loc: 42_056,
+        units: 20,
+        density: 15,
+        libs: &["m"],
+        build_pkgs: &["mpich"],
+        runtime_pkgs: &["mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.45),
+            ("math_frac", 0.10),
+            ("call_frac", 0.30),
+            ("branch_frac", 0.12),
+            ("lto_resp", 0.48),
+            ("pgo_resp", 0.25),
+            ("tc_resp", 0.70),
+        ],
+        isa_flags_x86: &[],
+        isa_specific_units: 3, // Kokkos-style arch-specialized kernels
+        data_mib: 0.6,
+        use_archive: true,
+    },
+    AppSpec {
+        name: "miniamr",
+        lang: Lang::C,
+        total_loc: 9_957,
+        units: 11,
+        density: 84,
+        libs: &["m"],
+        build_pkgs: &["mpich"],
+        runtime_pkgs: &["mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.40),
+            ("math_frac", 0.05),
+            ("call_frac", 0.12),
+            ("branch_frac", 0.18),
+            ("lto_resp", 0.30),
+            ("pgo_resp", 0.40),
+            ("tc_resp", 0.50),
+        ],
+        isa_flags_x86: &["-msse4.2"],
+        isa_specific_units: 0,
+        data_mib: 0.2,
+        use_archive: false,
+    },
+    AppSpec {
+        name: "minife",
+        lang: Lang::Cxx,
+        total_loc: 28_010,
+        units: 14,
+        density: 40,
+        libs: &["openblas", "m"],
+        build_pkgs: &["libopenblas0", "mpich"],
+        runtime_pkgs: &["libopenblas0", "mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.45),
+            ("blas_frac", 0.25),
+            ("math_frac", 0.05),
+            ("call_frac", 0.15),
+            ("branch_frac", 0.12),
+            ("lto_resp", 0.40),
+            ("pgo_resp", 0.30),
+            ("tc_resp", 0.60),
+        ],
+        isa_flags_x86: &["-mavx2"],
+        isa_specific_units: 0,
+        data_mib: 0.3,
+        use_archive: true,
+    },
+    AppSpec {
+        name: "minimd",
+        lang: Lang::Cxx,
+        total_loc: 4_404,
+        units: 9,
+        density: 40,
+        libs: &["m"],
+        build_pkgs: &["mpich"],
+        runtime_pkgs: &["mpich"],
+        openmp: false,
+        fracs: &[
+            ("vec_frac", 0.50),
+            ("math_frac", 0.25),
+            ("call_frac", 0.12),
+            ("branch_frac", 0.12),
+            ("lto_resp", 0.50),
+            ("pgo_resp", 0.50),
+            ("tc_resp", 0.60),
+        ],
+        isa_flags_x86: &["-mfma"],
+        isa_specific_units: 0,
+        data_mib: 0.1,
+        use_archive: false,
+    },
+    AppSpec {
+        name: "lammps",
+        lang: Lang::Cxx,
+        total_loc: 2_273_423,
+        units: 40,
+        density: 8,
+        libs: &["fftw3", "m"],
+        build_pkgs: &["libfftw3-double3", "mpich", "libgomp1"],
+        runtime_pkgs: &["libfftw3-double3", "mpich", "libgomp1"],
+        openmp: true,
+        fracs: &[
+            ("vec_frac", 0.55),
+            ("math_frac", 0.20),
+            ("fft_frac", 0.08),
+            ("call_frac", 0.20),
+            ("branch_frac", 0.15),
+            ("lto_resp", 0.40),
+            ("pgo_resp", 0.30),
+            ("tc_resp", 0.75),
+        ],
+        isa_flags_x86: &[],
+        isa_specific_units: 4, // INTEL/OPT package kernels
+        data_mib: 22.0,
+        use_archive: true,
+    },
+    AppSpec {
+        name: "openmx",
+        lang: Lang::C,
+        total_loc: 287_381,
+        units: 30,
+        density: 87,
+        libs: &["openblas", "lapack", "fftw3", "m"],
+        build_pkgs: &["libopenblas0", "liblapack3", "libfftw3-double3", "mpich", "libgomp1"],
+        runtime_pkgs: &["libopenblas0", "liblapack3", "libfftw3-double3", "mpich", "libgomp1"],
+        openmp: true,
+        fracs: &[
+            ("vec_frac", 0.55),
+            ("blas_frac", 0.40),
+            ("math_frac", 0.08),
+            ("fft_frac", 0.12),
+            ("call_frac", 0.15),
+            ("branch_frac", 0.20),
+            ("lto_resp", 0.50),
+            ("pgo_resp", 0.50),
+            ("tc_resp", 0.70),
+        ],
+        isa_flags_x86: &[],
+        isa_specific_units: 2,
+        data_mib: 238.0, // pseudopotential / PAO libraries
+        use_archive: true,
+    },
+];
+
+/// All applications.
+pub fn apps() -> &'static [AppSpec] {
+    APPS
+}
+
+/// Look up an application by name.
+pub fn app(name: &str) -> Option<&'static AppSpec> {
+    APPS.iter().find(|a| a.name == name)
+}
+
+/// The 18 evaluation workloads of Table 2.
+pub fn workloads() -> Vec<WorkloadRef> {
+    let mut out = Vec::new();
+    for a in [
+        "hpl", "hpcg", "lulesh", "comd", "hpccg", "miniaero", "miniamr", "minife", "minimd",
+    ] {
+        out.push(WorkloadRef { app: a, input: "" });
+    }
+    for input in ["chain", "chute", "eam", "lj", "rhodo"] {
+        out.push(WorkloadRef {
+            app: "lammps",
+            input,
+        });
+    }
+    for input in ["awf5e", "awf7e", "nitro", "pt13"] {
+        out.push(WorkloadRef {
+            app: "openmx",
+            input,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        assert!(app("lulesh").is_some());
+        assert!(app("nope").is_none());
+        assert_eq!(app("lammps").unwrap().units, 40);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WorkloadRef { app: "lulesh", input: "" }.label(), "lulesh");
+        assert_eq!(
+            WorkloadRef { app: "lammps", input: "lj" }.label(),
+            "lammps.lj"
+        );
+    }
+
+    #[test]
+    fn crossable_apps_have_flag_blockers_only() {
+        // The Figure 11 candidates: ISA issues fixable by script edits.
+        for name in ["hpcg", "lulesh", "miniamr", "minife", "minimd"] {
+            let a = app(name).unwrap();
+            assert_eq!(a.isa_specific_units, 0, "{name}");
+            assert!(!a.isa_flags_x86.is_empty(), "{name}");
+        }
+        // And the blocked ones have source-level ISA code.
+        for name in ["hpl", "comd", "miniaero", "lammps", "openmx"] {
+            assert!(app(name).unwrap().isa_specific_units > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn fracs_are_sane() {
+        for a in apps() {
+            for (k, v) in a.fracs {
+                match *k {
+                    "lto_resp" | "pgo_resp" | "tc_resp" => {
+                        assert!((-1.0..=1.0).contains(v), "{} {k}", a.name)
+                    }
+                    _ => assert!((0.0..=1.0).contains(v), "{} {k}", a.name),
+                }
+            }
+            let lib_sum: f64 = a
+                .fracs
+                .iter()
+                .filter(|(k, _)| matches!(*k, "blas_frac" | "math_frac" | "fft_frac"))
+                .map(|(_, v)| v)
+                .sum();
+            assert!(lib_sum < 0.9, "{} lib fractions {lib_sum}", a.name);
+        }
+    }
+}

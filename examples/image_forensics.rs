@@ -1,0 +1,88 @@
+//! Inspecting an extended image: the process models up close (paper §4.3,
+//! Figures 7–8).
+//!
+//! Dumps, for a real workload image: the image model's five-way file
+//! classification, the build graph (nodes, kinds, topological levels), a
+//! sample compilation model, and the cache-layer contents with the
+//! minification ratio.
+//!
+//! Run with: `cargo run --release --example image_forensics`
+
+use comt_bench::Lab;
+use comtainer_suite::core::models::NodeKind;
+use comtainer_suite::core::load_cache;
+use comtainer_suite::pkg::catalog;
+
+fn main() {
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    println!("building the hpl image and running coMtainer-build…\n");
+    let art = lab.prepare_app("hpl");
+    let cache = load_cache(&art.oci, "hpl.dist+coM").unwrap();
+
+    // --- image model -------------------------------------------------------
+    println!("== image model: file origins (paper's five classes) ==");
+    for (class, count) in cache.models.image.origin_counts() {
+        println!("  {class:8} {count:6} files");
+    }
+    println!("\n  build-origin files and their build-side producers:");
+    for (image_path, build_path) in cache.models.image.build_files() {
+        println!("    {image_path}  ←  {build_path}");
+    }
+    println!("\n  runtime dependencies (reinstalled from the system repo on redirect):");
+    for (name, version) in &cache.models.image.runtime_deps {
+        println!("    {name} {version}");
+    }
+
+    // --- build graph --------------------------------------------------------
+    let g = &cache.models.graph;
+    println!("\n== build graph model ==");
+    println!("  {} nodes ({} leaves, {} products)", g.len(), g.leaves().count(), g.products().count());
+    let mut kind_counts = std::collections::BTreeMap::new();
+    for n in &g.nodes {
+        *kind_counts.entry(format!("{:?}", n.kind)).or_insert(0usize) += 1;
+    }
+    for (kind, count) in kind_counts {
+        println!("  {kind:14} {count}");
+    }
+    let levels = g.topo_levels().unwrap();
+    println!(
+        "  topological levels: {} (max parallel width {})",
+        levels.len(),
+        levels.iter().map(Vec::len).max().unwrap_or(0)
+    );
+
+    // --- compilation model ---------------------------------------------------
+    println!("\n== a compilation model (the transformable command-line IR) ==");
+    let obj_node = g
+        .products()
+        .find(|n| n.kind == NodeKind::Object)
+        .expect("an object node");
+    println!("  node: {} ({:?})", obj_node.path, obj_node.kind);
+    let model = obj_node.cmd.as_ref().unwrap();
+    println!("  argv: {}", model.argv().join(" "));
+    let mut inv = model.invocation().unwrap();
+    println!(
+        "  parsed: mode={:?} O={:?} march={:?}",
+        inv.mode(),
+        inv.opt_level(),
+        inv.march()
+    );
+    inv.set_march("icelake-server");
+    inv.enable_lto();
+    println!("  after adapter transforms: {}", inv.to_argv().join(" "));
+
+    // --- cache layer -----------------------------------------------------------
+    println!("\n== cache layer ==");
+    println!("  {} source files embedded, {} bytes total (layer blob {} bytes)",
+        cache.sources.len(),
+        cache.sources.values().map(bytes::Bytes::len).sum::<usize>(),
+        art.cache_layer_size,
+    );
+    let sample = cache.sources.keys().next().unwrap();
+    let text = String::from_utf8_lossy(&cache.sources[sample]);
+    println!("  sample ({sample}), first 3 lines:");
+    for line in text.lines().take(3) {
+        let shown: String = line.chars().take(72).collect();
+        println!("    {shown}");
+    }
+}

@@ -1,0 +1,77 @@
+//! The adaptability-gap study of the paper's Figure 3: LULESH on a single
+//! node, incrementally enabling system-side optimizations:
+//!
+//! * `cost`  — the generic image as-is,
+//! * `+libo` — replace default libraries with the system's optimized stack,
+//! * `+cxxo` — rebuild with the system's native compiler toolchain,
+//! * `+lto`  — enable link-time optimization,
+//! * `+pgo`  — enable profile-guided optimization.
+//!
+//! Run with: `cargo run --release --example lulesh_adaptability`
+
+use comtainer_suite::perfsim::{execute_with_deck, LibEnv};
+use comtainer_suite::pkg::catalog;
+use comtainer_suite::toolchain::artifact::{LinkedBinary, PgoMode};
+use comt_bench::Lab;
+use comt_workloads::deck;
+
+fn clone_with(b: &LinkedBinary, f: impl FnOnce(&mut LinkedBinary)) -> LinkedBinary {
+    let mut out = b.clone();
+    f(&mut out);
+    out
+}
+
+fn main() {
+    for isa in ["x86_64", "aarch64"] {
+        println!("== LULESH single node on {isa} (Figure 3) ==");
+        let mut lab = Lab::new(isa, catalog::MINI_SCALE);
+        let art = lab.prepare_app("lulesh");
+        let d = deck("lulesh", "", isa, 1);
+
+        // The generic binary from the original image.
+        let orig_fs = {
+            let mut oci = comtainer_suite::oci::layout::OciDir::new();
+            oci.export("orig", art.original.manifest_digest, &lab.store)
+                .unwrap();
+            comtainer_suite::oci::flatten(&oci.blobs, &art.original).unwrap()
+        };
+        let generic_bin = comtainer_suite::toolchain::artifact::read_linked(
+            &orig_fs.read("/app/lulesh").unwrap(),
+        )
+        .unwrap();
+        let generic_env = LibEnv::generic();
+
+        // The natively rebuilt binary (toolchain swap = cxxo).
+        let native_bin = art.native_binary.clone();
+        let vendor_env = art.native_env.clone();
+
+        // Incremental schemes.
+        let cost = execute_with_deck(&generic_bin, &d, &generic_env, &lab.system, 1).seconds;
+        let libo = execute_with_deck(&generic_bin, &d, &vendor_env, &lab.system, 1).seconds;
+        let cxxo = execute_with_deck(&native_bin, &d, &vendor_env, &lab.system, 1).seconds;
+        let lto_bin = clone_with(&native_bin, |b| b.lto_applied = true);
+        let lto = execute_with_deck(&lto_bin, &d, &vendor_env, &lab.system, 1).seconds;
+        let pgo_bin = clone_with(&lto_bin, |b| b.opt.pgo = PgoMode::Optimized);
+        let pgo = execute_with_deck(&pgo_bin, &d, &vendor_env, &lab.system, 1).seconds;
+
+        println!("  cost (generic image) : {cost:8.2}s");
+        println!("  +libo                : {libo:8.2}s  ({:+.1}%)", pct(cost, libo));
+        println!("  +cxxo                : {cxxo:8.2}s  ({:+.1}%)", pct(libo, cxxo));
+        println!("  +lto                 : {lto:8.2}s  ({:+.1}%)", pct(cxxo, lto));
+        println!("  +pgo                 : {pgo:8.2}s  ({:+.1}%)", pct(lto, pgo));
+        println!(
+            "  total libo+cxxo reduction: {:.1}% (paper: up to {}%)",
+            (1.0 - cxxo / cost) * 100.0,
+            if isa == "x86_64" { 50 } else { 72 }
+        );
+        println!(
+            "  lto extra: {:.1}% (paper 17.5%), pgo extra: {:.1}% (paper 9.6%)\n",
+            (1.0 - lto / cxxo) * 100.0,
+            (1.0 - pgo / lto) * 100.0
+        );
+    }
+}
+
+fn pct(old: f64, new: f64) -> f64 {
+    (1.0 - new / old) * 100.0
+}

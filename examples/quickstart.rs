@@ -1,0 +1,157 @@
+//! Quickstart: the full coMtainer workflow on a tiny application.
+//!
+//! Mirrors the paper's §4.1 command sequence:
+//!
+//! ```text
+//! buildah build --target build -t demo.build .
+//! buildah build --target dist  -t demo.dist  .
+//! buildah push demo.dist oci:./demo.dist.oci
+//! buildah run demo.build -- coMtainer-build        # → demo.dist+coM
+//! buildah run demo.rebuild -- coMtainer-rebuild    # → demo.dist+coMre
+//! buildah run demo.redirect -- coMtainer-redirect  # → optimized image
+//! ```
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bytes::Bytes;
+use comtainer_suite::buildsys::{Builder, Containerfile, Executor};
+use comtainer_suite::core::{
+    comtainer_build, comtainer_rebuild, comtainer_redirect, RebuildOptions, StockImages,
+    SystemSide,
+};
+use comtainer_suite::oci::layout::OciDir;
+use comtainer_suite::oci::BlobStore;
+use comtainer_suite::pkg::catalog;
+use comtainer_suite::toolchain::Toolchain;
+use comtainer_suite::vfs::Vfs;
+
+fn main() {
+    let isa = "x86_64";
+    let scale = catalog::MINI_SCALE;
+
+    // --- the user's project: one source file + a two-stage Containerfile -
+    let mut context = Vfs::new();
+    context
+        .write_file_p(
+            "/src/hello.c",
+            Bytes::from(
+                "#pragma comt provides(main)\n\
+                 #pragma comt extern(m:sqrt, mpi:MPI_Init)\n\
+                 #pragma comt kernel(flops=2e12, vec_frac=0.6, math_frac=0.2, tc_resp=0.8)\n\
+                 int main(void) { return 0; }\n",
+            ),
+            0o644,
+        )
+        .unwrap();
+    let cf = Containerfile::parse(
+        r#"
+FROM comt:x86-64.env AS build
+RUN apt-get install -y mpich
+WORKDIR /src
+COPY src /src
+RUN mpicc -O2 -c hello.c -o hello.o
+RUN mpicc hello.o -lm -o hello
+
+FROM comt:x86-64.base AS dist
+RUN apt-get install -y mpich
+COPY --from=build /src/hello /app/hello
+"#,
+    )
+    .unwrap();
+
+    // --- user side: build the two stages with the recording executor -----
+    println!("[1/5] building the two-stage image (recorded by the hijacker)…");
+    let mut store = BlobStore::new();
+    let stock = StockImages::build(&mut store, isa, scale).unwrap();
+    let executor = Executor::new(isa, vec![Toolchain::distro_gcc()])
+        .with_repo(catalog::generic_repo_scaled(isa, scale));
+    let mut builder = Builder::new(&mut store, executor);
+    builder.tag("comt:x86-64.env", &stock.env);
+    builder.tag("comt:x86-64.base", &stock.base);
+    let result = builder.build("hello", &cf, &context).unwrap();
+    println!(
+        "      dist image: {} ({} layers, {} KiB)",
+        result.images["dist"].manifest_digest.short(),
+        result.images["dist"].manifest.layers.len(),
+        result.images["dist"].layers_size() / 1024,
+    );
+    println!(
+        "      recorded {} commands in the build trace",
+        result.traces["build"].commands.len()
+    );
+
+    // --- export + coMtainer-build: the extended image ---------------------
+    println!("[2/5] coMtainer-build: analyzing and attaching the cache layer…");
+    let mut oci = OciDir::new();
+    oci.export("hello.dist", result.images["dist"].manifest_digest, &store)
+        .unwrap();
+    let base_fs = comtainer_suite::oci::flatten(&store, &stock.base).unwrap();
+    let ext_ref = comtainer_build(
+        &mut oci,
+        "hello.dist",
+        &result.containers["build"],
+        &result.traces["build"],
+        &base_fs,
+    )
+    .unwrap();
+    println!("      extended image ref: {ext_ref}");
+    println!("      index refs: {:?}", oci.index.ref_names());
+
+    // --- system side: rebuild with the native toolchain -------------------
+    println!("[3/5] coMtainer-rebuild on the target system (vendor toolchain)…");
+    let side = SystemSide::native(isa, scale).unwrap();
+    let re_ref = comtainer_rebuild(&mut oci, &ext_ref, &side, &RebuildOptions::default()).unwrap();
+    println!("      rebuilt image ref: {re_ref}");
+
+    // --- redirect: the final optimized image ------------------------------
+    println!("[4/5] coMtainer-redirect: committing the optimized image…");
+    let opt_ref = comtainer_redirect(&mut oci, &re_ref, &side).unwrap();
+    let optimized = oci.load_image(&opt_ref).unwrap();
+    println!("      optimized image: {opt_ref} ({})", optimized.manifest_digest.short());
+
+    // --- compare the binaries ---------------------------------------------
+    println!("[5/5] comparing binaries…");
+    let orig_fs = comtainer_suite::oci::flatten(&oci.blobs, &oci.load_image("hello.dist").unwrap()).unwrap();
+    let opt_fs = comtainer_suite::oci::flatten(&oci.blobs, &optimized).unwrap();
+    let orig_bin =
+        comtainer_suite::toolchain::artifact::read_linked(&orig_fs.read("/app/hello").unwrap())
+            .unwrap();
+    let opt_bin =
+        comtainer_suite::toolchain::artifact::read_linked(&opt_fs.read("/app/hello").unwrap())
+            .unwrap();
+    println!(
+        "      original : toolchain={} march={} quality={:.2}",
+        orig_bin.opt.toolchain,
+        orig_bin.target.as_ref().unwrap().march,
+        orig_bin.opt.codegen_quality
+    );
+    println!(
+        "      optimized: toolchain={} march={} quality={:.2}",
+        opt_bin.opt.toolchain,
+        opt_bin.target.as_ref().unwrap().march,
+        opt_bin.opt.codegen_quality
+    );
+
+    // And run both on the simulated cluster.
+    let system = comtainer_suite::perfsim::x86_cluster();
+    let repo = catalog::system_repo_scaled(isa, scale);
+    let generic = catalog::generic_repo_scaled(isa, scale);
+    let t_orig = comtainer_suite::perfsim::execute(
+        &orig_bin,
+        &comtainer_suite::perfsim::lib_env_from_image(&orig_fs, &[&repo, &generic]),
+        &system,
+        1,
+    );
+    let t_opt = comtainer_suite::perfsim::execute(
+        &opt_bin,
+        &comtainer_suite::perfsim::lib_env_from_image(&opt_fs, &[&repo, &generic]),
+        &system,
+        1,
+    );
+    println!(
+        "      simulated single-node run: original {:.2}s → optimized {:.2}s ({:+.1}%)",
+        t_orig.seconds,
+        t_opt.seconds,
+        (t_orig.seconds / t_opt.seconds - 1.0) * 100.0
+    );
+}

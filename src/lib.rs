@@ -1,0 +1,18 @@
+//! Umbrella crate for the coMtainer reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that workspace-level
+//! examples (`examples/`) and integration tests (`tests/`) can reach the
+//! whole system through one dependency. The actual functionality lives in
+//! the `crates/` members; start with [`comtainer`] for the paper's core
+//! contribution.
+
+pub use comt_buildsys as buildsys;
+pub use comt_digest as digest;
+pub use comt_oci as oci;
+pub use comt_perfsim as perfsim;
+pub use comt_pkg as pkg;
+pub use comt_tar as tar;
+pub use comt_toolchain as toolchain;
+pub use comt_vfs as vfs;
+pub use comt_workloads as workloads;
+pub use comtainer as core;

@@ -1,0 +1,66 @@
+//! Cross-ISA integration (paper §5.5): extended images built on x86-64
+//! processed on the AArch64 system side.
+
+use comt_bench::Lab;
+use comtainer_suite::core::crossisa::{analyze_cross, Blocker};
+use comtainer_suite::core::{load_cache, rebuild_artifacts, RebuildOptions, SystemSide};
+use comtainer_suite::pkg::catalog;
+
+#[test]
+fn isa_locked_app_is_blocked() {
+    // comd carries ISA-specific source (its SIMD force loops): the
+    // analysis flags it and the rebuild genuinely fails.
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    let art = lab.prepare_app("comd");
+    let cache = load_cache(&art.oci, "comd.dist+coM").unwrap();
+
+    let report = analyze_cross(&cache, "aarch64");
+    assert!(!report.portable());
+    assert!(!report.portable_with_script_edits());
+    assert!(report
+        .blockers
+        .iter()
+        .any(|b| matches!(b, Blocker::IsaSpecificSource { isa, .. } if isa == "x86_64")));
+
+    let arm = SystemSide::native("aarch64", catalog::MINI_SCALE).unwrap();
+    let err = rebuild_artifacts(&cache, &arm, &RebuildOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("ISA-specific"), "{err}");
+}
+
+#[test]
+fn flag_blocked_app_crosses_with_script_edits() {
+    // minimd's only x86-ism is a `-mfma` flag: analysis says
+    // script-fixable, and dropping the flag makes the rebuild succeed on
+    // the AArch64 system with its native toolchain.
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    let art = lab.prepare_app("minimd");
+    let cache = load_cache(&art.oci, "minimd.dist+coM").unwrap();
+
+    let report = analyze_cross(&cache, "aarch64");
+    assert!(!report.portable());
+    assert!(report.portable_with_script_edits());
+
+    let arm = SystemSide::native("aarch64", catalog::MINI_SCALE).unwrap();
+    // Unmodified: fails (the flag would mean nothing / break on aarch64 —
+    // our model rejects the foreign-ISA flag via the compile).
+    assert!(rebuild_artifacts(&cache, &arm, &RebuildOptions::default()).is_err());
+
+    // The "minor modification": strip the flag from the recorded commands.
+    let mut ported = load_cache(&art.oci, "minimd.dist+coM").unwrap();
+    for cmd in &mut ported.trace.commands {
+        cmd.argv.retain(|t| t != "-mfma");
+    }
+    let artifacts = rebuild_artifacts(&ported, &arm, &RebuildOptions::default()).unwrap();
+    let bin =
+        comtainer_suite::toolchain::artifact::read_linked(&artifacts["/app/minimd"]).unwrap();
+    assert_eq!(bin.target.as_ref().unwrap().isa, "aarch64");
+    assert_eq!(bin.opt.toolchain, "vendor-arm");
+}
+
+#[test]
+fn same_isa_rebuild_never_blocked() {
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    let art = lab.prepare_app("comd");
+    let cache = load_cache(&art.oci, "comd.dist+coM").unwrap();
+    assert!(analyze_cross(&cache, "x86_64").portable());
+}

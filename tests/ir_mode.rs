@@ -1,0 +1,161 @@
+//! The LLVM-IR distribution alternative (paper §4.6 discussion):
+//! "we can use other higher-level IRs, such as LLVM IR as alternatives to
+//! source code. But this approach limits package replacement flexibility …
+//! Once compiled, the application becomes tightly coupled with specific
+//! package versions."
+//!
+//! These tests exercise the `CacheMode::Ir` pipeline and verify the
+//! tradeoff: IR mode still gets toolchain retargeting (`cxxo`) but
+//! forfeits package replacement (`libo`), so the source-mode adapted image
+//! outruns the IR-mode one.
+
+use comt_bench::Lab;
+use comtainer_suite::buildsys::{Builder, Executor};
+use comtainer_suite::core::{
+    comtainer_build_mode, comtainer_rebuild, comtainer_redirect, CacheMode, RebuildOptions,
+};
+use comtainer_suite::oci::layout::OciDir;
+use comtainer_suite::perfsim::{execute_with_deck, lib_env_from_image};
+use comtainer_suite::pkg::catalog;
+use comtainer_suite::toolchain::Toolchain;
+use comt_workloads::{containerfile, deck, source_tree};
+
+/// Build the minife extended image in the given cache mode and adapt it;
+/// return the adapted image's run time plus the cache contents summary.
+fn adapt_with_mode(mode: CacheMode) -> (f64, usize, bool, String) {
+    let isa = "x86_64";
+    let scale = catalog::MINI_SCALE;
+    let mut lab = Lab::new(isa, scale);
+
+    let context = source_tree("minife", isa, scale).unwrap();
+    let cf = containerfile("minife", isa).unwrap();
+    let executor = Executor::new(isa, vec![Toolchain::distro_gcc()])
+        .with_repo(catalog::generic_repo_scaled(isa, scale));
+    let env_image = lab.stock.env.clone();
+    let base_image = lab.stock.base.clone();
+    let mut builder = Builder::new(&mut lab.store, executor);
+    builder.tag("comt:x86-64.env", &env_image);
+    builder.tag("comt:x86-64.base", &base_image);
+    let result = builder.build("minife", &cf, &context).unwrap();
+
+    let mut oci = OciDir::new();
+    oci.export(
+        "minife.dist",
+        result.images["dist"].manifest_digest,
+        &lab.store,
+    )
+    .unwrap();
+    let base_fs = comtainer_suite::oci::flatten(&lab.store, &lab.stock.base).unwrap();
+    let ext = comtainer_build_mode(
+        &mut oci,
+        "minife.dist",
+        &result.containers["build"],
+        &result.traces["build"],
+        &base_fs,
+        mode,
+    )
+    .unwrap();
+
+    let cache = comtainer_suite::core::load_cache(&oci, &ext).unwrap();
+    let has_sources = cache
+        .sources
+        .keys()
+        .any(|p| p.ends_with(".cc") || p.ends_with(".h"));
+    let n_cache_files = cache.sources.len();
+
+    let side = lab.system_side();
+    let re = comtainer_rebuild(&mut oci, &ext, &side, &RebuildOptions::default()).unwrap();
+    let opt = comtainer_redirect(&mut oci, &re, &side).unwrap();
+    let image = oci.load_image(&opt).unwrap();
+    let fs = comtainer_suite::oci::flatten(&oci.blobs, &image).unwrap();
+    let bin =
+        comtainer_suite::toolchain::artifact::read_linked(&fs.read("/app/minife").unwrap())
+            .unwrap();
+    let env = lib_env_from_image(
+        &fs,
+        &[
+            &catalog::system_repo_scaled(isa, scale),
+            &catalog::generic_repo_scaled(isa, scale),
+        ],
+    );
+    let d = deck("minife", "", isa, 16);
+    let seconds = execute_with_deck(&bin, &d, &env, &lab.system, 16).seconds;
+
+    let blas = comtainer_suite::pkg::installed_packages(&fs)
+        .unwrap()
+        .into_iter()
+        .find(|r| r.package == "libopenblas0")
+        .map(|r| r.version.to_string())
+        .unwrap_or_default();
+    (seconds, n_cache_files, has_sources, blas)
+}
+
+#[test]
+fn ir_mode_trades_libo_for_privacy() {
+    let (src_time, src_files, src_has_sources, src_blas) = adapt_with_mode(CacheMode::Source);
+    let (ir_time, ir_files, ir_has_sources, ir_blas) = adapt_with_mode(CacheMode::Ir);
+
+    // Source mode ships sources; IR mode ships only .o artifacts.
+    assert!(src_has_sources);
+    assert!(!ir_has_sources, "no source text in the IR cache");
+    assert!(src_files > 0 && ir_files > 0);
+
+    // Source mode gets the vendor BLAS (libo); IR mode stays pinned to
+    // the generic build-time version.
+    assert!(src_blas.contains("vendor"), "source mode: {src_blas}");
+    assert!(!ir_blas.contains("vendor"), "IR mode pinned: {ir_blas}");
+
+    // Both get the toolchain retarget (cxxo)… and therefore IR mode is
+    // slower overall, but not catastrophically: the paper's tradeoff.
+    assert!(
+        ir_time > src_time * 1.03,
+        "libo loss shows: src {src_time:.2}s vs ir {ir_time:.2}s"
+    );
+    assert!(
+        ir_time < src_time * 2.0,
+        "retargeting still recovered most of the gap: {ir_time:.2} vs {src_time:.2}"
+    );
+}
+
+#[test]
+fn ir_mode_binary_is_retargeted() {
+    let isa = "x86_64";
+    let scale = catalog::MINI_SCALE;
+    let mut lab = Lab::new(isa, scale);
+    let context = source_tree("hpccg", isa, scale).unwrap();
+    let cf = containerfile("hpccg", isa).unwrap();
+    let executor = Executor::new(isa, vec![Toolchain::distro_gcc()])
+        .with_repo(catalog::generic_repo_scaled(isa, scale));
+    let env_image = lab.stock.env.clone();
+    let base_image = lab.stock.base.clone();
+    let mut builder = Builder::new(&mut lab.store, executor);
+    builder.tag("comt:x86-64.env", &env_image);
+    builder.tag("comt:x86-64.base", &base_image);
+    let result = builder.build("hpccg", &cf, &context).unwrap();
+
+    let mut oci = OciDir::new();
+    oci.export("hpccg.dist", result.images["dist"].manifest_digest, &lab.store)
+        .unwrap();
+    let base_fs = comtainer_suite::oci::flatten(&lab.store, &lab.stock.base).unwrap();
+    let ext = comtainer_build_mode(
+        &mut oci,
+        "hpccg.dist",
+        &result.containers["build"],
+        &result.traces["build"],
+        &base_fs,
+        CacheMode::Ir,
+    )
+    .unwrap();
+    let side = lab.system_side();
+    let re = comtainer_rebuild(&mut oci, &ext, &side, &RebuildOptions::default()).unwrap();
+    let artifacts = comtainer_suite::core::cache::load_rebuild(&oci, &re).unwrap();
+    let bin =
+        comtainer_suite::toolchain::artifact::read_linked(&artifacts["/app/hpccg"]).unwrap();
+    // Re-codegen from IR: vendor toolchain, native march, wider vectors.
+    assert_eq!(bin.opt.toolchain, "vendor-x86");
+    assert_eq!(bin.target.as_ref().unwrap().march, "icelake-server");
+    assert_eq!(bin.opt.vector_width, 8);
+    // Symbols and kernel metadata survived from the IR.
+    assert!(bin.defined.contains(&"main".to_string()));
+    assert!(bin.kernel.get("vec_frac") > 0.0);
+}

@@ -1,0 +1,139 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs across the substrate boundary.
+
+use bytes::Bytes;
+use comtainer_suite::oci::{flatten, BlobStore, ImageBuilder};
+use comtainer_suite::pkg::Version;
+use comtainer_suite::toolchain::parse_source;
+use comtainer_suite::vfs::Vfs;
+use proptest::prelude::*;
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,6}", 1..4).prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Building an image from arbitrary filesystem states and flattening it
+    /// reproduces the state exactly — the OCI layer pipeline is lossless.
+    #[test]
+    fn image_build_flatten_roundtrip(
+        files in prop::collection::btree_map(arb_path(), prop::collection::vec(any::<u8>(), 0..128), 1..20)
+    ) {
+        let mut fs = Vfs::new();
+        for (p, content) in &files {
+            // Later writes may conflict with earlier dirs; skip those.
+            let _ = fs.write_file_p(p, Bytes::from(content.clone()), 0o644);
+        }
+        let mut store = BlobStore::new();
+        let img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(&mut store)
+            .unwrap();
+        prop_assert_eq!(flatten(&store, &img).unwrap(), fs);
+    }
+
+    /// Two-layer builds flatten identically to the final state.
+    #[test]
+    fn two_layer_flatten(
+        files_a in prop::collection::btree_map(arb_path(), any::<u8>(), 1..12),
+        files_b in prop::collection::btree_map(arb_path(), any::<u8>(), 1..12),
+    ) {
+        let mut base = Vfs::new();
+        for (p, b) in &files_a {
+            let _ = base.write_file_p(p, Bytes::from(vec![*b]), 0o644);
+        }
+        let mut upper = base.clone();
+        for (p, b) in &files_b {
+            let _ = upper.write_file_p(p, Bytes::from(vec![*b, *b]), 0o644);
+        }
+        let mut store = BlobStore::new();
+        let base_img = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &base)
+            .commit(&mut store)
+            .unwrap();
+        let app = ImageBuilder::from_base(&store, &base_img)
+            .unwrap()
+            .with_layer_from_fs(&base, &upper)
+            .commit(&mut store)
+            .unwrap();
+        prop_assert_eq!(flatten(&store, &app).unwrap(), upper);
+    }
+
+    /// Debian version comparison is a total order: antisymmetric and
+    /// transitive over arbitrary version strings.
+    #[test]
+    fn version_order_is_total(
+        raw in prop::collection::vec("[0-9]{1,3}(\\.[0-9]{1,3}){0,2}(~rc[0-9])?(-[0-9a-z]{1,6})?", 3)
+    ) {
+        let v: Vec<Version> = raw.iter().map(|s| Version::new(s)).collect();
+        // Antisymmetry.
+        for a in &v {
+            for b in &v {
+                if a < b {
+                    prop_assert!(b > a);
+                    prop_assert!(a != b);
+                }
+            }
+        }
+        // Transitivity.
+        if v[0] <= v[1] && v[1] <= v[2] {
+            prop_assert!(v[0] <= v[2]);
+        }
+    }
+
+    /// Minification never changes the semantics the rebuild depends on.
+    #[test]
+    fn minify_preserves_annotations(
+        provides in prop::collection::vec("[a-z_][a-z0-9_]{0,10}", 1..5),
+        externs in prop::collection::vec("[a-z]{1,5}:[a-z_]{1,8}", 0..4),
+        kernel_val in 0.0f64..1e15,
+        filler in prop::collection::vec("[a-z0-9 +*=\\[\\];]{0,60}", 0..30),
+    ) {
+        let mut src = format!("#pragma comt provides({})\n", provides.join(", "));
+        if !externs.is_empty() {
+            src.push_str(&format!("#pragma comt extern({})\n", externs.join(", ")));
+        }
+        src.push_str(&format!("#pragma comt kernel(flops={kernel_val})\n"));
+        for line in &filler {
+            src.push_str(line);
+            src.push('\n');
+        }
+        let min = comtainer_suite::core::minify::minify_source(&src);
+        let orig = parse_source(&src);
+        let back = parse_source(&min);
+        prop_assert_eq!(back.provides, orig.provides);
+        prop_assert_eq!(back.externs, orig.externs);
+        prop_assert_eq!(back.kernel, orig.kernel);
+    }
+
+    /// Command lines round-trip through parse/unparse for arbitrary mixes
+    /// of known options.
+    #[test]
+    fn cmdline_roundtrip(
+        opts in prop::collection::vec(
+            prop_oneof![
+                Just("-O2".to_string()),
+                Just("-O3".to_string()),
+                Just("-c".to_string()),
+                Just("-fopenmp".to_string()),
+                Just("-flto".to_string()),
+                Just("-ffast-math".to_string()),
+                Just("-Wall".to_string()),
+                "[a-z]{1,8}\\.c".prop_map(|f| f),
+                "-I[a-z]{1,8}".prop_map(|f| f),
+                "-D[A-Z]{1,8}=1".prop_map(|f| f),
+                "-l[a-z]{1,6}".prop_map(|f| f),
+                "-march=[a-z0-9-]{2,12}".prop_map(|f| f),
+            ],
+            0..12,
+        )
+    ) {
+        let mut argv = vec!["gcc".to_string()];
+        argv.extend(opts);
+        if let Ok(inv) = comtainer_suite::toolchain::CompilerInvocation::parse(&argv) {
+            prop_assert_eq!(inv.to_argv(), argv);
+        }
+    }
+}

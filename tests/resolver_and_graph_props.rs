@@ -1,0 +1,115 @@
+//! Property tests over the dependency resolver and the build graph:
+//! structural invariants for randomly generated inputs.
+
+use comtainer_suite::core::models::{BuildGraph, CompilationModel};
+use comtainer_suite::pkg::{resolve_install, Dependency, Package, Repository};
+use proptest::prelude::*;
+
+/// A random acyclic dependency universe: package i may depend on packages
+/// with larger indices (guaranteeing a DAG).
+fn arb_universe() -> impl Strategy<Value = Vec<Vec<prop::sample::Index>>> {
+    prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..4), 2..20)
+}
+
+fn build_repo(universe: &[Vec<prop::sample::Index>]) -> Repository {
+    let n = universe.len();
+    let mut repo = Repository::new("prop");
+    for (i, deps) in universe.iter().enumerate() {
+        let dep_names: Vec<String> = deps
+            .iter()
+            .map(|idx| {
+                // Only depend "forward" to keep the universe acyclic.
+                let j = i + 1 + (idx.index(n - i).saturating_sub(1)).min(n - i - 1);
+                format!("pkg{}", j.min(n - 1))
+            })
+            .filter(|d| d != &format!("pkg{i}"))
+            .collect();
+        let mut p = Package::new(&format!("pkg{i}"), "1.0-1", "amd64");
+        if !dep_names.is_empty() {
+            p = p.with_depends(&dep_names.join(", "));
+        }
+        repo.add(p);
+    }
+    repo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Resolution of any package in an acyclic universe succeeds, contains
+    /// the request, is dependency-closed, duplicate-free, and ordered with
+    /// dependencies before dependents.
+    #[test]
+    fn resolver_invariants(universe in arb_universe(), pick in any::<prop::sample::Index>()) {
+        let repo = build_repo(&universe);
+        let target = format!("pkg{}", pick.index(universe.len()));
+        let dep: Dependency = target.parse().unwrap();
+        let closure = resolve_install(&repo, &[dep]).unwrap();
+
+        // Contains the request.
+        prop_assert!(closure.iter().any(|p| p.name == target));
+        // Duplicate-free.
+        let mut names: Vec<&str> = closure.iter().map(|p| p.name.as_str()).collect();
+        let len = names.len();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(names.len(), len);
+        // Closed + ordered: every dependency of an element appears earlier.
+        for (i, p) in closure.iter().enumerate() {
+            for d in &p.depends {
+                let name = &d.alternatives[0].name;
+                let pos = closure.iter().position(|q| q.satisfies_name(name));
+                prop_assert!(pos.is_some(), "closure misses {name}");
+                prop_assert!(pos.unwrap() < i, "{name} must precede {}", p.name);
+            }
+        }
+    }
+
+    /// Random build traces (object per source, batched archives, one link)
+    /// always yield an acyclic graph whose topological levels respect
+    /// dependencies, and whose required leaves are exactly the sources.
+    #[test]
+    fn build_graph_invariants(n_units in 1usize..40, batch in 2usize..8) {
+        let mut g = BuildGraph::new();
+        let cmd = |s: &str| {
+            let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+            CompilationModel::classify(&argv, "/src", &[], &[])
+        };
+        for i in 0..n_units {
+            g.record_production(
+                &format!("/src/u{i}.o"),
+                &[format!("/src/u{i}.c")],
+                cmd(&format!("gcc -c u{i}.c")),
+            );
+        }
+        let mut archives = Vec::new();
+        for (a, chunk) in (0..n_units).collect::<Vec<_>>().chunks(batch).enumerate() {
+            let members: Vec<String> = chunk.iter().map(|i| format!("/src/u{i}.o")).collect();
+            let ar = format!("/src/lib{a}.a");
+            g.record_production(&ar, &members, cmd(&format!("ar rcs lib{a}.a …")));
+            archives.push(ar);
+        }
+        g.record_production("/src/app", &archives, cmd("gcc -o app …"));
+
+        let levels = g.topo_levels().unwrap();
+        // Three strata: objects, archives, binary.
+        prop_assert_eq!(levels.len(), 3);
+        prop_assert_eq!(levels[0].len(), n_units);
+        prop_assert_eq!(levels[2].len(), 1);
+        // Every node's deps live in strictly earlier levels.
+        let level_of = |id| levels.iter().position(|l| l.contains(&id));
+        for node in g.products() {
+            let my_level = level_of(node.id).unwrap();
+            for d in &node.deps {
+                if let Some(dl) = level_of(*d) {
+                    prop_assert!(dl < my_level);
+                }
+            }
+        }
+        // Required leaves of the binary = all sources.
+        let app = g.by_path("/src/app").unwrap().id;
+        let leaves = g.required_leaves(&[app]);
+        prop_assert_eq!(leaves.len(), n_units);
+        prop_assert!(leaves.iter().all(|n| n.path.ends_with(".c")));
+    }
+}
