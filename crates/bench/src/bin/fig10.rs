@@ -127,9 +127,9 @@ fn bolt(lab: &mut Lab) {
         "openmx.dist+coM",
         &side,
         &RebuildOptions {
-            parallel: false,
             extra_files: extra,
             post_link_layout: true,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -10,8 +10,8 @@ use comt_toolchain::artifact::LinkedBinary;
 use comt_toolchain::Toolchain;
 use comt_vfs::Vfs;
 use comtainer::{
-    comtainer_build, comtainer_redirect, comtainer_rebuild, LtoAdapter, PgoAdapter,
-    RebuildOptions, StockImages, SystemSide,
+    comtainer_build, comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect,
+    LtoAdapter, PgoAdapter, RebuildOptions, StockImages, SystemSide,
 };
 use comt_workloads::{containerfile, deck, source_tree, WorkloadRef};
 
@@ -65,6 +65,9 @@ pub struct AppArtifacts {
     pub adapted: Image,
     /// Cache layer size in bytes (Table 3).
     pub cache_layer_size: u64,
+    /// Engine observability report from the adapted rebuild (stage spans,
+    /// step/cache counters, scheduler stats).
+    pub rebuild_report: comt_observe::Report,
 }
 
 impl Lab {
@@ -128,8 +131,8 @@ impl Lab {
 
         // --- system side: rebuild + redirect (adapted) -------------------
         let side = self.system_side();
-        let rebuilt_ref =
-            comtainer_rebuild(&mut oci, &extended_ref, &side, &RebuildOptions::default())
+        let (rebuilt_ref, rebuild_report) =
+            comtainer_rebuild_with_report(&mut oci, &extended_ref, &side, &RebuildOptions::default())
                 .expect("coMtainer-rebuild");
         let opt_ref = comtainer_redirect(&mut oci, &rebuilt_ref, &side).expect("redirect");
         let adapted = oci.load_image(&opt_ref).expect("adapted image");
@@ -145,6 +148,7 @@ impl Lab {
             native_env,
             adapted,
             cache_layer_size,
+            rebuild_report,
         }
     }
 
@@ -240,9 +244,8 @@ impl Lab {
             &extended_ref,
             &use_side,
             &RebuildOptions {
-                parallel: false,
                 extra_files: extra,
-                post_link_layout: false,
+                ..Default::default()
             },
         )
         .expect("pgo use rebuild");
@@ -316,6 +319,11 @@ mod tests {
             app: "hpccg",
             input: "",
         };
+
+        // The adapted rebuild went through the instrumented engine.
+        assert!(art.rebuild_report.counter("steps.total") > 0);
+        assert!(art.rebuild_report.counter("steps.compile") > 0);
+        assert!(art.rebuild_report.span("stage.replay").count > 0);
 
         let orig = lab.run(&mut art, &w, Scheme::Original, 16);
         let native = lab.run(&mut art, &w, Scheme::Native, 16);

@@ -1,0 +1,324 @@
+//! The stage builder: drive a [`Containerfile`] over an OCI blob store.
+//!
+//! Each stage starts from a tagged base image flattened to a rootfs, runs
+//! its instructions through the [`Executor`] (recording the trace), and is
+//! committed as a new image layered on top of its base — so the final
+//! image's layers share the base's prefix, exactly like a real container
+//! build.
+
+use crate::containerfile::{Containerfile, Instruction};
+use crate::exec::{Container, ExecError, Executor};
+use crate::trace::BuildTrace;
+use comt_oci::{BlobStore, Image, ImageBuilder};
+use comt_vfs::Vfs;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-stage results of a build, keyed by stage name.
+#[derive(Debug, Default)]
+pub struct BuildResult {
+    /// Committed image of each stage.
+    pub images: BTreeMap<String, Image>,
+    /// Final container state of each stage.
+    pub containers: BTreeMap<String, Container>,
+    /// Recorded trace of each stage.
+    pub traces: BTreeMap<String, BuildTrace>,
+}
+
+/// Errors building a Containerfile.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A stage's base is neither a registered tag nor a previous stage.
+    UnknownBase(String),
+    /// `COPY --from=` names a stage that has not been built.
+    UnknownStage(String),
+    /// A `COPY` source path does not exist.
+    MissingCopySource(String),
+    /// OCI-level failure flattening or committing an image.
+    Image(comt_oci::ImageError),
+    /// Filesystem failure applying an instruction.
+    Fs(String),
+    /// A `RUN` command failed. The source is boxed to keep the
+    /// `Result` small on the hot build path (clippy: result_large_err).
+    Step {
+        stage: String,
+        cmd: String,
+        source: Box<ExecError>,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownBase(b) => write!(f, "unknown base image {b:?}"),
+            BuildError::UnknownStage(s) => write!(f, "COPY --from unknown stage {s:?}"),
+            BuildError::MissingCopySource(p) => write!(f, "COPY source {p:?} not found"),
+            BuildError::Image(e) => write!(f, "{e}"),
+            BuildError::Fs(e) => write!(f, "{e}"),
+            BuildError::Step { stage, cmd, source } => {
+                write!(f, "stage {stage:?}: RUN {cmd}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Image(e) => Some(e),
+            BuildError::Step { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<comt_oci::ImageError> for BuildError {
+    fn from(e: comt_oci::ImageError) -> Self {
+        BuildError::Image(e)
+    }
+}
+
+/// Drives Containerfile builds over a blob store.
+pub struct Builder<'a> {
+    store: &'a mut BlobStore,
+    executor: Executor,
+    tags: BTreeMap<String, Image>,
+}
+
+impl<'a> Builder<'a> {
+    pub fn new(store: &'a mut BlobStore, executor: Executor) -> Self {
+        Builder {
+            store,
+            executor,
+            tags: BTreeMap::new(),
+        }
+    }
+
+    /// Register a base image under a tag (`FROM <tag>` resolves here).
+    pub fn tag(&mut self, name: &str, image: &Image) {
+        self.tags.insert(name.to_string(), image.clone());
+    }
+
+    /// Build every stage of the Containerfile. `_name` labels the build in
+    /// diagnostics; results are keyed by stage name.
+    pub fn build(
+        &mut self,
+        _name: &str,
+        cf: &Containerfile,
+        context: &Vfs,
+    ) -> Result<BuildResult, BuildError> {
+        let mut result = BuildResult::default();
+        for stage in &cf.stages {
+            let base_image = self
+                .tags
+                .get(&stage.base)
+                .cloned()
+                .or_else(|| result.images.get(&stage.base).cloned())
+                .ok_or_else(|| BuildError::UnknownBase(stage.base.clone()))?;
+            let base_fs = comt_oci::flatten(self.store, &base_image)?;
+
+            let mut container = Container {
+                fs: base_fs.clone(),
+                env: base_image
+                    .config
+                    .config
+                    .env
+                    .iter()
+                    .filter_map(|l| l.split_once('='))
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                workdir: "/".to_string(),
+                isa: self.executor.isa.clone(),
+            };
+            container
+                .env
+                .entry("PATH".into())
+                .or_insert_with(|| "/usr/local/bin:/usr/bin:/bin".into());
+            let mut trace = BuildTrace::default();
+
+            for inst in &stage.instructions {
+                match inst {
+                    Instruction::Run(argv) => {
+                        self.executor
+                            .run(&mut container, argv, &mut trace)
+                            .map_err(|e| BuildError::Step {
+                                stage: stage.name.clone(),
+                                cmd: argv.join(" "),
+                                source: Box::new(e),
+                            })?;
+                    }
+                    Instruction::Env(k, v) => {
+                        container.env.insert(k.clone(), v.clone());
+                    }
+                    Instruction::Workdir(p) => {
+                        container
+                            .fs
+                            .mkdir_p(p)
+                            .map_err(|e| BuildError::Fs(format!("WORKDIR {p}: {e}")))?;
+                        container.workdir = p.clone();
+                    }
+                    Instruction::Copy { from, src, dst } => {
+                        let src_fs: &Vfs = match from {
+                            Some(stage_name) => {
+                                &result
+                                    .containers
+                                    .get(stage_name)
+                                    .ok_or_else(|| BuildError::UnknownStage(stage_name.clone()))?
+                                    .fs
+                            }
+                            None => context,
+                        };
+                        copy_tree(src_fs, src, &mut container.fs, dst)?;
+                    }
+                }
+            }
+
+            let image = ImageBuilder::from_base(self.store, &base_image)?
+                .with_layer_from_fs(&base_fs, &container.fs)
+                .commit(self.store)?;
+            result.images.insert(stage.name.clone(), image);
+            result.containers.insert(stage.name.clone(), container);
+            result.traces.insert(stage.name.clone(), trace);
+        }
+        Ok(result)
+    }
+}
+
+/// Copy a file or directory tree between filesystems (`COPY` semantics:
+/// a directory source is copied *into* the destination path).
+fn copy_tree(src_fs: &Vfs, src: &str, dst_fs: &mut Vfs, dst: &str) -> Result<(), BuildError> {
+    let spath = comt_vfs::join("/", src);
+    let dpath = comt_vfs::normalize(dst);
+    if let Some(node) = src_fs.lstat(&spath) {
+        if !node.is_dir() {
+            dst_fs
+                .mkdir_p(&comt_vfs::parent(&dpath))
+                .map_err(|e| BuildError::Fs(format!("COPY {dst}: {e}")))?;
+            dst_fs
+                .insert_node(&dpath, node.clone())
+                .map_err(|e| BuildError::Fs(format!("COPY {dst}: {e}")))?;
+            return Ok(());
+        }
+        // Directory: mirror everything underneath.
+        let prefix = if spath == "/" { String::new() } else { spath.clone() };
+        dst_fs
+            .mkdir_p(&dpath)
+            .map_err(|e| BuildError::Fs(format!("COPY {dst}: {e}")))?;
+        let entries: Vec<(String, comt_vfs::Node)> = src_fs
+            .walk_prefix(&spath)
+            .into_iter()
+            .map(|(p, n)| (p.clone(), n.clone()))
+            .collect();
+        for (path, node) in entries {
+            let rel = &path[prefix.len()..];
+            if rel.is_empty() {
+                continue;
+            }
+            let target = format!("{dpath}{rel}");
+            if node.is_dir() {
+                dst_fs
+                    .mkdir_p(&target)
+                    .map_err(|e| BuildError::Fs(format!("COPY {target}: {e}")))?;
+            } else {
+                dst_fs
+                    .mkdir_p(&comt_vfs::parent(&target))
+                    .map_err(|e| BuildError::Fs(format!("COPY {target}: {e}")))?;
+                dst_fs
+                    .insert_node(&target, node)
+                    .map_err(|e| BuildError::Fs(format!("COPY {target}: {e}")))?;
+            }
+        }
+        Ok(())
+    } else {
+        Err(BuildError::MissingCopySource(spath))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use comt_toolchain::Toolchain;
+
+    fn base_image(store: &mut BlobStore) -> Image {
+        let mut fs = Vfs::new();
+        fs.write_file_p("/usr/bin/bash", Bytes::from_static(b"#!bash"), 0o755)
+            .unwrap();
+        ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &fs)
+            .commit(store)
+            .unwrap()
+    }
+
+    #[test]
+    fn two_stage_build_records_and_layers() {
+        let mut store = BlobStore::new();
+        let base = base_image(&mut store);
+        let cf = Containerfile::parse(
+            r#"
+FROM base AS build
+WORKDIR /src
+COPY src /src
+RUN gcc -O2 -c main.c -o main.o
+RUN gcc main.o -o app
+
+FROM base AS dist
+COPY --from=build /src/app /app/run
+COPY data.bin /app/run.data
+"#,
+        )
+        .unwrap();
+        let mut context = Vfs::new();
+        context
+            .write_file_p(
+                "/src/main.c",
+                Bytes::from_static(b"#pragma comt provides(main)\nint main(){}\n"),
+                0o644,
+            )
+            .unwrap();
+        context
+            .write_file_p("/data.bin", Bytes::from_static(b"1 2 3"), 0o644)
+            .unwrap();
+
+        let executor = Executor::new("x86_64", vec![Toolchain::distro_gcc()]);
+        let mut builder = Builder::new(&mut store, executor);
+        builder.tag("base", &base);
+        let result = builder.build("app", &cf, &context).unwrap();
+
+        // Build stage ran and recorded the two toolchain commands.
+        assert_eq!(result.traces["build"].commands.len(), 2);
+        assert!(result.containers["build"].fs.exists("/src/app"));
+
+        // Dist stage carried the binary + data and layered on the base.
+        let dist = &result.images["dist"];
+        assert_eq!(dist.manifest.layers.len(), base.manifest.layers.len() + 1);
+        assert_eq!(dist.manifest.layers[0], base.manifest.layers[0]);
+        let fs = comt_oci::flatten(&store, dist).unwrap();
+        assert!(fs.exists("/app/run"));
+        assert_eq!(fs.read_string("/app/run.data").unwrap(), "1 2 3");
+        assert!(fs.exists("/usr/bin/bash"));
+    }
+
+    #[test]
+    fn unknown_base_is_an_error() {
+        let mut store = BlobStore::new();
+        let cf = Containerfile::parse("FROM ghost AS s\n").unwrap();
+        let executor = Executor::new("x86_64", vec![]);
+        let mut builder = Builder::new(&mut store, executor);
+        let err = builder.build("x", &cf, &Vfs::new()).unwrap_err();
+        assert!(matches!(err, BuildError::UnknownBase(_)));
+    }
+
+    #[test]
+    fn failing_run_reports_stage_and_command() {
+        let mut store = BlobStore::new();
+        let base = base_image(&mut store);
+        let cf = Containerfile::parse("FROM base AS build\nRUN gcc -c missing.c\n").unwrap();
+        let executor = Executor::new("x86_64", vec![Toolchain::distro_gcc()]);
+        let mut builder = Builder::new(&mut store, executor);
+        builder.tag("base", &base);
+        let err = builder.build("x", &cf, &Vfs::new()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("build") && msg.contains("missing.c"), "{msg}");
+    }
+}

@@ -1,0 +1,273 @@
+//! The Containerfile model: a minimal multi-stage build script.
+//!
+//! Supports the instruction subset the paper's workloads exercise —
+//! `FROM … AS …`, `RUN`, `COPY [--from=stage]`, `ENV`, `WORKDIR` — with a
+//! renderer and a line-level diff used by the Figure 11 build-script
+//! porting-cost accounting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One Containerfile instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// `RUN argv…` (whitespace-split; no shell interpretation).
+    Run(Vec<String>),
+    /// `ENV KEY=VALUE`.
+    Env(String, String),
+    /// `WORKDIR path`.
+    Workdir(String),
+    /// `COPY [--from=stage] src dst`.
+    Copy {
+        /// Source stage name for `--from=`; `None` copies from the build
+        /// context.
+        from: Option<String>,
+        src: String,
+        dst: String,
+    },
+}
+
+impl Instruction {
+    fn render(&self) -> String {
+        match self {
+            Instruction::Run(argv) => format!("RUN {}", argv.join(" ")),
+            Instruction::Env(k, v) => format!("ENV {k}={v}"),
+            Instruction::Workdir(p) => format!("WORKDIR {p}"),
+            Instruction::Copy { from, src, dst } => match from {
+                Some(stage) => format!("COPY --from={stage} {src} {dst}"),
+                None => format!("COPY {src} {dst}"),
+            },
+        }
+    }
+}
+
+/// One build stage: `FROM base AS name` plus its instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    pub name: String,
+    pub base: String,
+    pub instructions: Vec<Instruction>,
+}
+
+/// A parsed multi-stage Containerfile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Containerfile {
+    pub stages: Vec<Stage>,
+}
+
+/// Parse errors with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerfileError {
+    /// An instruction before any `FROM`.
+    InstructionBeforeFrom(String),
+    /// A malformed instruction line.
+    Malformed(String),
+    /// An instruction keyword outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for ContainerfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerfileError::InstructionBeforeFrom(l) => {
+                write!(f, "instruction before FROM: {l:?}")
+            }
+            ContainerfileError::Malformed(l) => write!(f, "malformed instruction: {l:?}"),
+            ContainerfileError::Unsupported(l) => write!(f, "unsupported instruction: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerfileError {}
+
+impl Containerfile {
+    /// Parse a Containerfile text. Blank lines and `#` comments are
+    /// skipped; continuation lines are not supported.
+    pub fn parse(text: &str) -> Result<Self, ContainerfileError> {
+        let mut cf = Containerfile::default();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let rest = rest.trim();
+            if keyword.eq_ignore_ascii_case("FROM") {
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                let (base, name) = match tokens.as_slice() {
+                    [base] => (*base, format!("stage{}", cf.stages.len())),
+                    [base, kw, name] if kw.eq_ignore_ascii_case("AS") => {
+                        (*base, (*name).to_string())
+                    }
+                    _ => return Err(ContainerfileError::Malformed(line.to_string())),
+                };
+                cf.stages.push(Stage {
+                    name,
+                    base: base.to_string(),
+                    instructions: Vec::new(),
+                });
+                continue;
+            }
+            let stage = cf
+                .stages
+                .last_mut()
+                .ok_or_else(|| ContainerfileError::InstructionBeforeFrom(line.to_string()))?;
+            let inst = match keyword.to_ascii_uppercase().as_str() {
+                "RUN" => {
+                    let argv: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                    if argv.is_empty() {
+                        return Err(ContainerfileError::Malformed(line.to_string()));
+                    }
+                    Instruction::Run(argv)
+                }
+                "ENV" => {
+                    let (k, v) = rest
+                        .split_once('=')
+                        .or_else(|| rest.split_once(char::is_whitespace))
+                        .ok_or_else(|| ContainerfileError::Malformed(line.to_string()))?;
+                    Instruction::Env(k.trim().to_string(), v.trim().to_string())
+                }
+                "WORKDIR" => {
+                    if rest.is_empty() {
+                        return Err(ContainerfileError::Malformed(line.to_string()));
+                    }
+                    Instruction::Workdir(rest.to_string())
+                }
+                "COPY" => {
+                    let mut tokens: Vec<&str> = rest.split_whitespace().collect();
+                    let from = tokens
+                        .first()
+                        .and_then(|t| t.strip_prefix("--from="))
+                        .map(String::from);
+                    if from.is_some() {
+                        tokens.remove(0);
+                    }
+                    match tokens.as_slice() {
+                        [src, dst] => Instruction::Copy {
+                            from,
+                            src: (*src).to_string(),
+                            dst: (*dst).to_string(),
+                        },
+                        _ => return Err(ContainerfileError::Malformed(line.to_string())),
+                    }
+                }
+                _ => return Err(ContainerfileError::Unsupported(line.to_string())),
+            };
+            stage.instructions.push(inst);
+        }
+        Ok(cf)
+    }
+
+    /// Render back to Containerfile text (stages separated by a blank
+    /// line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("FROM {} AS {}\n", stage.base, stage.name));
+            for inst in &stage.instructions {
+                out.push_str(&inst.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Line-level edit distance between two scripts: `(added, deleted)`
+    /// counts over the rendered lines, as a multiset (a line moved without
+    /// change costs nothing). This is the Figure 11 metric: how many script
+    /// lines a user must touch to port a build.
+    pub fn line_diff(a: &Containerfile, b: &Containerfile) -> (usize, usize) {
+        let count = |cf: &Containerfile| -> BTreeMap<String, isize> {
+            let mut m = BTreeMap::new();
+            for line in cf.render().lines().filter(|l| !l.trim().is_empty()) {
+                *m.entry(line.to_string()).or_insert(0) += 1;
+            }
+            m
+        };
+        let ca = count(a);
+        let cb = count(b);
+        let mut added = 0usize;
+        let mut deleted = 0usize;
+        for (line, &n_b) in &cb {
+            let n_a = ca.get(line).copied().unwrap_or(0);
+            added += (n_b - n_a).max(0) as usize;
+        }
+        for (line, &n_a) in &ca {
+            let n_b = cb.get(line).copied().unwrap_or(0);
+            deleted += (n_a - n_b).max(0) as usize;
+        }
+        (added, deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# build stage
+FROM comt:x86-64.env AS build
+WORKDIR /src
+COPY src /src
+ENV CFLAGS=-O2
+RUN gcc -O2 -c main.c -o main.o
+RUN gcc main.o -o app
+
+FROM comt:x86-64.base AS dist
+COPY --from=build /src/app /app/run
+"#;
+
+    #[test]
+    fn parse_two_stage() {
+        let cf = Containerfile::parse(SAMPLE).unwrap();
+        assert_eq!(cf.stages.len(), 2);
+        assert_eq!(cf.stages[0].name, "build");
+        assert_eq!(cf.stages[0].base, "comt:x86-64.env");
+        assert_eq!(cf.stages[1].name, "dist");
+        assert_eq!(cf.stages[0].instructions.len(), 5);
+        assert!(matches!(
+            &cf.stages[1].instructions[0],
+            Instruction::Copy { from: Some(s), .. } if s == "build"
+        ));
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let cf = Containerfile::parse(SAMPLE).unwrap();
+        let re = Containerfile::parse(&cf.render()).unwrap();
+        assert_eq!(cf, re);
+    }
+
+    #[test]
+    fn env_with_space_separator() {
+        let cf = Containerfile::parse("FROM x AS a\nENV KEY value\n").unwrap();
+        assert_eq!(
+            cf.stages[0].instructions[0],
+            Instruction::Env("KEY".into(), "value".into())
+        );
+    }
+
+    #[test]
+    fn diff_counts_changed_lines_once_each_way() {
+        let a = Containerfile::parse(SAMPLE).unwrap();
+        let mut b = a.clone();
+        b.stages[0].base = "comt:aarch64.env".into();
+        b.stages[0]
+            .instructions
+            .push(Instruction::Run(vec!["true".into()]));
+        let (added, deleted) = Containerfile::line_diff(&a, &b);
+        assert_eq!((added, deleted), (2, 1));
+        assert_eq!(Containerfile::line_diff(&a, &a), (0, 0));
+    }
+
+    #[test]
+    fn instruction_before_from_rejected() {
+        assert!(matches!(
+            Containerfile::parse("RUN true\n"),
+            Err(ContainerfileError::InstructionBeforeFrom(_))
+        ));
+    }
+}

@@ -1,0 +1,31 @@
+//! The build system substrate: Containerfile model, build executor and the
+//! recorder producing the raw build trace.
+//!
+//! This crate plays the role of the container build engine in the paper's
+//! workflow (§4.1): the user writes a multi-stage Containerfile, the
+//! [`Builder`] executes it stage by stage over simulated containers, and —
+//! crucially for coMtainer — the *hijacker* records every toolchain command
+//! with its observed inputs and outputs into a [`BuildTrace`]. The trace is
+//! what the front-end later parses into the process models.
+//!
+//! * [`Containerfile`] — the parsed multi-stage build script
+//!   (`FROM`/`RUN`/`COPY [--from=…]`/`ENV`/`WORKDIR`).
+//! * [`Executor`] — command dispatch inside a container: package
+//!   installation (`apt-get install`) against a repository, compiler /
+//!   archiver commands through [`comt_toolchain::SimCompiler`], and a small
+//!   set of file utilities (`cp`, `mkdir`, `ln`).
+//! * [`Builder`] — drives a Containerfile over a [`comt_oci::BlobStore`]:
+//!   resolves stage bases from tags, flattens them to root filesystems,
+//!   runs the instructions and commits each stage as an OCI image.
+//! * [`BuildTrace`] / [`RawCommand`] — the recorded build process with a
+//!   plain-text serialization that round-trips through the cache layer.
+
+mod builder;
+mod containerfile;
+mod exec;
+mod trace;
+
+pub use builder::{BuildError, BuildResult, Builder};
+pub use containerfile::{Containerfile, ContainerfileError, Instruction, Stage};
+pub use exec::{Container, ExecError, Executor};
+pub use trace::{BuildTrace, RawCommand, TraceParseError};

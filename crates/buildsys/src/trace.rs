@@ -1,0 +1,226 @@
+//! The raw build trace: what the recorder (hijacker) captures.
+//!
+//! Every command the executor runs is recorded with its working directory,
+//! environment and the files it read and wrote. The serialization is a
+//! line-oriented plain-text format (the cache layer embeds it verbatim at
+//! `/.coMtainer/cache/trace`), with percent-escaping so arbitrary argv
+//! tokens round-trip.
+
+use std::fmt;
+
+/// One recorded command with its observed data flow.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawCommand {
+    /// The command line as executed.
+    pub argv: Vec<String>,
+    /// Working directory at execution time.
+    pub cwd: String,
+    /// Environment as `KEY=VALUE` lines.
+    pub env: Vec<String>,
+    /// Absolute paths the command read.
+    pub inputs: Vec<String>,
+    /// Absolute paths the command wrote.
+    pub outputs: Vec<String>,
+}
+
+/// The recorded build process: an ordered command list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BuildTrace {
+    pub commands: Vec<RawCommand>,
+}
+
+/// Errors parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// Missing or wrong `comt-trace` header line.
+    BadHeader,
+    /// A record line with an unknown keyword.
+    BadKeyword(String),
+    /// A percent escape that is not `%25`/`%20`/`%09`/`%0A`/`%0D`.
+    BadEscape(String),
+    /// A command record ended without its `.` terminator.
+    Truncated,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::BadHeader => write!(f, "trace: missing comt-trace header"),
+            TraceParseError::BadKeyword(k) => write!(f, "trace: unknown record keyword {k:?}"),
+            TraceParseError::BadEscape(t) => write!(f, "trace: bad escape in token {t:?}"),
+            TraceParseError::Truncated => write!(f, "trace: truncated command record"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+const HEADER: &str = "comt-trace 1";
+
+/// Escape a token so it survives space-separated, line-oriented storage.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Result<String, TraceParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let pair: String = chars.by_ref().take(2).collect();
+        match pair.as_str() {
+            "25" => out.push('%'),
+            "20" => out.push(' '),
+            "09" => out.push('\t'),
+            "0A" => out.push('\n'),
+            "0D" => out.push('\r'),
+            _ => return Err(TraceParseError::BadEscape(s.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+fn field_line(keyword: &str, tokens: &[String]) -> String {
+    let mut line = keyword.to_string();
+    for t in tokens {
+        line.push(' ');
+        line.push_str(&esc(t));
+    }
+    line
+}
+
+fn parse_tokens(rest: &str) -> Result<Vec<String>, TraceParseError> {
+    rest.split(' ')
+        .filter(|t| !t.is_empty())
+        .map(unesc)
+        .collect()
+}
+
+impl BuildTrace {
+    /// Append one recorded command.
+    pub fn record(&mut self, cmd: RawCommand) {
+        self.commands.push(cmd);
+    }
+
+    /// Serialize to the plain-text trace format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        for cmd in &self.commands {
+            out.push_str(&field_line("a", &cmd.argv));
+            out.push('\n');
+            out.push_str(&field_line("w", std::slice::from_ref(&cmd.cwd)));
+            out.push('\n');
+            out.push_str(&field_line("e", &cmd.env));
+            out.push('\n');
+            out.push_str(&field_line("i", &cmd.inputs));
+            out.push('\n');
+            out.push_str(&field_line("o", &cmd.outputs));
+            out.push('\n');
+            out.push_str(".\n");
+        }
+        out
+    }
+
+    /// Parse a serialized trace.
+    pub fn parse(text: &str) -> Result<Self, TraceParseError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(TraceParseError::BadHeader);
+        }
+        let mut trace = BuildTrace::default();
+        let mut current: Option<RawCommand> = None;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if line == "." {
+                trace
+                    .commands
+                    .push(current.take().ok_or(TraceParseError::Truncated)?);
+                continue;
+            }
+            let (keyword, rest) = line.split_at(1);
+            let cmd = current.get_or_insert_with(RawCommand::default);
+            let tokens = parse_tokens(rest)?;
+            match keyword {
+                "a" => cmd.argv = tokens,
+                "w" => cmd.cwd = tokens.into_iter().next().unwrap_or_default(),
+                "e" => cmd.env = tokens,
+                "i" => cmd.inputs = tokens,
+                "o" => cmd.outputs = tokens,
+                other => return Err(TraceParseError::BadKeyword(other.to_string())),
+            }
+        }
+        if current.is_some() {
+            return Err(TraceParseError::Truncated);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = BuildTrace::default();
+        t.record(RawCommand {
+            argv: argv("gcc -O2 -c main.c -o main.o"),
+            cwd: "/src".into(),
+            env: vec!["PATH=/usr/bin".into(), "CFLAGS=-O2 -g".into()],
+            inputs: vec!["/src/main.c".into()],
+            outputs: vec!["/src/main.o".into()],
+        });
+        t.record(RawCommand {
+            argv: vec!["sh".into(), "-c".into(), "echo 100% done\n".into()],
+            cwd: "/".into(),
+            env: vec![],
+            inputs: vec![],
+            outputs: vec![],
+        });
+        let text = t.serialize();
+        let back = BuildTrace::parse(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = BuildTrace::default();
+        assert_eq!(BuildTrace::parse(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            BuildTrace::parse("not-a-trace"),
+            Err(TraceParseError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let text = format!("{HEADER}\na gcc\nw /src\n");
+        assert_eq!(BuildTrace::parse(&text), Err(TraceParseError::Truncated));
+    }
+}

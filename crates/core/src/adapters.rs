@@ -26,6 +26,26 @@ pub trait SystemAdapter: Send + Sync {
 
     /// Transform a compilation model (no-op for models it doesn't target).
     fn transform(&self, model: &mut CompilationModel, ctx: &AdapterContext);
+
+    /// Configuration fingerprint feeding the engine's artifact-cache key.
+    ///
+    /// Must change whenever the adapter would transform any model
+    /// differently — stateless adapters keep the default (their name);
+    /// parameterized adapters (LTO scope, PGO phase) append their
+    /// configuration so a reconfigured pipeline never reuses stale cached
+    /// compile outputs.
+    fn fingerprint(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+/// Fingerprint of an ordered adapter pipeline (order-sensitive).
+pub fn chain_fingerprint(adapters: &[Box<dyn SystemAdapter>]) -> String {
+    adapters
+        .iter()
+        .map(|a| a.fingerprint())
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 /// Apply an invocation-level rewrite to compile/link models.
@@ -168,6 +188,13 @@ impl SystemAdapter for LtoAdapter {
         }
         rewrite_invocation(model, |inv| inv.enable_lto());
     }
+
+    fn fingerprint(&self) -> String {
+        match &self.scope {
+            LtoScope::WholeGraph => "lto[whole-graph]".to_string(),
+            LtoScope::Binaries(targets) => format!("lto[binaries:{}]", targets.join(",")),
+        }
+    }
 }
 
 /// PGO phases.
@@ -213,6 +240,13 @@ impl SystemAdapter for PgoAdapter {
             PgoPhase::Use(path) => PgoFlag::Use(Some(path.clone())),
         };
         rewrite_invocation(model, |inv| inv.set_pgo(flag));
+    }
+
+    fn fingerprint(&self) -> String {
+        match &self.phase {
+            PgoPhase::Generate => "pgo[generate]".to_string(),
+            PgoPhase::Use(path) => format!("pgo[use:{path}]"),
+        }
     }
 }
 
@@ -337,6 +371,35 @@ mod tests {
         let before_cp = cp.clone();
         PgoAdapter::generate().transform(&mut cp, &ctx_x86());
         assert_eq!(cp, before_cp);
+    }
+
+    #[test]
+    fn fingerprints_reflect_configuration() {
+        // Default: the adapter name.
+        assert_eq!(NativeToolchainAdapter.fingerprint(), "native-toolchain");
+        // LTO scope is part of the identity.
+        let whole = LtoAdapter::whole_graph().fingerprint();
+        let scoped = LtoAdapter {
+            scope: LtoScope::Binaries(vec!["app".into()]),
+        }
+        .fingerprint();
+        assert_ne!(whole, scoped);
+        // PGO phase (and profile path) is part of the identity.
+        let gen = PgoAdapter::generate().fingerprint();
+        let use_a = PgoAdapter::use_profile("/prof/a").fingerprint();
+        let use_b = PgoAdapter::use_profile("/prof/b").fingerprint();
+        assert_ne!(gen, use_a);
+        assert_ne!(use_a, use_b);
+        // Chain fingerprint is order-sensitive.
+        let ab: Vec<Box<dyn SystemAdapter>> = vec![
+            Box::new(NativeToolchainAdapter),
+            Box::new(LtoAdapter::whole_graph()),
+        ];
+        let ba: Vec<Box<dyn SystemAdapter>> = vec![
+            Box::new(LtoAdapter::whole_graph()),
+            Box::new(NativeToolchainAdapter),
+        ];
+        assert_ne!(chain_fingerprint(&ab), chain_fingerprint(&ba));
     }
 
     #[test]

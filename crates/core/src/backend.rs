@@ -7,26 +7,26 @@
 //! repositories, so build dependencies resolve to vendor-optimized
 //! versions automatically.
 //!
-//! Because "on HPC clusters, computation resources are often abundant"
-//! (§4.4), the replay can run independent compilations in parallel:
-//! consecutive compile steps have no mutual data dependencies (the build
-//! graph's levels guarantee it), so they execute on crossbeam scoped
-//! threads against snapshots of the container filesystem and their outputs
-//! are merged deterministically in recorded order.
+//! The replay machinery lives in [`crate::engine`]: a staged pipeline
+//! (materialize → adapt → replay → collect) with a ready-queue scheduler
+//! for independent compile steps and a content-addressed artifact cache
+//! for warm rebuilds. This module keeps the workflow-facing entry points
+//! and the option set.
 
 use crate::cache::{load_cache, write_rebuild, CacheContents};
-use crate::models::CompilationModel;
+use crate::engine::{ArtifactCache, RebuildEngine};
 use crate::workflow::SystemSide;
-use crate::{AdapterContext, ComtError};
+use crate::ComtError;
 use bytes::Bytes;
-use comt_buildsys::{BuildTrace, Container, Executor, RawCommand};
-use comt_toolchain::Toolchain;
+use comt_observe::Report;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Rebuild options.
 #[derive(Default)]
 pub struct RebuildOptions {
-    /// Execute independent compile steps on parallel threads.
+    /// Execute independent compile steps on parallel threads (ready-queue
+    /// scheduled over the recorded input/output dependency DAG).
     pub parallel: bool,
     /// Extra files materialized into the rebuild container before the
     /// replay (e.g. PGO profiles referenced by `-fprofile-use=`).
@@ -36,12 +36,12 @@ pub struct RebuildOptions {
     /// paper lists as further head-room (§3). Requires a profile, so it is
     /// only effective combined with the PGO feedback loop.
     pub post_link_layout: bool,
-}
-
-/// One replay step: the (possibly adapter-transformed) command.
-struct Step {
-    model: CompilationModel,
-    env: Vec<String>,
+    /// Shared content-addressed cache of adapted compile-step outputs.
+    /// When set, compile steps whose key (adapted command ⊕ adapter-chain
+    /// fingerprint ⊕ toolchain identity ⊕ input contents) is already
+    /// cached skip execution; a fully warm rebuild performs zero compile
+    /// executions and yields a byte-identical rebuild layer.
+    pub artifact_cache: Option<Arc<ArtifactCache>>,
 }
 
 /// Run `coMtainer-rebuild`: produce the rebuild layer and register
@@ -59,261 +59,33 @@ pub fn rebuild(
 
 /// The rebuild computation without the OCI bookkeeping: returns the
 /// rebuilt artifact map (image path → content). Exposed for the benches'
-/// parallel-vs-serial ablation.
+/// parallel-vs-serial and cold-vs-warm ablations.
 pub fn rebuild_artifacts(
     cache: &CacheContents,
     side: &SystemSide,
     opts: &RebuildOptions,
 ) -> Result<BTreeMap<String, Bytes>, ComtError> {
-    let mut container = Container {
-        fs: side.sysenv_fs.clone(),
-        env: std::collections::BTreeMap::new(),
-        workdir: "/".to_string(),
-        isa: side.isa.clone(),
-    };
-    container
-        .env
-        .insert("PATH".into(), "/usr/local/bin:/usr/bin:/bin".into());
-
-    // Materialize cached sources and any extra files (PGO profiles).
-    for (path, content) in cache.sources.iter().chain(opts.extra_files.iter()) {
-        container
-            .fs
-            .write_file_p(path, content.clone(), 0o644)
-            .map_err(|e| ComtError::Fs(e.to_string()))?;
-    }
-
-    // Pre-transform every recorded command through the adapter pipeline.
-    let ctx = AdapterContext {
-        isa: side.isa.clone(),
-        toolchain: side.toolchain.clone(),
-    };
-    let steps: Vec<Step> = cache
-        .trace
-        .commands
-        .iter()
-        .map(|cmd| {
-            let mut model =
-                CompilationModel::classify(&cmd.argv, &cmd.cwd, &cmd.env, &cmd.inputs);
-            crate::adapters::apply_adapters(&mut model, &side.adapters, &ctx);
-            Step {
-                model,
-                env: cmd.env.clone(),
-            }
-        })
-        .collect();
-
-    let executor = Executor::new(
-        &side.isa,
-        vec![
-            side.toolchain.clone(),
-            Toolchain::llvm(),
-            Toolchain::distro_gcc(),
-        ],
-    )
-    .with_repo(side.repo.clone());
-
-    let ir_mode = cache.models.cache_mode == crate::models::CacheMode::Ir;
-    let mut trace = BuildTrace::default();
-    let mut i = 0usize;
-    while i < steps.len() {
-        // IR mode: compile steps re-generate code from the cached IR
-        // objects instead of compiling sources (paper §4.6's alternative
-        // distribution level).
-        if ir_mode {
-            if let CompilationModel::Compile { .. } = steps[i].model {
-                recodegen_step(&mut container, &steps[i], side)?;
-                i += 1;
-                continue;
-            }
-        }
-        // Batch consecutive compile steps for parallel execution.
-        let batch_end = if opts.parallel {
-            let mut j = i;
-            while j < steps.len() && matches!(steps[j].model, CompilationModel::Compile { .. }) {
-                j += 1;
-            }
-            j
-        } else {
-            i
-        };
-
-        if opts.parallel && batch_end > i + 1 {
-            run_parallel_batch(&executor, &mut container, &steps[i..batch_end], &mut trace)?;
-            i = batch_end;
-        } else {
-            run_one(&executor, &mut container, &steps[i], &mut trace)?;
-            i += 1;
-        }
-    }
-
-    // Collect the rebuilt artifacts named by the image model.
-    let mut artifacts = BTreeMap::new();
-    for (image_path, build_path) in cache.models.image.build_files() {
-        let mut content = container.fs.read(build_path).map_err(|_| {
-            ComtError::Build(format!(
-                "rebuild did not produce {build_path} (needed for {image_path})"
-            ))
-        })?;
-        // Post-link layout optimization over linked binaries.
-        if opts.post_link_layout {
-            if let Ok(comt_toolchain::Artifact::Linked(mut bin)) =
-                comt_toolchain::artifact::read_artifact(&content)
-            {
-                bin.layout_optimized = true;
-                content = Bytes::from(comt_toolchain::artifact::write_linked(&bin));
-            }
-        }
-        artifacts.insert(image_path.to_string(), content);
-    }
-    Ok(artifacts)
+    RebuildEngine::new(side, opts).run(cache)
 }
 
-/// IR-mode "compile": take the cached IR object at the step's output path
-/// and re-generate code for the adapter-transformed flags.
-fn recodegen_step(
-    container: &mut Container,
-    step: &Step,
+/// Like [`rebuild_artifacts`], additionally returning the engine's
+/// observability report (per-stage spans, cache hit/miss counters,
+/// scheduler stats).
+pub fn rebuild_artifacts_with_report(
+    cache: &CacheContents,
     side: &SystemSide,
-) -> Result<(), ComtError> {
-    let inv = step
-        .model
-        .invocation()
-        .ok_or_else(|| ComtError::Build("unparseable compile step".into()))?;
-    let out_rel = inv
-        .output()
-        .map(String::from)
-        .ok_or_else(|| ComtError::Build("IR compile step without -o".into()))?;
-    let out_path = comt_vfs::join(step.model.cwd(), &out_rel);
-    let raw = container.fs.read(&out_path).map_err(|_| {
-        ComtError::Build(format!("IR object missing from cache: {out_path}"))
-    })?;
-    let mut obj = comt_toolchain::artifact::read_object(&raw)
-        .map_err(|e| ComtError::Build(format!("{out_path}: {e}")))?;
-    comt_toolchain::recodegen(&mut obj, &side.toolchain, &side.isa, &inv)
-        .map_err(|e| ComtError::Build(e.to_string()))?;
-    container
-        .fs
-        .write_file_p(
-            &out_path,
-            Bytes::from(comt_toolchain::artifact::write_object(&obj)),
-            0o644,
-        )
-        .map_err(|e| ComtError::Fs(e.to_string()))?;
-    Ok(())
-}
-
-fn prepare(container: &mut Container, step: &Step) -> Result<(), ComtError> {
-    container
-        .fs
-        .mkdir_p(step.model.cwd())
-        .map_err(|e| ComtError::Fs(e.to_string()))?;
-    container.workdir = step.model.cwd().to_string();
-    container.env = step
-        .env
-        .iter()
-        .filter_map(|l| l.split_once('='))
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect();
-    container
-        .env
-        .entry("PATH".into())
-        .or_insert_with(|| "/usr/local/bin:/usr/bin:/bin".into());
-    Ok(())
-}
-
-fn run_one(
-    executor: &Executor,
-    container: &mut Container,
-    step: &Step,
-    trace: &mut BuildTrace,
-) -> Result<(), ComtError> {
-    prepare(container, step)?;
-    executor
-        .run(container, step.model.argv(), trace)
-        .map_err(|e| ComtError::Build(format!("{}: {e}", step.model.argv().join(" "))))
-}
-
-/// Execute a batch of independent compile steps on scoped threads. All
-/// threads share the container filesystem as an immutable snapshot (the
-/// compile path is read-only); outputs are merged in batch order, so the
-/// result is deterministic regardless of scheduling.
-fn run_parallel_batch(
-    executor: &Executor,
-    container: &mut Container,
-    steps: &[Step],
-    trace: &mut BuildTrace,
-) -> Result<(), ComtError> {
-    type StepOutput = (RawCommand, Vec<(String, Vec<u8>)>);
-    // Resolve the SimCompiler once: compile steps go through the same
-    // dispatch the executor would use.
-    let fs = &container.fs;
-    let compile_one = |step: &Step| -> Result<StepOutput, ComtError> {
-        let argv = step.model.argv();
-        let program = argv.first().map(String::as_str).unwrap_or("");
-        let base = program.rsplit('/').next().unwrap_or(program);
-        let tc = executor
-            .toolchains
-            .iter()
-            .find(|t| t.language_of(base).is_some())
-            .ok_or_else(|| ComtError::Build(format!("no toolchain handles {base}")))?;
-        let sim = comt_toolchain::SimCompiler::new(tc.clone(), &executor.isa);
-        let (outcome, outputs) = sim
-            .compile_only(fs, step.model.cwd(), argv)
-            .map_err(|e| ComtError::Build(format!("{}: {e}", argv.join(" "))))?;
-        Ok((
-            RawCommand {
-                argv: argv.to_vec(),
-                cwd: step.model.cwd().to_string(),
-                env: step.env.clone(),
-                inputs: outcome.inputs,
-                outputs: outcome.outputs,
-            },
-            outputs,
-        ))
-    };
-
-    // Bounded worker pool: one thread per chunk, not per step (simulated
-    // compiles are cheap; real ones aren't, but spawn overhead should not
-    // dominate either way).
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(steps.len());
-    let chunk = steps.len().div_ceil(workers);
-    let results: Vec<Result<StepOutput, ComtError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = steps
-            .chunks(chunk)
-            .map(|chunk_steps| {
-                scope.spawn(move |_| -> Vec<Result<StepOutput, ComtError>> {
-                    chunk_steps.iter().map(compile_one).collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("compile thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-
-    for result in results {
-        let (cmd, outputs) = result?;
-        for (path, content) in outputs {
-            container
-                .fs
-                .write_file_p(&path, Bytes::from(content), 0o644)
-                .map_err(|e| ComtError::Fs(e.to_string()))?;
-        }
-        trace.record(cmd);
-    }
-    Ok(())
+    opts: &RebuildOptions,
+) -> Result<(BTreeMap<String, Bytes>, Report), ComtError> {
+    let engine = RebuildEngine::new(side, opts);
+    let artifacts = engine.run(cache)?;
+    Ok((artifacts, engine.report()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::models::{BuildGraph, FileOrigin, ImageModel, ProcessModels};
+    use comt_buildsys::{BuildTrace, RawCommand};
     use comt_pkg::catalog;
 
     /// A hand-built cache: two compile steps + a link, sources embedded.
@@ -410,12 +182,105 @@ mod tests {
             &side,
             &RebuildOptions {
                 parallel: true,
-                extra_files: BTreeMap::new(),
-                post_link_layout: false,
+                ..Default::default()
             },
         )
         .unwrap();
         assert_eq!(serial, parallel);
+        // The ready-queue scheduler with a live artifact cache must also
+        // agree — both on a cold cache and a warm one.
+        let shared = ArtifactCache::new();
+        let cached_opts = RebuildOptions {
+            parallel: true,
+            artifact_cache: Some(Arc::clone(&shared)),
+            ..Default::default()
+        };
+        let cold = rebuild_artifacts(&cache, &side, &cached_opts).unwrap();
+        let warm = rebuild_artifacts(&cache, &side, &cached_opts).unwrap();
+        assert_eq!(serial, cold);
+        assert_eq!(serial, warm);
+        assert!(shared.hits() > 0);
+    }
+
+    #[test]
+    fn warm_rebuild_executes_zero_compiles() {
+        let cache = fixture_cache();
+        let side = side();
+        let shared = ArtifactCache::new();
+        let opts = RebuildOptions {
+            artifact_cache: Some(Arc::clone(&shared)),
+            ..Default::default()
+        };
+        let (cold, cold_report) =
+            rebuild_artifacts_with_report(&cache, &side, &opts).unwrap();
+        // Cold run: both compile steps miss and execute.
+        assert_eq!(cold_report.counter("cache.hit"), 0);
+        assert_eq!(cold_report.counter("cache.miss"), 2);
+        assert_eq!(cold_report.counter("exec.compile"), 2);
+
+        let (warm, warm_report) =
+            rebuild_artifacts_with_report(&cache, &side, &opts).unwrap();
+        // Warm run: every compile step is a cache hit; zero executions.
+        assert_eq!(warm_report.counter("cache.hit"), 2);
+        assert_eq!(warm_report.counter("cache.miss"), 0);
+        assert_eq!(warm_report.counter("exec.compile"), 0);
+        // And the artifacts are byte-identical (⇒ identical layer digest).
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn adapter_fingerprint_invalidates_cache() {
+        let cache = fixture_cache();
+        let shared = ArtifactCache::new();
+        let opts = RebuildOptions {
+            artifact_cache: Some(Arc::clone(&shared)),
+            ..Default::default()
+        };
+
+        let mut whole = side();
+        whole
+            .adapters
+            .push(Box::new(crate::LtoAdapter::whole_graph()));
+        rebuild_artifacts(&cache, &whole, &opts).unwrap();
+        let after_cold = (shared.hits(), shared.misses());
+
+        // Same argv-visible configuration, different adapter scope: the
+        // chain fingerprint must change the cache key, so nothing hits.
+        let mut scoped = side();
+        scoped.adapters.push(Box::new(crate::LtoAdapter {
+            scope: crate::adapters::LtoScope::Binaries(vec!["app".into()]),
+        }));
+        rebuild_artifacts(&cache, &scoped, &opts).unwrap();
+        assert_eq!(shared.hits(), after_cold.0, "scoped run must not hit");
+        assert!(shared.misses() > after_cold.1);
+
+        // Re-running the first configuration still hits.
+        rebuild_artifacts(&cache, &whole, &opts).unwrap();
+        assert!(shared.hits() > after_cold.0);
+    }
+
+    #[test]
+    fn engine_report_covers_stages_and_steps() {
+        let cache = fixture_cache();
+        let side = side();
+        let (_, report) = rebuild_artifacts_with_report(
+            &cache,
+            &side,
+            &RebuildOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.counter("steps.total"), 4);
+        assert_eq!(report.counter("steps.compile"), 2);
+        assert_eq!(report.counter("sched.segments"), 1);
+        assert_eq!(report.counter("sched.critical_path.max"), 1);
+        for stage in ["stage.materialize", "stage.adapt", "stage.replay", "stage.collect"] {
+            assert!(report.span(stage).count > 0, "missing span {stage}");
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("steps.total"));
     }
 
     #[test]
@@ -454,9 +319,8 @@ mod tests {
             &cache,
             &use_side,
             &RebuildOptions {
-                parallel: false,
                 extra_files: extra,
-                post_link_layout: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -474,9 +338,8 @@ mod tests {
             &cache,
             &side,
             &RebuildOptions {
-                parallel: false,
-                extra_files: BTreeMap::new(),
                 post_link_layout: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -499,5 +362,9 @@ mod tests {
             .insert("/app/other".into(), FileOrigin::Build("/src/ghost".into()));
         let err = rebuild_artifacts(&cache, &side(), &RebuildOptions::default()).unwrap_err();
         assert!(matches!(err, ComtError::Build(_)));
+        // The new error carries its phase and artifact context.
+        let msg = err.to_string();
+        assert!(msg.contains("collect"), "{msg}");
+        assert!(msg.contains("/app/other"), "{msg}");
     }
 }

@@ -5,9 +5,9 @@
 //! ```text
 //! comt refs        <layout-dir>                     list image refs
 //! comt inspect     <layout-dir> <ref>               image + model summary
-//! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt]
+//! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt] [--stats]
 //! comt redirect    <layout-dir> <coMre-ref> [--isa x86_64]
-//! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto]
+//! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--stats]
 //! comt cross-check <layout-dir> <ext-ref>  <target-isa>
 //! ```
 //!
@@ -16,7 +16,8 @@
 
 use comtainer::crossisa::analyze_cross;
 use comtainer::{
-    comtainer_rebuild, comtainer_redirect, load_cache, LtoAdapter, RebuildOptions, SystemSide,
+    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache, LtoAdapter,
+    RebuildOptions, SystemSide,
 };
 use comt_oci::layout::OciDir;
 use std::path::Path;
@@ -24,7 +25,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>"
     );
     ExitCode::from(2)
 }
@@ -118,11 +119,17 @@ fn cmd_rebuild(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     let side = system_side(args)?;
     let opts = RebuildOptions {
         parallel: flag(args, "--parallel"),
-        extra_files: Default::default(),
         post_link_layout: flag(args, "--bolt"),
+        ..Default::default()
     };
-    let new_ref =
-        comtainer_rebuild(&mut oci, r, &side, &opts).map_err(|e| format!("rebuild: {e}"))?;
+    let new_ref = if flag(args, "--stats") {
+        let (new_ref, report) = comtainer_rebuild_with_report(&mut oci, r, &side, &opts)
+            .map_err(|e| format!("rebuild: {e}"))?;
+        print!("{}", report.render());
+        new_ref
+    } else {
+        comtainer_rebuild(&mut oci, r, &side, &opts).map_err(|e| format!("rebuild: {e}"))?
+    };
     save_layout(&oci, dir)?;
     println!("rebuilt: {new_ref}");
     Ok(())
@@ -140,8 +147,16 @@ fn cmd_redirect(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
 fn cmd_adapt(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     let mut oci = load_layout(dir)?;
     let side = system_side(args)?;
-    let rebuilt = comtainer_rebuild(&mut oci, r, &side, &RebuildOptions::default())
-        .map_err(|e| format!("rebuild: {e}"))?;
+    let rebuilt = if flag(args, "--stats") {
+        let (rebuilt, report) =
+            comtainer_rebuild_with_report(&mut oci, r, &side, &RebuildOptions::default())
+                .map_err(|e| format!("rebuild: {e}"))?;
+        print!("{}", report.render());
+        rebuilt
+    } else {
+        comtainer_rebuild(&mut oci, r, &side, &RebuildOptions::default())
+            .map_err(|e| format!("rebuild: {e}"))?
+    };
     let opt =
         comtainer_redirect(&mut oci, &rebuilt, &side).map_err(|e| format!("redirect: {e}"))?;
     save_layout(&oci, dir)?;

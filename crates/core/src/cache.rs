@@ -23,7 +23,7 @@
 //! ```
 
 use crate::models::ProcessModels;
-use crate::ComtError;
+use crate::{ComtError, Phase};
 use bytes::Bytes;
 use comt_buildsys::BuildTrace;
 use comt_oci::layout::OciDir;
@@ -55,11 +55,11 @@ pub fn write_cache(
 ) -> Result<String, ComtError> {
     let image = oci
         .load_image(dist_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()))?;
 
     let mut entries = Vec::new();
     let models_json =
-        serde_json::to_vec_pretty(models).map_err(|e| ComtError::Cache(e.to_string()))?;
+        serde_json::to_vec_pretty(models).map_err(|e| ComtError::cache(e.to_string()))?;
     entries.push(Entry::file(
         format!("{CACHE_PREFIX}/models.json"),
         models_json,
@@ -93,7 +93,7 @@ pub fn write_rebuild(
 ) -> Result<String, ComtError> {
     let image = oci
         .load_image(extended_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()))?;
     let mut entries = Vec::new();
     for (path, content) in artifacts {
         entries.push(Entry::file(
@@ -135,12 +135,12 @@ fn append_layer(
         created_by: note.to_string(),
         empty_layer: false,
     });
-    let cfg_json = serde_json::to_vec(&config).map_err(|e| ComtError::Oci(e.to_string()))?;
+    let cfg_json = serde_json::to_vec(&config).map_err(|e| ComtError::oci(e.to_string()))?;
     let cfg_size = cfg_json.len() as u64;
     let cfg_digest = oci.blobs.put(Bytes::from(cfg_json));
     manifest.config = Descriptor::new(MediaType::ImageConfig, cfg_digest, cfg_size);
 
-    let man_json = serde_json::to_vec(&manifest).map_err(|e| ComtError::Oci(e.to_string()))?;
+    let man_json = serde_json::to_vec(&manifest).map_err(|e| ComtError::oci(e.to_string()))?;
     let man_size = man_json.len() as u64;
     let man_digest = oci.blobs.put(Bytes::from(man_json));
     oci.index.set_ref(
@@ -154,26 +154,34 @@ fn append_layer(
 pub fn load_cache(oci: &OciDir, extended_ref: &str) -> Result<CacheContents, ComtError> {
     let image = oci
         .load_image(extended_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
-    let fs = comt_oci::flatten(&oci.blobs, &image).map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()))?;
+    let fs = comt_oci::flatten(&oci.blobs, &image).map_err(|e| ComtError::oci(e.to_string()))?;
 
     let models_raw = fs
         .read(&format!("/{CACHE_PREFIX}/models.json"))
-        .map_err(|_| ComtError::Cache("missing models.json (not an extended image?)".into()))?;
+        .map_err(|_| {
+            ComtError::cache("missing models.json (not an extended image?)".into())
+                .with_phase(Phase::Storage)
+        })?;
     let models: ProcessModels =
-        serde_json::from_slice(&models_raw).map_err(|e| ComtError::Cache(e.to_string()))?;
+        serde_json::from_slice(&models_raw).map_err(|e| ComtError::cache(e.to_string()))?;
 
     let trace_raw = fs
         .read_string(&format!("/{CACHE_PREFIX}/trace"))
-        .map_err(|_| ComtError::Cache("missing trace".into()))?;
-    let trace = BuildTrace::parse(&trace_raw).map_err(|e| ComtError::Cache(e.to_string()))?;
+        .map_err(|_| ComtError::cache("missing trace".into()).with_phase(Phase::Storage))?;
+    let trace = BuildTrace::parse(&trace_raw).map_err(|e| ComtError::cache(e.to_string()))?;
 
     let src_prefix = format!("/{CACHE_PREFIX}/src");
     let mut sources = BTreeMap::new();
     for (path, node) in fs.walk_prefix(&src_prefix) {
         if node.is_file() {
             let original = path[src_prefix.len()..].to_string();
-            sources.insert(original, fs.read(path).expect("walked file"));
+            let content = fs.read(path).map_err(|e| {
+                ComtError::cache(format!("cache layer source unreadable: {e}"))
+                    .with_phase(Phase::Storage)
+                    .with_artifact(path.to_string())
+            })?;
+            sources.insert(original, content);
         }
     }
 
@@ -189,16 +197,18 @@ pub fn load_cache(oci: &OciDir, extended_ref: &str) -> Result<CacheContents, Com
 pub fn load_rebuild(oci: &OciDir, rebuilt_ref: &str) -> Result<BTreeMap<String, Bytes>, ComtError> {
     let image = oci
         .load_image(rebuilt_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
-    let fs = comt_oci::flatten(&oci.blobs, &image).map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()))?;
+    let fs = comt_oci::flatten(&oci.blobs, &image).map_err(|e| ComtError::oci(e.to_string()))?;
     let prefix = format!("/{REBUILD_PREFIX}");
     let mut out = BTreeMap::new();
     for (path, node) in fs.walk_prefix(&prefix) {
         if node.is_file() {
-            out.insert(
-                path[prefix.len()..].to_string(),
-                fs.read(path).expect("walked file"),
-            );
+            let content = fs.read(path).map_err(|e| {
+                ComtError::cache(format!("rebuild layer artifact unreadable: {e}"))
+                    .with_phase(Phase::Storage)
+                    .with_artifact(path.to_string())
+            })?;
+            out.insert(path[prefix.len()..].to_string(), content);
         }
     }
     Ok(out)
@@ -208,13 +218,13 @@ pub fn load_rebuild(oci: &OciDir, rebuilt_ref: &str) -> Result<BTreeMap<String, 
 pub fn cache_layer_size(oci: &OciDir, extended_ref: &str) -> Result<u64, ComtError> {
     let image = oci
         .load_image(extended_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()))?;
     image
         .manifest
         .layers
         .last()
         .map(|l| l.size)
-        .ok_or_else(|| ComtError::Cache("image has no layers".into()))
+        .ok_or_else(|| ComtError::cache("image has no layers".into()))
 }
 
 #[cfg(test)]

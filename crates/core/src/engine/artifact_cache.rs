@@ -1,0 +1,124 @@
+//! Content-addressed cache for adapted compile-step outputs.
+//!
+//! The system-side rebuild replays the same recorded build many times —
+//! ablation sweeps, PGO feedback loops, repeated `comt rebuild` runs — and
+//! most of that work is re-compiling sources that have not changed under an
+//! adapter pipeline that has not changed. The cache keys each compile step
+//! on a [`comt_digest::fingerprint`] over everything that determines its
+//! outputs:
+//!
+//! * the **adapted compilation model** (argv, cwd, env) — after the
+//!   adapter pipeline ran, so flag changes invalidate naturally;
+//! * the **adapter-chain fingerprint** ([`crate::adapters::chain_fingerprint`]) —
+//!   configuration that doesn't show up in the argv (e.g. LTO scope) still
+//!   invalidates;
+//! * the **toolchain identity** and target ISA;
+//! * the **content digests of every input file** (sources, headers, and
+//!   any `-fprofile-use=` profile), read from the rebuild container.
+//!
+//! A hit returns the recorded output files verbatim; a warm rebuild with a
+//! fully populated cache therefore performs **zero** compile-step
+//! executions and still produces a byte-identical rebuild layer.
+
+use comt_digest::Digest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The output files one compile step produced: (container path, content).
+pub type StepOutputs = Vec<(String, Vec<u8>)>;
+
+/// Thread-safe content-addressed store of compile-step outputs. Cheap to
+/// clone through an [`Arc`]; shared across engine runs via
+/// [`crate::RebuildOptions::artifact_cache`].
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<Digest, Arc<StepOutputs>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A fresh shared cache.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Look up a step key, counting the probe as a hit or miss.
+    pub fn get(&self, key: &Digest) -> Option<Arc<StepOutputs>> {
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store the outputs for a step key.
+    pub fn put(&self, key: Digest, outputs: StepOutputs) {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::new(outputs));
+    }
+
+    /// Number of cached steps.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count (across all engine runs sharing this cache).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_and_roundtrip() {
+        let cache = ArtifactCache::new();
+        let key = comt_digest::fingerprint(&[b"step"]);
+        assert!(cache.get(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        cache.put(key, vec![("/src/a.o".into(), b"OBJ".to_vec())]);
+        let got = cache.get(&key).expect("hit");
+        assert_eq!(got[0].0, "/src/a.o");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_between_threads() {
+        let cache = ArtifactCache::new();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    let key = comt_digest::fingerprint(&[format!("step-{i}").as_bytes()]);
+                    cache.put(key, vec![]);
+                    assert!(cache.get(&key).is_some());
+                });
+            }
+        });
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.hits(), 8);
+    }
+}

@@ -1,0 +1,539 @@
+//! The instrumented rebuild pipeline engine.
+//!
+//! [`RebuildEngine`] is the system-side replay machine behind
+//! `coMtainer-rebuild`. One engine run threads a shared [`EngineCtx`] —
+//! system identity, toolchain, adapter-chain fingerprint, stats recorder —
+//! through four stages:
+//!
+//! 1. **materialize** — start a container on the `Sysenv` rootfs and place
+//!    the cached sources (plus any extra files such as PGO profiles);
+//! 2. **adapt** — classify every recorded command into a compilation model
+//!    and run the configured adapter pipeline over it;
+//! 3. **replay** — execute the adapted steps. Consecutive compile steps
+//!    form segments scheduled on a ready-queue over their input/output
+//!    dependency DAG ([`scheduler`]); each compile step first probes the
+//!    content-addressed [`ArtifactCache`] and only executes on a miss;
+//! 4. **collect** — gather the artifacts named by the image model.
+//!
+//! Every stage emits spans and counters into the context's
+//! [`comt_observe::Recorder`]; [`RebuildEngine::report`] snapshots them
+//! for the CLI (`comt rebuild --stats`) and the bench harness.
+
+pub mod artifact_cache;
+pub mod scheduler;
+
+pub use artifact_cache::{ArtifactCache, StepOutputs};
+
+use crate::adapters::chain_fingerprint;
+use crate::backend::RebuildOptions;
+use crate::cache::CacheContents;
+use crate::models::CompilationModel;
+use crate::workflow::SystemSide;
+use crate::{AdapterContext, ComtError, Phase};
+use bytes::Bytes;
+use comt_buildsys::{BuildTrace, Container, Executor};
+use comt_digest::Digest;
+use comt_observe::{Recorder, Report};
+use comt_toolchain::Toolchain;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Shared context threaded through every engine stage.
+pub struct EngineCtx<'a> {
+    /// The target system (identity, toolchain, rootfs, adapters).
+    pub side: &'a SystemSide,
+    /// Rebuild options (parallelism, extra files, artifact cache).
+    pub opts: &'a RebuildOptions,
+    /// Context handed to each adapter.
+    pub adapter_ctx: AdapterContext,
+    /// Order-sensitive fingerprint of the adapter pipeline.
+    pub chain_fp: String,
+    /// Identity of the toolchain set the replay executes under.
+    pub toolchain_id: String,
+    /// Stats recorder: spans per stage, counters for steps and cache
+    /// probes. Deterministic per run (not global).
+    pub recorder: Recorder,
+}
+
+/// One adapted replay step.
+struct AdaptedStep {
+    model: CompilationModel,
+    env: Vec<String>,
+    /// Input paths recorded in the original trace (cache key + DAG edges).
+    inputs: Vec<String>,
+    /// Output paths recorded in the original trace (DAG edges).
+    outputs: Vec<String>,
+}
+
+impl AdaptedStep {
+    fn is_compile(&self) -> bool {
+        matches!(self.model, CompilationModel::Compile { .. })
+    }
+
+    fn command_line(&self) -> String {
+        self.model.argv().join(" ")
+    }
+}
+
+/// The staged, instrumented rebuild pipeline.
+pub struct RebuildEngine<'a> {
+    pub ctx: EngineCtx<'a>,
+}
+
+impl<'a> RebuildEngine<'a> {
+    /// Build an engine for one system side and option set.
+    pub fn new(side: &'a SystemSide, opts: &'a RebuildOptions) -> Self {
+        let adapter_ctx = AdapterContext {
+            isa: side.isa.clone(),
+            toolchain: side.toolchain.clone(),
+        };
+        RebuildEngine {
+            ctx: EngineCtx {
+                side,
+                opts,
+                adapter_ctx,
+                chain_fp: chain_fingerprint(&side.adapters),
+                toolchain_id: format!("{}@{}", side.toolchain.name, side.isa),
+                recorder: Recorder::new(),
+            },
+        }
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn report(&self) -> Report {
+        self.ctx.recorder.report()
+    }
+
+    /// Run the full pipeline over one decoded cache layer, returning the
+    /// rebuilt artifact map (image path → content).
+    pub fn run(&self, cache: &CacheContents) -> Result<BTreeMap<String, Bytes>, ComtError> {
+        let mut container = {
+            let _span = self.ctx.recorder.span("stage.materialize");
+            self.materialize(cache)?
+        };
+        let steps = {
+            let _span = self.ctx.recorder.span("stage.adapt");
+            self.adapt(cache)
+        };
+        {
+            let _span = self.ctx.recorder.span("stage.replay");
+            self.replay(cache, &steps, &mut container)?;
+        }
+        let _span = self.ctx.recorder.span("stage.collect");
+        self.collect(cache, &container)
+    }
+
+    /// Stage 1: the rebuild container with sources and extra files placed.
+    fn materialize(&self, cache: &CacheContents) -> Result<Container, ComtError> {
+        let side = self.ctx.side;
+        let mut container = Container {
+            fs: side.sysenv_fs.clone(),
+            env: BTreeMap::new(),
+            workdir: "/".to_string(),
+            isa: side.isa.clone(),
+        };
+        container
+            .env
+            .insert("PATH".into(), "/usr/local/bin:/usr/bin:/bin".into());
+        for (path, content) in cache.sources.iter().chain(self.ctx.opts.extra_files.iter()) {
+            container
+                .fs
+                .write_file_p(path, content.clone(), 0o644)
+                .map_err(|e| {
+                    ComtError::fs(e.to_string())
+                        .with_phase(Phase::Materialize)
+                        .with_artifact(path.clone())
+                })?;
+        }
+        self.ctx
+            .recorder
+            .count("materialize.files", (cache.sources.len() + self.ctx.opts.extra_files.len()) as u64);
+        Ok(container)
+    }
+
+    /// Stage 2: classify + adapter-transform every recorded command.
+    fn adapt(&self, cache: &CacheContents) -> Vec<AdaptedStep> {
+        let steps: Vec<AdaptedStep> = cache
+            .trace
+            .commands
+            .iter()
+            .map(|cmd| {
+                let mut model =
+                    CompilationModel::classify(&cmd.argv, &cmd.cwd, &cmd.env, &cmd.inputs);
+                crate::adapters::apply_adapters(&mut model, &self.ctx.side.adapters, &self.ctx.adapter_ctx);
+                AdaptedStep {
+                    model,
+                    env: cmd.env.clone(),
+                    inputs: cmd.inputs.clone(),
+                    outputs: cmd.outputs.clone(),
+                }
+            })
+            .collect();
+        let compiles = steps.iter().filter(|s| s.is_compile()).count();
+        self.ctx.recorder.count("steps.total", steps.len() as u64);
+        self.ctx.recorder.count("steps.compile", compiles as u64);
+        self.ctx
+            .recorder
+            .count("steps.other", (steps.len() - compiles) as u64);
+        steps
+    }
+
+    /// Stage 3: execute the adapted steps against the container.
+    fn replay(
+        &self,
+        cache: &CacheContents,
+        steps: &[AdaptedStep],
+        container: &mut Container,
+    ) -> Result<(), ComtError> {
+        let side = self.ctx.side;
+        let executor = Executor::new(
+            &side.isa,
+            vec![
+                side.toolchain.clone(),
+                Toolchain::llvm(),
+                Toolchain::distro_gcc(),
+            ],
+        )
+        .with_repo(side.repo.clone());
+
+        let ir_mode = cache.models.cache_mode == crate::models::CacheMode::Ir;
+        let mut trace_sink = BuildTrace::default();
+        let mut max_critical_path = 0u64;
+        let mut i = 0usize;
+        while i < steps.len() {
+            // IR mode: compile steps re-generate code from the cached IR
+            // objects instead of compiling sources (paper §4.6's
+            // alternative distribution level). Not content-cached: the
+            // recodegen rewrites an object already in the container.
+            if ir_mode && steps[i].is_compile() {
+                self.recodegen_step(container, &steps[i])?;
+                i += 1;
+                continue;
+            }
+
+            // A maximal run of consecutive compile steps forms a segment.
+            let segment_end = if steps[i].is_compile() {
+                let mut j = i;
+                while j < steps.len() && steps[j].is_compile() {
+                    j += 1;
+                }
+                j
+            } else {
+                i + 1
+            };
+
+            if steps[i].is_compile() {
+                let segment = &steps[i..segment_end];
+                if self.ctx.opts.parallel && segment.len() > 1 {
+                    let depth = self.run_segment_parallel(&executor, container, segment)?;
+                    max_critical_path = max_critical_path.max(depth as u64);
+                    self.ctx.recorder.count("sched.segments", 1);
+                    self.ctx.recorder.count("sched.steps", segment.len() as u64);
+                } else {
+                    for step in segment {
+                        let outputs = self.compile_step(&executor, &container.fs, step)?;
+                        apply_outputs(container, outputs.iter())?;
+                    }
+                    max_critical_path = max_critical_path.max(1);
+                }
+                i = segment_end;
+            } else {
+                self.run_other(&executor, container, &steps[i], &mut trace_sink)?;
+                i += 1;
+            }
+        }
+        if max_critical_path > 0 {
+            self.ctx
+                .recorder
+                .count("sched.critical_path.max", max_critical_path);
+        }
+        Ok(())
+    }
+
+    /// Stage 4: gather the rebuilt artifacts named by the image model.
+    fn collect(
+        &self,
+        cache: &CacheContents,
+        container: &Container,
+    ) -> Result<BTreeMap<String, Bytes>, ComtError> {
+        let mut artifacts = BTreeMap::new();
+        for (image_path, build_path) in cache.models.image.build_files() {
+            let mut content = container.fs.read(build_path).map_err(|_| {
+                ComtError::build(format!(
+                    "rebuild did not produce {build_path} (needed for {image_path})"
+                ))
+                .with_phase(Phase::Collect)
+                .with_artifact(image_path.to_string())
+            })?;
+            // Post-link layout optimization over linked binaries.
+            if self.ctx.opts.post_link_layout {
+                if let Ok(comt_toolchain::Artifact::Linked(mut bin)) =
+                    comt_toolchain::artifact::read_artifact(&content)
+                {
+                    bin.layout_optimized = true;
+                    content = Bytes::from(comt_toolchain::artifact::write_linked(&bin));
+                }
+            }
+            artifacts.insert(image_path.to_string(), content);
+        }
+        self.ctx
+            .recorder
+            .count("collect.artifacts", artifacts.len() as u64);
+        Ok(artifacts)
+    }
+
+    /// Execute one compile step against a filesystem snapshot, consulting
+    /// the artifact cache first. Returns the produced output files.
+    fn compile_step(
+        &self,
+        executor: &Executor,
+        fs: &comt_vfs::Vfs,
+        step: &AdaptedStep,
+    ) -> Result<StepOutputs, ComtError> {
+        let key = self.ctx.opts.artifact_cache.as_ref().and_then(|cache| {
+            let key = self.cache_key(fs, step)?;
+            if let Some(hit) = cache.get(&key) {
+                self.ctx.recorder.count("cache.hit", 1);
+                return Some(Err(hit));
+            }
+            self.ctx.recorder.count("cache.miss", 1);
+            Some(Ok(key))
+        });
+        let key = match key {
+            Some(Err(hit)) => return Ok(hit.as_ref().clone()),
+            Some(Ok(key)) => Some(key),
+            None => None,
+        };
+
+        let outputs = self.execute_compile(executor, fs, step)?;
+        if let (Some(cache), Some(key)) = (self.ctx.opts.artifact_cache.as_ref(), key) {
+            cache.put(key, outputs.clone());
+        }
+        Ok(outputs)
+    }
+
+    /// The content-addressed cache key for one compile step, or `None`
+    /// when any contributing input is unreadable (then the step simply
+    /// executes uncached and fails loudly if it must).
+    fn cache_key(&self, fs: &comt_vfs::Vfs, step: &AdaptedStep) -> Option<Digest> {
+        let argv = step.model.argv().join("\u{1f}");
+        let env = step.env.join("\u{1f}");
+        let mut parts: Vec<Vec<u8>> = vec![
+            b"comt-step-v1".to_vec(),
+            argv.into_bytes(),
+            step.model.cwd().as_bytes().to_vec(),
+            env.into_bytes(),
+            self.ctx.chain_fp.as_bytes().to_vec(),
+            self.ctx.toolchain_id.as_bytes().to_vec(),
+            self.ctx.side.isa.as_bytes().to_vec(),
+        ];
+        // Content identity of every contributing input: the recorded
+        // inputs plus any profile named by `-fprofile-use=`.
+        let profile_inputs = step
+            .model
+            .argv()
+            .iter()
+            .filter_map(|t| t.strip_prefix("-fprofile-use=").map(String::from))
+            .collect::<Vec<_>>();
+        for input in step.inputs.iter().chain(profile_inputs.iter()) {
+            let path = comt_vfs::join(step.model.cwd(), input);
+            let content = fs.read(&path).ok()?;
+            parts.push(path.into_bytes());
+            parts.push(Digest::of(&content).raw().to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        Some(comt_digest::fingerprint(&refs))
+    }
+
+    /// Run the simulated compiler for one compile step (cache miss path).
+    fn execute_compile(
+        &self,
+        executor: &Executor,
+        fs: &comt_vfs::Vfs,
+        step: &AdaptedStep,
+    ) -> Result<StepOutputs, ComtError> {
+        let argv = step.model.argv();
+        let program = argv.first().map(String::as_str).unwrap_or("");
+        let base = program.rsplit('/').next().unwrap_or(program);
+        let tc = executor
+            .toolchains
+            .iter()
+            .find(|t| t.language_of(base).is_some())
+            .ok_or_else(|| {
+                ComtError::build(format!("no toolchain handles {base}"))
+                    .with_phase(Phase::Replay)
+                    .with_step(step.command_line())
+            })?;
+        let sim = comt_toolchain::SimCompiler::new(tc.clone(), &executor.isa);
+        let (_outcome, outputs) = sim
+            .compile_only(fs, step.model.cwd(), argv)
+            .map_err(|e| {
+                ComtError::build(format!("{}: {e}", step.command_line()))
+                    .with_phase(Phase::Replay)
+                    .with_step(step.command_line())
+            })?;
+        self.ctx.recorder.count("exec.compile", 1);
+        Ok(outputs)
+    }
+
+    /// Run one non-compile step through the full executor.
+    fn run_other(
+        &self,
+        executor: &Executor,
+        container: &mut Container,
+        step: &AdaptedStep,
+        trace_sink: &mut BuildTrace,
+    ) -> Result<(), ComtError> {
+        prepare(container, step)?;
+        executor
+            .run(container, step.model.argv(), trace_sink)
+            .map_err(|e| {
+                ComtError::build(format!("{}: {e}", step.command_line()))
+                    .with_phase(Phase::Replay)
+                    .with_step(step.command_line())
+            })?;
+        self.ctx.recorder.count("exec.other", 1);
+        Ok(())
+    }
+
+    /// Execute one compile segment on the ready-queue scheduler. Returns
+    /// the segment's critical-path depth.
+    fn run_segment_parallel(
+        &self,
+        executor: &Executor,
+        container: &mut Container,
+        segment: &[AdaptedStep],
+    ) -> Result<usize, ComtError> {
+        let io: Vec<(&[String], &[String])> = segment
+            .iter()
+            .map(|s| (s.inputs.as_slice(), s.outputs.as_slice()))
+            .collect();
+        let graph = scheduler::StepGraph::from_io(&io);
+        let base_fs = &container.fs;
+        // Outputs of completed steps, for the (rare) compile that consumes
+        // another compile's output within the same segment.
+        let overlay: Mutex<HashMap<String, Vec<u8>>> = Mutex::new(HashMap::new());
+
+        let outcome = scheduler::run(&graph, |idx| {
+            let step = &segment[idx];
+            let outputs = if io[idx].0.is_empty()
+                || !has_in_segment_dep(&graph, idx)
+            {
+                self.compile_step(executor, base_fs, step)?
+            } else {
+                let mut fs = base_fs.clone();
+                for (path, content) in overlay.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+                    fs.write_file_p(path, Bytes::from(content.clone()), 0o644)
+                        .map_err(|e| {
+                            ComtError::fs(e.to_string()).with_phase(Phase::Replay)
+                        })?;
+                }
+                self.compile_step(executor, &fs, step)?
+            };
+            let mut ov = overlay.lock().unwrap_or_else(|e| e.into_inner());
+            for (path, content) in &outputs {
+                ov.insert(path.clone(), content.clone());
+            }
+            Ok(outputs)
+        });
+
+        self.ctx
+            .recorder
+            .count("sched.workers.max", outcome.workers as u64);
+        // Merge in recorded order: deterministic regardless of scheduling.
+        for result in outcome.results {
+            apply_outputs(container, result?.iter())?;
+        }
+        Ok(outcome.critical_path)
+    }
+
+    /// IR-mode "compile": take the cached IR object at the step's output
+    /// path and re-generate code for the adapter-transformed flags.
+    fn recodegen_step(
+        &self,
+        container: &mut Container,
+        step: &AdaptedStep,
+    ) -> Result<(), ComtError> {
+        let side = self.ctx.side;
+        let inv = step.model.invocation().ok_or_else(|| {
+            ComtError::build("unparseable compile step".into())
+                .with_phase(Phase::Replay)
+                .with_step(step.command_line())
+        })?;
+        let out_rel = inv.output().map(String::from).ok_or_else(|| {
+            ComtError::build("IR compile step without -o".into())
+                .with_phase(Phase::Replay)
+                .with_step(step.command_line())
+        })?;
+        let out_path = comt_vfs::join(step.model.cwd(), &out_rel);
+        let raw = container.fs.read(&out_path).map_err(|_| {
+            ComtError::build(format!("IR object missing from cache: {out_path}"))
+                .with_phase(Phase::Replay)
+                .with_artifact(out_path.clone())
+        })?;
+        let mut obj = comt_toolchain::artifact::read_object(&raw).map_err(|e| {
+            ComtError::build(format!("{out_path}: {e}"))
+                .with_phase(Phase::Replay)
+                .with_artifact(out_path.clone())
+        })?;
+        comt_toolchain::recodegen(&mut obj, &side.toolchain, &side.isa, &inv)
+            .map_err(|e| {
+                ComtError::build(e.to_string())
+                    .with_phase(Phase::Replay)
+                    .with_step(step.command_line())
+            })?;
+        container
+            .fs
+            .write_file_p(
+                &out_path,
+                Bytes::from(comt_toolchain::artifact::write_object(&obj)),
+                0o644,
+            )
+            .map_err(|e| ComtError::fs(e.to_string()).with_phase(Phase::Replay))?;
+        self.ctx.recorder.count("exec.recodegen", 1);
+        Ok(())
+    }
+}
+
+/// Whether step `idx` consumes another step's output within its segment.
+fn has_in_segment_dep(graph: &scheduler::StepGraph, idx: usize) -> bool {
+    !graph.deps_of(idx).is_empty()
+}
+
+/// Write one step's output files into the container filesystem.
+fn apply_outputs<'o>(
+    container: &mut Container,
+    outputs: impl Iterator<Item = &'o (String, Vec<u8>)>,
+) -> Result<(), ComtError> {
+    for (path, content) in outputs {
+        container
+            .fs
+            .write_file_p(path, Bytes::from(content.clone()), 0o644)
+            .map_err(|e| {
+                ComtError::fs(e.to_string())
+                    .with_phase(Phase::Replay)
+                    .with_artifact(path.clone())
+            })?;
+    }
+    Ok(())
+}
+
+/// Position the container for one step (workdir + environment).
+fn prepare(container: &mut Container, step: &AdaptedStep) -> Result<(), ComtError> {
+    container
+        .fs
+        .mkdir_p(step.model.cwd())
+        .map_err(|e| ComtError::fs(e.to_string()).with_phase(Phase::Replay))?;
+    container.workdir = step.model.cwd().to_string();
+    container.env = step
+        .env
+        .iter()
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    container
+        .env
+        .entry("PATH".into())
+        .or_insert_with(|| "/usr/local/bin:/usr/bin:/bin".into());
+    Ok(())
+}

@@ -8,7 +8,7 @@
 
 use crate::minify::minify_source;
 use crate::models::{BuildGraph, CompilationModel, ImageModel, NodeKind, ProcessModels};
-use crate::ComtError;
+use crate::{ComtError, Phase};
 use bytes::Bytes;
 use comt_buildsys::BuildTrace;
 use comt_vfs::Vfs;
@@ -48,9 +48,9 @@ fn is_env_setup(argv: &[String]) -> bool {
 /// manager (dpkg or RPM).
 pub fn package_owner_index(fs: &Vfs) -> Result<Vec<(String, String)>, ComtError> {
     if comt_pkg::is_rpm_image(fs) {
-        comt_pkg::rpm_owner_index(fs).map_err(|e| ComtError::Cache(e.to_string()))
+        comt_pkg::rpm_owner_index(fs).map_err(|e| ComtError::cache(e.to_string()).with_phase(Phase::Frontend))
     } else {
-        comt_pkg::owner_index(fs).map_err(|e| ComtError::Cache(e.to_string()))
+        comt_pkg::owner_index(fs).map_err(|e| ComtError::cache(e.to_string()).with_phase(Phase::Frontend))
     }
 }
 
@@ -58,13 +58,13 @@ pub fn package_owner_index(fs: &Vfs) -> Result<Vec<(String, String)>, ComtError>
 pub fn installed_names(fs: &Vfs) -> Result<Vec<(String, String)>, ComtError> {
     if comt_pkg::is_rpm_image(fs) {
         Ok(comt_pkg::rpm_installed_packages(fs)
-            .map_err(|e| ComtError::Cache(e.to_string()))?
+            .map_err(|e| ComtError::cache(e.to_string()).with_phase(Phase::Frontend))?
             .into_iter()
             .map(|r| (r.name, r.evr))
             .collect())
     } else {
         Ok(comt_pkg::installed_packages(fs)
-            .map_err(|e| ComtError::Cache(e.to_string()))?
+            .map_err(|e| ComtError::cache(e.to_string()).with_phase(Phase::Frontend))?
             .into_iter()
             .map(|r| (r.package, r.version.to_string()))
             .collect())

@@ -29,12 +29,12 @@ pub struct StockImages {
 fn install_set(fs: &mut Vfs, repo: &comt_pkg::Repository, names: &[&str]) -> Result<(), ComtError> {
     let deps: Vec<Dependency> = names
         .iter()
-        .map(|n| n.parse().map_err(|e| ComtError::Pkg(format!("{n}: {e}"))))
+        .map(|n| n.parse().map_err(|e| ComtError::pkg(format!("{n}: {e}"))))
         .collect::<Result<_, _>>()?;
     let closure =
-        comt_pkg::resolve_install(repo, &deps).map_err(|e| ComtError::Pkg(e.to_string()))?;
+        comt_pkg::resolve_install(repo, &deps).map_err(|e| ComtError::pkg(e.to_string()))?;
     let installed: std::collections::BTreeSet<String> = comt_pkg::installed_packages(fs)
-        .map_err(|e| ComtError::Pkg(e.to_string()))?
+        .map_err(|e| ComtError::pkg(e.to_string()))?
         .into_iter()
         .map(|r| r.package)
         .collect();
@@ -42,12 +42,12 @@ fn install_set(fs: &mut Vfs, repo: &comt_pkg::Repository, names: &[&str]) -> Res
         .into_iter()
         .filter(|p| !installed.contains(&p.name))
         .collect();
-    comt_pkg::install_packages(fs, &fresh).map_err(|e| ComtError::Pkg(e.to_string()))
+    comt_pkg::install_packages(fs, &fresh).map_err(|e| ComtError::pkg(e.to_string()))
 }
 
 fn write_tool(fs: &mut Vfs, path: &str, seed: &str) -> Result<(), ComtError> {
     fs.write_file_p(path, catalog::synth_bytes(seed, 64), 0o755)
-        .map_err(|e| ComtError::Fs(e.to_string()))
+        .map_err(|e| ComtError::fs(e.to_string()))
 }
 
 /// The base rootfs: essential packages + identity files.
@@ -61,7 +61,7 @@ pub fn base_rootfs(isa: &str, scale: f64) -> Result<Vfs, ComtError> {
         Bytes::from_static(b"NAME=\"Nebula Linux\"\nVERSION_ID=\"24.04\"\n"),
         0o644,
     )
-    .map_err(|e| ComtError::Fs(e.to_string()))?;
+    .map_err(|e| ComtError::fs(e.to_string()))?;
     Ok(fs)
 }
 
@@ -86,7 +86,7 @@ fn add_system_toolchains(fs: &mut Vfs, isa: &str) -> Result<(), ComtError> {
     {
         write_tool(fs, &format!("/opt/vendor/bin/{name}"), &format!("vendor:{name}:{isa}"))?;
         fs.symlink(&format!("/usr/bin/{name}"), &format!("/opt/vendor/bin/{name}"))
-            .map_err(|e| ComtError::Fs(e.to_string()))?;
+            .map_err(|e| ComtError::fs(e.to_string()))?;
     }
     let llvm = comt_toolchain::Toolchain::llvm();
     for name in llvm
@@ -105,7 +105,7 @@ fn add_toolset(fs: &mut Vfs) -> Result<(), ComtError> {
     write_tool(fs, "/.coMtainer/bin/coMtainer", "toolset")?;
     write_tool(fs, "/.coMtainer/bin/hijacker", "hijacker")?;
     fs.mkdir_p("/.coMtainer/io")
-        .map_err(|e| ComtError::Fs(e.to_string()))
+        .map_err(|e| ComtError::fs(e.to_string()))
 }
 
 impl StockImages {
@@ -118,17 +118,17 @@ impl StockImages {
             .with_env("PATH", "/usr/local/bin:/usr/bin:/bin")
             .with_label("comtainer.image", "base")
             .commit(store)
-            .map_err(|e| ComtError::Oci(e.to_string()))?;
+            .map_err(|e| ComtError::oci(e.to_string()))?;
 
         let mut env_fs = base_fs.clone();
         add_dev_stack(&mut env_fs, isa, scale)?;
         add_toolset(&mut env_fs)?;
         let env = ImageBuilder::from_base(store, &base)
-            .map_err(|e| ComtError::Oci(e.to_string()))?
+            .map_err(|e| ComtError::oci(e.to_string()))?
             .with_layer_from_fs(&base_fs, &env_fs)
             .with_label("comtainer.image", "env")
             .commit(store)
-            .map_err(|e| ComtError::Oci(e.to_string()))?;
+            .map_err(|e| ComtError::oci(e.to_string()))?;
 
         let mut sysenv_fs = base_fs.clone();
         add_dev_stack(&mut sysenv_fs, isa, scale)?;
@@ -137,7 +137,7 @@ impl StockImages {
         // libraries (libc/libm, libstdc++, …).
         let system_repo = catalog::system_repo_scaled(isa, scale);
         let upgrades: Vec<comt_pkg::Package> = comt_pkg::installed_packages(&sysenv_fs)
-            .map_err(|e| ComtError::Pkg(e.to_string()))?
+            .map_err(|e| ComtError::pkg(e.to_string()))?
             .into_iter()
             .filter_map(|rec| {
                 let latest = system_repo.latest(&rec.package)?;
@@ -146,23 +146,23 @@ impl StockImages {
             })
             .collect();
         comt_pkg::install_packages(&mut sysenv_fs, &upgrades)
-            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+            .map_err(|e| ComtError::pkg(e.to_string()))?;
         add_toolset(&mut sysenv_fs)?;
         let sysenv = ImageBuilder::from_base(store, &base)
-            .map_err(|e| ComtError::Oci(e.to_string()))?
+            .map_err(|e| ComtError::oci(e.to_string()))?
             .with_layer_from_fs(&base_fs, &sysenv_fs)
             .with_label("comtainer.image", "sysenv")
             .commit(store)
-            .map_err(|e| ComtError::Oci(e.to_string()))?;
+            .map_err(|e| ComtError::oci(e.to_string()))?;
 
         let mut rebase_fs = base_fs.clone();
         add_toolset(&mut rebase_fs)?;
         let rebase = ImageBuilder::from_base(store, &base)
-            .map_err(|e| ComtError::Oci(e.to_string()))?
+            .map_err(|e| ComtError::oci(e.to_string()))?
             .with_layer_from_fs(&base_fs, &rebase_fs)
             .with_label("comtainer.image", "rebase")
             .commit(store)
-            .map_err(|e| ComtError::Oci(e.to_string()))?;
+            .map_err(|e| ComtError::oci(e.to_string()))?;
 
         Ok(StockImages {
             isa: isa.to_string(),

@@ -17,15 +17,21 @@
 //!   image into process models, collects sources from the build
 //!   environment, and writes everything into the **cache layer**
 //!   ([`cache`]), producing the *extended image* (`<ref>+coM`).
-//! * **Back-end** ([`backend`], [`redirect`]) — runs on the system side:
-//!   replays the recorded build with adapter-transformed command lines
-//!   under the system's toolchain (parallel across build-graph levels via
-//!   crossbeam, which is what makes LTO affordable on the system side),
-//!   producing the *rebuild layer* (`<ref>+coMre`), and finally sets up a
-//!   redirect container on the `Rebase` image, installs the (optimized)
-//!   runtime dependencies and commits the fully adapted image.
+//! * **Engine** ([`engine`]) — the instrumented rebuild pipeline: a staged
+//!   [`engine::RebuildEngine`] threads a shared [`engine::EngineCtx`]
+//!   (system identity, toolchain, adapter chain, stats recorder) through
+//!   materialize → adapt → replay → collect, schedules independent compile
+//!   steps on a ready-queue over the build DAG, and consults a
+//!   content-addressed [`engine::ArtifactCache`] so warm rebuilds skip
+//!   already-adapted compile steps entirely.
+//! * **Back-end** ([`backend`], [`redirect`]) — the system-side entry
+//!   points over the engine: produce the *rebuild layer* (`<ref>+coMre`),
+//!   then set up a redirect container on the `Rebase` image, install the
+//!   (optimized) runtime dependencies and commit the fully adapted image.
 //! * **System adapters** ([`adapters`]) — the pluggable transformation
 //!   passes: native-toolchain retargeting, LLVM substitution, LTO, PGO.
+//!   Each adapter exposes a [`SystemAdapter::fingerprint`] feeding the
+//!   artifact-cache key.
 //! * **Workflow** ([`workflow`]) — the `coMtainer-build` /
 //!   `coMtainer-rebuild` / `coMtainer-redirect` entry points mirroring the
 //!   buildah command sequences of §4.1, plus a one-call full pipeline.
@@ -39,6 +45,7 @@ pub mod adapters;
 pub mod backend;
 pub mod cache;
 pub mod crossisa;
+pub mod engine;
 pub mod frontend;
 pub mod images;
 pub mod minify;
@@ -50,8 +57,11 @@ pub use adapters::{
     AdapterContext, LlvmAdapter, LtoAdapter, LtoScope, NativeToolchainAdapter, PgoAdapter,
     SystemAdapter,
 };
-pub use backend::{rebuild, rebuild_artifacts, RebuildOptions};
+pub use backend::{
+    rebuild, rebuild_artifacts, rebuild_artifacts_with_report, RebuildOptions,
+};
 pub use cache::{load_cache, CacheContents};
+pub use engine::{ArtifactCache, EngineCtx, RebuildEngine};
 pub use frontend::analyze;
 pub use images::StockImages;
 pub use models::{
@@ -60,36 +70,230 @@ pub use models::{
 };
 #[doc(inline)]
 pub use redirect::redirect;
-pub use workflow::{comtainer_build, comtainer_build_mode, comtainer_rebuild, comtainer_redirect, SystemSide};
+pub use workflow::{
+    comtainer_build, comtainer_build_mode, comtainer_rebuild, comtainer_rebuild_with_report,
+    comtainer_redirect, SystemSide,
+};
 
-/// Errors across the coMtainer pipeline.
-#[derive(Debug)]
-pub enum ComtError {
-    /// OCI-level failure.
-    Oci(String),
-    /// Filesystem failure.
-    Fs(String),
-    /// Build/compile failure during rebuild.
-    Build(String),
-    /// Cache layer missing or malformed.
-    Cache(String),
-    /// Package resolution failure during redirect.
-    Pkg(String),
-    /// Cross-ISA rebuild blocked.
-    CrossIsa(String),
+/// Pipeline phase in which a failure occurred (error context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Frontend,
+    Materialize,
+    Adapt,
+    Replay,
+    Collect,
+    Redirect,
+    Storage,
 }
 
-impl std::fmt::Display for ComtError {
+impl std::fmt::Display for Phase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ComtError::Oci(e) => write!(f, "oci: {e}"),
-            ComtError::Fs(e) => write!(f, "fs: {e}"),
-            ComtError::Build(e) => write!(f, "build: {e}"),
-            ComtError::Cache(e) => write!(f, "cache: {e}"),
-            ComtError::Pkg(e) => write!(f, "pkg: {e}"),
-            ComtError::CrossIsa(e) => write!(f, "cross-isa: {e}"),
+        let s = match self {
+            Phase::Frontend => "frontend",
+            Phase::Materialize => "materialize",
+            Phase::Adapt => "adapt",
+            Phase::Replay => "replay",
+            Phase::Collect => "collect",
+            Phase::Redirect => "redirect",
+            Phase::Storage => "storage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The payload every [`ComtError`] variant carries: what went wrong plus
+/// where in the pipeline it happened.
+#[derive(Debug)]
+pub struct Failure {
+    /// Human-readable description of the failure.
+    pub detail: String,
+    /// Pipeline phase, when known.
+    pub phase: Option<Phase>,
+    /// The replayed step (command line) that failed, when applicable.
+    pub step: Option<String>,
+    /// The artifact (image path) involved, when applicable.
+    pub artifact: Option<String>,
+    /// Underlying error, preserved for [`std::error::Error::source`].
+    pub source: Option<Box<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+impl Failure {
+    fn new(detail: String) -> Self {
+        Failure {
+            detail,
+            phase: None,
+            step: None,
+            artifact: None,
+            source: None,
         }
     }
 }
 
-impl std::error::Error for ComtError {}
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.detail)?;
+        if let Some(phase) = &self.phase {
+            write!(f, " [phase: {phase}]")?;
+        }
+        if let Some(step) = &self.step {
+            write!(f, " [step: {step}]")?;
+        }
+        if let Some(artifact) = &self.artifact {
+            write!(f, " [artifact: {artifact}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors across the coMtainer pipeline. Each variant carries a
+/// [`Failure`] with the detail plus optional phase / step / artifact
+/// context and a chained source error.
+#[derive(Debug)]
+pub enum ComtError {
+    /// OCI-level failure.
+    Oci(Failure),
+    /// Filesystem failure.
+    Fs(Failure),
+    /// Build/compile failure during rebuild.
+    Build(Failure),
+    /// Cache layer missing or malformed.
+    Cache(Failure),
+    /// Package resolution failure during redirect.
+    Pkg(Failure),
+    /// Cross-ISA rebuild blocked.
+    CrossIsa(Failure),
+}
+
+impl ComtError {
+    pub fn oci(detail: String) -> Self {
+        ComtError::Oci(Failure::new(detail))
+    }
+
+    pub fn fs(detail: String) -> Self {
+        ComtError::Fs(Failure::new(detail))
+    }
+
+    pub fn build(detail: String) -> Self {
+        ComtError::Build(Failure::new(detail))
+    }
+
+    pub fn cache(detail: String) -> Self {
+        ComtError::Cache(Failure::new(detail))
+    }
+
+    pub fn pkg(detail: String) -> Self {
+        ComtError::Pkg(Failure::new(detail))
+    }
+
+    pub fn cross_isa(detail: String) -> Self {
+        ComtError::CrossIsa(Failure::new(detail))
+    }
+
+    /// The failure payload, regardless of variant.
+    pub fn failure(&self) -> &Failure {
+        match self {
+            ComtError::Oci(f)
+            | ComtError::Fs(f)
+            | ComtError::Build(f)
+            | ComtError::Cache(f)
+            | ComtError::Pkg(f)
+            | ComtError::CrossIsa(f) => f,
+        }
+    }
+
+    fn failure_mut(&mut self) -> &mut Failure {
+        match self {
+            ComtError::Oci(f)
+            | ComtError::Fs(f)
+            | ComtError::Build(f)
+            | ComtError::Cache(f)
+            | ComtError::Pkg(f)
+            | ComtError::CrossIsa(f) => f,
+        }
+    }
+
+    /// Attach the pipeline phase (kept if already set by a deeper layer).
+    pub fn with_phase(mut self, phase: Phase) -> Self {
+        let f = self.failure_mut();
+        f.phase.get_or_insert(phase);
+        self
+    }
+
+    /// Attach the failing step's command line.
+    pub fn with_step(mut self, step: impl Into<String>) -> Self {
+        let f = self.failure_mut();
+        f.step.get_or_insert_with(|| step.into());
+        self
+    }
+
+    /// Attach the artifact (image path) involved.
+    pub fn with_artifact(mut self, artifact: impl Into<String>) -> Self {
+        let f = self.failure_mut();
+        f.artifact.get_or_insert_with(|| artifact.into());
+        self
+    }
+
+    /// Chain the underlying error for `source()`.
+    pub fn with_source(
+        mut self,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        self.failure_mut().source = Some(Box::new(source));
+        self
+    }
+}
+
+impl std::fmt::Display for ComtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let class = match self {
+            ComtError::Oci(_) => "oci",
+            ComtError::Fs(_) => "fs",
+            ComtError::Build(_) => "build",
+            ComtError::Cache(_) => "cache",
+            ComtError::Pkg(_) => "pkg",
+            ComtError::CrossIsa(_) => "cross-isa",
+        };
+        write!(f, "{class}: {}", self.failure())
+    }
+}
+
+impl std::error::Error for ComtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.failure()
+            .source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_context_renders_and_chains() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = ComtError::build("replay failed".into())
+            .with_phase(Phase::Replay)
+            .with_step("gcc -c a.c")
+            .with_artifact("/app/run")
+            .with_source(inner);
+        let text = err.to_string();
+        assert!(text.starts_with("build: replay failed"), "{text}");
+        assert!(text.contains("[phase: replay]"), "{text}");
+        assert!(text.contains("[step: gcc -c a.c]"), "{text}");
+        assert!(text.contains("[artifact: /app/run]"), "{text}");
+        let src = std::error::Error::source(&err).expect("source chained");
+        assert_eq!(src.to_string(), "gone");
+    }
+
+    #[test]
+    fn first_context_wins() {
+        let err = ComtError::cache("missing".into())
+            .with_phase(Phase::Frontend)
+            .with_phase(Phase::Redirect);
+        assert_eq!(err.failure().phase, Some(Phase::Frontend));
+        assert!(matches!(err, ComtError::Cache(_)));
+    }
+}

@@ -8,7 +8,7 @@
 use crate::cache::{load_cache, load_rebuild};
 use crate::models::FileOrigin;
 use crate::workflow::SystemSide;
-use crate::ComtError;
+use crate::{ComtError, Phase};
 use comt_oci::layout::OciDir;
 use comt_oci::ImageBuilder;
 use comt_vfs::Vfs;
@@ -28,9 +28,9 @@ pub fn redirect(
     let base_ref = rebuilt_ref.trim_end_matches("+coMre").trim_end_matches("+coM");
     let original = oci
         .load_image(base_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()).with_phase(Phase::Redirect))?;
     let original_fs =
-        comt_oci::flatten(&oci.blobs, &original).map_err(|e| ComtError::Oci(e.to_string()))?;
+        comt_oci::flatten(&oci.blobs, &original).map_err(|e| ComtError::oci(e.to_string()).with_phase(Phase::Redirect))?;
 
     // Redirect container starts from the Rebase image.
     let mut fs: Vfs = side.rebase_fs.clone();
@@ -54,13 +54,13 @@ pub fn redirect(
                 name.clone()
             };
             spec.parse()
-                .map_err(|e| ComtError::Pkg(format!("{spec}: {e}")))
+                .map_err(|e| ComtError::pkg(format!("{spec}: {e}")).with_phase(Phase::Redirect))
         })
         .collect::<Result<_, _>>()?;
     let closure =
-        comt_pkg::resolve_install(&side.repo, &deps).map_err(|e| ComtError::Pkg(e.to_string()))?;
+        comt_pkg::resolve_install(&side.repo, &deps).map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?;
     let installed: std::collections::BTreeSet<String> = comt_pkg::installed_packages(&fs)
-        .map_err(|e| ComtError::Pkg(e.to_string()))?
+        .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?
         .into_iter()
         .map(|r| r.package)
         .collect();
@@ -68,14 +68,14 @@ pub fn redirect(
         .into_iter()
         .filter(|p| !installed.contains(&p.name))
         .collect();
-    comt_pkg::install_packages(&mut fs, &fresh).map_err(|e| ComtError::Pkg(e.to_string()))?;
+    comt_pkg::install_packages(&mut fs, &fresh).map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?;
 
     // Library replacement for the base stack (`libo`): upgrade any
     // performance-relevant package (libc, libstdc++, …) for which the
     // system repositories carry a newer — i.e. vendor — build. Skipped in
     // IR mode: ABI coupling pins the build-time versions.
     let upgrades: Vec<comt_pkg::Package> = if ir_mode { Vec::new() } else { comt_pkg::installed_packages(&fs)
-        .map_err(|e| ComtError::Pkg(e.to_string()))?
+        .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?
         .into_iter()
         .filter_map(|rec| {
             let latest = side.repo.latest(&rec.package)?;
@@ -83,12 +83,12 @@ pub fn redirect(
             (relevant && latest.version > rec.version).then(|| latest.clone())
         })
         .collect() };
-    comt_pkg::install_packages(&mut fs, &upgrades).map_err(|e| ComtError::Pkg(e.to_string()))?;
+    comt_pkg::install_packages(&mut fs, &upgrades).map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?;
 
     // 2. Place rebuilt artifacts at their original image paths.
     for (path, content) in &artifacts {
         fs.write_file_p(path, content.clone(), 0o755)
-            .map_err(|e| ComtError::Fs(e.to_string()))?;
+            .map_err(|e| ComtError::fs(e.to_string()).with_phase(Phase::Redirect))?;
     }
 
     // 3. Carry data and unknown-origin files verbatim.
@@ -96,9 +96,9 @@ pub fn redirect(
         if matches!(origin, FileOrigin::Data | FileOrigin::Unknown) {
             if let Some(node) = original_fs.lstat(path) {
                 fs.mkdir_p(&comt_vfs::parent(path))
-                    .map_err(|e| ComtError::Fs(e.to_string()))?;
+                    .map_err(|e| ComtError::fs(e.to_string()).with_phase(Phase::Redirect))?;
                 fs.insert_node(path, node.clone())
-                    .map_err(|e| ComtError::Fs(e.to_string()))?;
+                    .map_err(|e| ComtError::fs(e.to_string()).with_phase(Phase::Redirect))?;
             }
         }
     }
@@ -117,13 +117,16 @@ pub fn redirect(
     }
     let image = builder
         .commit(&mut oci.blobs)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()).with_phase(Phase::Redirect))?;
 
     let new_ref = format!("{base_ref}+opt");
-    let raw = oci
-        .blobs
-        .get(&image.manifest_digest)
-        .expect("just committed");
+    let raw = oci.blobs.get(&image.manifest_digest).ok_or_else(|| {
+        ComtError::oci(format!(
+            "committed manifest {} missing from blob store",
+            image.manifest_digest
+        ))
+        .with_phase(Phase::Redirect)
+    })?;
     let desc = comt_oci::spec::Descriptor::new(
         comt_oci::spec::MediaType::ImageManifest,
         image.manifest_digest,

@@ -16,7 +16,7 @@ use crate::backend::{rebuild as backend_rebuild, RebuildOptions};
 use crate::cache::write_cache;
 use crate::frontend::AnalysisInputs;
 use crate::images::base_rootfs;
-use crate::{ComtError, SystemAdapter};
+use crate::{ComtError, Phase, SystemAdapter};
 use comt_buildsys::{BuildTrace, Container};
 use comt_oci::layout::OciDir;
 use comt_pkg::catalog;
@@ -49,13 +49,19 @@ impl SystemSide {
         let repo = catalog::generic_repo_scaled(isa, scale);
         let dev: Vec<comt_pkg::Dependency> = catalog::dev_package_names()
             .iter()
-            .map(|n| n.parse().unwrap())
-            .collect();
+            .map(|n| {
+                n.parse().map_err(|e| {
+                    ComtError::pkg(format!("invalid dev dependency spec {n:?}: {e}"))
+                        .with_phase(Phase::Materialize)
+                        .with_source(e)
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let pkgs = comt_pkg::resolve_install(&repo, &dev)
-            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+            .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Materialize))?;
         let installed: std::collections::BTreeSet<String> =
             comt_pkg::installed_packages(&sysenv_fs)
-                .map_err(|e| ComtError::Pkg(e.to_string()))?
+                .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Materialize))?
                 .into_iter()
                 .map(|r| r.package)
                 .collect();
@@ -64,12 +70,12 @@ impl SystemSide {
             .filter(|p| !installed.contains(&p.name))
             .collect();
         comt_pkg::install_packages(&mut sysenv_fs, &fresh)
-            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+            .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Materialize))?;
         // The system's own stack carries the vendor builds of the
         // performance-relevant libraries (libc/libm, libstdc++, …).
         let system_repo = catalog::system_repo_scaled(isa, scale);
         let upgrades: Vec<comt_pkg::Package> = comt_pkg::installed_packages(&sysenv_fs)
-            .map_err(|e| ComtError::Pkg(e.to_string()))?
+            .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Materialize))?
             .into_iter()
             .filter_map(|rec| {
                 let latest = system_repo.latest(&rec.package)?;
@@ -78,7 +84,7 @@ impl SystemSide {
             })
             .collect();
         comt_pkg::install_packages(&mut sysenv_fs, &upgrades)
-            .map_err(|e| ComtError::Pkg(e.to_string()))?;
+            .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Materialize))?;
 
         let vendor = Toolchain::vendor_for(isa);
         for name in vendor
@@ -96,7 +102,11 @@ impl SystemSide {
                     catalog::synth_bytes(&format!("tc:{name}:{isa}"), 64),
                     0o755,
                 )
-                .map_err(|e| ComtError::Fs(e.to_string()))?;
+                .map_err(|e| {
+                    ComtError::fs(e.to_string())
+                        .with_phase(Phase::Materialize)
+                        .with_artifact(format!("/usr/bin/{name}"))
+                })?;
         }
 
         let rebase_fs = base_rootfs(isa, scale)?;
@@ -150,9 +160,9 @@ pub fn comtainer_build_mode(
 ) -> Result<String, ComtError> {
     let dist_image = oci
         .load_image(dist_ref)
-        .map_err(|e| ComtError::Oci(e.to_string()))?;
-    let dist_fs =
-        comt_oci::flatten(&oci.blobs, &dist_image).map_err(|e| ComtError::Oci(e.to_string()))?;
+        .map_err(|e| ComtError::oci(e.to_string()).with_phase(Phase::Frontend))?;
+    let dist_fs = comt_oci::flatten(&oci.blobs, &dist_image)
+        .map_err(|e| ComtError::oci(e.to_string()).with_phase(Phase::Frontend))?;
     let analysis = crate::frontend::analyze_mode(
         &AnalysisInputs {
             build_fs: &build_container.fs,
@@ -174,6 +184,22 @@ pub fn comtainer_rebuild(
     opts: &RebuildOptions,
 ) -> Result<String, ComtError> {
     backend_rebuild(oci, extended_ref, side, opts)
+}
+
+/// [`comtainer_rebuild`], additionally returning the engine's
+/// observability report (stage spans, cache hit/miss counters, scheduler
+/// stats). Backs `comt rebuild --stats` and the bench harness.
+pub fn comtainer_rebuild_with_report(
+    oci: &mut OciDir,
+    extended_ref: &str,
+    side: &SystemSide,
+    opts: &RebuildOptions,
+) -> Result<(String, comt_observe::Report), ComtError> {
+    let cache = crate::cache::load_cache(oci, extended_ref)?;
+    let (artifacts, report) =
+        crate::backend::rebuild_artifacts_with_report(&cache, side, opts)?;
+    let rebuilt_ref = crate::cache::write_rebuild(oci, extended_ref, &artifacts)?;
+    Ok((rebuilt_ref, report))
 }
 
 /// `coMtainer-redirect` (system side). Returns the `+opt` ref.

@@ -70,6 +70,22 @@ impl fmt::Debug for Digest {
     }
 }
 
+/// Domain-separated fingerprint of an ordered list of parts.
+///
+/// Each part is length-prefixed (big-endian u64) before hashing, so the
+/// part boundaries are part of the identity: `["ab", "c"]` and
+/// `["a", "bc"]` produce different digests. The engine's artifact cache
+/// keys are built this way from the adapted compilation model, the adapter
+/// chain fingerprint, the toolchain identity and the input contents.
+pub fn fingerprint(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for part in parts {
+        h.update(&(part.len() as u64).to_be_bytes());
+        h.update(part);
+    }
+    Digest::from_raw(h.finalize())
+}
+
 /// Errors when parsing a digest string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DigestParseError {
@@ -162,6 +178,19 @@ mod tests {
         let d = Digest::of(b"short");
         assert!(d.hex().starts_with(&d.short()));
         assert_eq!(d.short().len(), 12);
+    }
+
+    #[test]
+    fn fingerprint_separates_part_boundaries() {
+        let ab_c = fingerprint(&[b"ab", b"c"]);
+        let a_bc = fingerprint(&[b"a", b"bc"]);
+        assert_ne!(ab_c, a_bc);
+        // And differs from the plain concatenated digest.
+        assert_ne!(ab_c, Digest::of(b"abc"));
+        // Deterministic.
+        assert_eq!(fingerprint(&[b"ab", b"c"]), ab_c);
+        // Part count matters even with empty parts.
+        assert_ne!(fingerprint(&[b"x"]), fingerprint(&[b"x", b""]));
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Zero-dependency observability primitives for the coMtainer engine.
+//!
+//! The rebuild engine, the step scheduler and the performance simulator all
+//! want to answer the same questions — how long did each stage take, how
+//! many steps ran, how many cache probes hit — without dragging a tracing
+//! framework into a hermetic workspace. [`Recorder`] collects two kinds of
+//! events:
+//!
+//! * **counters** — monotonically increasing named tallies
+//!   ([`Recorder::count`]), e.g. `cache.hit` or `sched.steps`;
+//! * **spans** — named wall-clock intervals ([`Recorder::span`]) recorded
+//!   on guard drop, aggregated per name (total time + activations).
+//!
+//! A [`Report`] snapshot renders everything as a stable, alphabetically
+//! sorted human-readable table (see [`Report::render`]) which the `comt`
+//! CLI prints under `--stats` and the bench harness embeds in ablation
+//! output. Recording is cheap (one mutex lock per event) and recorders are
+//! `Sync`, so scheduler worker threads share one by reference.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of times a span with this name was closed.
+    pub count: u64,
+    /// Total wall time across all activations.
+    pub total: Duration,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// Collects counters and spans from one engine run (or globally, via
+/// [`global`]). Thread-safe; share by reference across workers.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    state: Mutex<State>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter (creating it at zero first).
+    pub fn count(&self, name: &str, n: u64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *st.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Open a named span; the returned guard records elapsed wall time into
+    /// this recorder when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            name: name.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record an externally measured interval under a span name. Used when
+    /// the duration is simulated rather than wall-clock (perfsim).
+    pub fn record_span(&self, name: &str, elapsed: Duration) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = st.spans.entry(name.to_string()).or_default();
+        s.count += 1;
+        s.total += elapsed;
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot everything recorded so far.
+    pub fn report(&self) -> Report {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        Report {
+            counters: st.counters.clone(),
+            spans: st.spans.clone(),
+        }
+    }
+
+    /// Drop all recorded events (mainly for the global recorder in tests).
+    pub fn reset(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.counters.clear();
+        st.spans.clear();
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`].
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.record_span(&self.name, self.started.elapsed());
+    }
+}
+
+/// An immutable snapshot of a [`Recorder`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub counters: BTreeMap<String, u64>,
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl Report {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty()
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn span(&self, name: &str) -> SpanStats {
+        self.spans.get(name).copied().unwrap_or_default()
+    }
+
+    /// Merge another report into this one (summing counters and spans).
+    pub fn absorb(&mut self, other: &Report) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.spans {
+            let s = self.spans.entry(k.clone()).or_default();
+            s.count += v.count;
+            s.total += v.total;
+        }
+    }
+
+    /// Render as an aligned human-readable table, sorted by name.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no events recorded)");
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.spans.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                writeln!(f, "  {name:<width$}  {v}")?;
+            }
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "spans:")?;
+            for (name, s) in &self.spans {
+                writeln!(
+                    f,
+                    "  {name:<width$}  {:>10}  x{}",
+                    fmt_duration(s.total),
+                    s.count
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The process-wide recorder. Components without an engine context (e.g.
+/// the performance simulator) record here; callers snapshot via
+/// `global().report()`.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: std::sync::OnceLock<Recorder> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Recorder::new();
+        r.count("cache.hit", 2);
+        r.count("cache.hit", 3);
+        r.count("cache.miss", 1);
+        assert_eq!(r.counter("cache.hit"), 5);
+        assert_eq!(r.counter("cache.miss"), 1);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let r = Recorder::new();
+        {
+            let _g = r.span("stage.rebuild");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let _g = r.span("stage.rebuild");
+        }
+        let rep = r.report();
+        let s = rep.span("stage.rebuild");
+        assert_eq!(s.count, 2);
+        assert!(s.total >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn report_renders_sorted_table() {
+        let r = Recorder::new();
+        r.count("b.second", 7);
+        r.count("a.first", 1);
+        r.record_span("z.span", Duration::from_micros(1500));
+        let text = r.report().render();
+        let a = text.find("a.first").unwrap();
+        let b = text.find("b.second").unwrap();
+        assert!(a < b, "counters must be sorted:\n{text}");
+        assert!(text.contains("1.5 ms"), "{text}");
+        assert!(text.contains("x1"), "{text}");
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let r1 = Recorder::new();
+        r1.count("n", 1);
+        r1.record_span("s", Duration::from_nanos(10));
+        let r2 = Recorder::new();
+        r2.count("n", 2);
+        r2.record_span("s", Duration::from_nanos(5));
+        let mut rep = r1.report();
+        rep.absorb(&r2.report());
+        assert_eq!(rep.counter("n"), 3);
+        assert_eq!(rep.span("s").count, 2);
+        assert_eq!(rep.span("s").total, Duration::from_nanos(15));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let r = Recorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        r.count("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits"), 400);
+    }
+}

@@ -248,6 +248,19 @@ pub fn execute_with_deck(
         None
     };
 
+    // Observability: every simulated run reports into the global recorder
+    // (counters for run totals, simulated wall time as a span so the bench
+    // harness and CLI can summarize simulated vs real time together).
+    let rec = comt_observe::global();
+    rec.count("perfsim.runs", 1);
+    if binary.opt.pgo == PgoMode::Instrumented {
+        rec.count("perfsim.instrumented_runs", 1);
+    }
+    rec.record_span(
+        "perfsim.simulated_wall",
+        std::time::Duration::from_secs_f64(seconds.max(0.0)),
+    );
+
     RunResult {
         seconds,
         breakdown: Breakdown {

@@ -1,0 +1,82 @@
+//! Engine-level integration: the content-addressed rebuild pipeline run
+//! through the full OCI workflow. A warm artifact cache must produce a
+//! bit-identical `+coMre` rebuild layer while executing zero compile
+//! steps (the issue's acceptance criterion for incremental rebuilds).
+
+use comt_bench::Lab;
+use comtainer_suite::core::{
+    comtainer_rebuild_with_report, ArtifactCache, RebuildOptions,
+};
+use comtainer_suite::pkg::catalog;
+use std::sync::Arc;
+
+/// Digest of the rebuild layer (the last layer) of the image at `name`.
+fn rebuild_layer_digest(oci: &comtainer_suite::oci::layout::OciDir, name: &str) -> String {
+    let image = oci.load_image(name).unwrap();
+    image.manifest.layers.last().unwrap().digest.clone()
+}
+
+#[test]
+fn warm_rebuild_reproduces_layer_digest_without_compiling() {
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    let mut art = lab.prepare_app("hpccg");
+    let side = lab.system_side();
+
+    let shared = ArtifactCache::new();
+    let opts = RebuildOptions {
+        artifact_cache: Some(Arc::clone(&shared)),
+        ..Default::default()
+    };
+
+    // Cold: every compile step misses the cache and executes.
+    let (cold_ref, cold) =
+        comtainer_rebuild_with_report(&mut art.oci, "hpccg.dist+coM", &side, &opts).unwrap();
+    let cold_digest = rebuild_layer_digest(&art.oci, &cold_ref);
+    assert_eq!(cold.counter("cache.hit"), 0);
+    assert!(cold.counter("exec.compile") > 0, "{}", cold.render());
+    assert_eq!(cold.counter("cache.miss"), cold.counter("exec.compile"));
+
+    // Warm: same inputs, same adapter chain, same toolchain — every
+    // compile step must come out of the cache and the rebuild layer must
+    // be bit-identical.
+    let (warm_ref, warm) =
+        comtainer_rebuild_with_report(&mut art.oci, "hpccg.dist+coM", &side, &opts).unwrap();
+    assert_eq!(warm.counter("exec.compile"), 0, "{}", warm.render());
+    assert_eq!(warm.counter("cache.miss"), 0);
+    assert_eq!(warm.counter("cache.hit"), cold.counter("cache.miss"));
+    assert_eq!(rebuild_layer_digest(&art.oci, &warm_ref), cold_digest);
+
+    // The engine surfaced its stage spans end to end.
+    for stage in ["stage.materialize", "stage.adapt", "stage.replay", "stage.collect"] {
+        assert!(warm.span(stage).count > 0, "missing span {stage}");
+    }
+}
+
+#[test]
+fn parallel_rebuild_matches_serial_layer_digest() {
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    let mut art = lab.prepare_app("comd");
+    let side = lab.system_side();
+
+    let (serial_ref, _) = comtainer_rebuild_with_report(
+        &mut art.oci,
+        "comd.dist+coM",
+        &side,
+        &RebuildOptions::default(),
+    )
+    .unwrap();
+    let serial_digest = rebuild_layer_digest(&art.oci, &serial_ref);
+
+    let (par_ref, report) = comtainer_rebuild_with_report(
+        &mut art.oci,
+        "comd.dist+coM",
+        &side,
+        &RebuildOptions {
+            parallel: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(rebuild_layer_digest(&art.oci, &par_ref), serial_digest);
+    assert!(report.counter("sched.steps") > 0, "{}", report.render());
+}

@@ -1,0 +1,235 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `sample_size`, the `criterion_group!`/`criterion_main!`
+//! macros) with a simple wall-clock measurement loop: warm up briefly, then
+//! run a fixed number of timed samples and report the mean and min per
+//! iteration. No statistics, plotting or state files.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark's display id (`group/function` or `group/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        run_bench(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.0);
+        run_bench(&id, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: a few untimed runs, also used to size the batches.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let probe = warm_start.elapsed();
+        // Batch enough iterations that one sample is >= ~1ms for fast
+        // routines, but cap total time for slow ones.
+        let per_iter = probe.max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000)
+            as usize;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().unwrap();
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) => format!("  {:>10}/s", human_bytes(per_second(n, mean))),
+            Throughput::Elements(n) => format!("  {:>10.0} elem/s", per_second(n, mean)),
+        })
+        .unwrap_or_default();
+    println!(
+        "{id:<48} mean {:>12}  min {:>12}{rate}",
+        human_duration(mean),
+        human_duration(min)
+    );
+}
+
+fn per_second(n: u64, mean: Duration) -> f64 {
+    n as f64 / mean.as_secs_f64().max(1e-12)
+}
+
+fn human_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut rate = rate;
+    let mut unit = 0;
+    while rate >= 1024.0 && unit < UNITS.len() - 1 {
+        rate /= 1024.0;
+        unit += 1;
+    }
+    format!("{rate:.1} {}", UNITS[unit])
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: run each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        let mut ran = 0u32;
+        g.bench_function("sum", |b| {
+            ran += 1;
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, n| {
+            b.iter(|| (0..*n).product::<u64>())
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(human_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(human_bytes(2048.0).starts_with("2.0 KiB"));
+    }
+}

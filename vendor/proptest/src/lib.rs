@@ -1,0 +1,716 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro with an optional `proptest_config` header,
+//! range / tuple / collection / regex-string strategies, `prop_map`,
+//! `prop_oneof!`, `Just`, `any::<T>()` and `prop::sample::Index`. Cases are
+//! generated from a deterministic per-test PRNG; failing inputs are
+//! reported verbatim (no shrinking).
+
+use std::fmt;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG (splitmix64 core).
+
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded from the test name so every test gets a distinct, stable
+    /// stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant for test-data generation.
+        self.next_u64() % bound
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The strategy abstraction.
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of its value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+// Numeric ranges.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+// Tuples of strategies.
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+}
+
+// String patterns: a `&str` literal is a regex-subset strategy.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pat = pattern::parse(self)
+            .unwrap_or_else(|e| panic!("bad string pattern {self:?}: {e}"));
+        pattern::sample(&pat, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        self.as_str().sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`.
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `prop` module tree (collections, sample).
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::collections::BTreeMap;
+        use std::ops::Range;
+
+        /// Size specification: an exact count or a range.
+        pub struct SizeRange {
+            min: usize,
+            span: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, span: 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                SizeRange {
+                    min: r.start,
+                    span: (r.end - r.start).max(1),
+                }
+            }
+        }
+
+        impl SizeRange {
+            fn sample(&self, rng: &mut TestRng) -> usize {
+                self.min + rng.below(self.span as u64) as usize
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        pub fn btree_map<K, V>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            BTreeMapStrategy {
+                key,
+                value,
+                size: size.into(),
+            }
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.sample(rng);
+                let mut m = BTreeMap::new();
+                // Key collisions shrink the map; retry a bounded number of
+                // times so minimum sizes are honored in practice.
+                let mut attempts = 0;
+                while m.len() < n && attempts < n * 10 + 10 {
+                    m.insert(self.key.sample(rng), self.value.sample(rng));
+                    attempts += 1;
+                }
+                m
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An index into a collection whose size is only known at use time.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Project onto `[0, len)`. `len` must be non-zero.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64() as usize)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string generation.
+
+mod pattern {
+    use super::TestRng;
+
+    /// One pattern atom with its repetition counts.
+    pub enum Atom {
+        Lit(char),
+        /// Expanded alternatives of a `[...]` class.
+        Class(Vec<char>),
+        Group(Vec<Repeat>),
+    }
+
+    pub struct Repeat {
+        pub atom: Atom,
+        pub min: u32,
+        pub max: u32,
+    }
+
+    pub fn parse(pat: &str) -> Result<Vec<Repeat>, String> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut pos = 0;
+        let seq = parse_seq(&chars, &mut pos, /*in_group=*/ false)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected ')' at {pos}"));
+        }
+        Ok(seq)
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, in_group: bool) -> Result<Vec<Repeat>, String> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            if c == ')' {
+                if in_group {
+                    return Ok(seq);
+                }
+                return Err("unmatched ')'".into());
+            }
+            let atom = match c {
+                '[' => {
+                    *pos += 1;
+                    Atom::Class(parse_class(chars, pos)?)
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, true)?;
+                    if chars.get(*pos) != Some(&')') {
+                        return Err("unterminated group".into());
+                    }
+                    *pos += 1;
+                    Atom::Group(inner)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = *chars.get(*pos).ok_or("trailing backslash")?;
+                    *pos += 1;
+                    Atom::Lit(unescape(esc))
+                }
+                '|' => return Err("alternation is not supported".into()),
+                c => {
+                    *pos += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Repetition suffix.
+            let (min, max) = match chars.get(*pos) {
+                Some('{') => {
+                    *pos += 1;
+                    parse_counts(chars, pos)?
+                }
+                Some('?') => {
+                    *pos += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    *pos += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    *pos += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            seq.push(Repeat { atom, min, max });
+        }
+        if in_group {
+            return Err("unterminated group".into());
+        }
+        Ok(seq)
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other, // \. \[ \] \\ \- etc: the literal character
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Vec<char>, String> {
+        let mut out = Vec::new();
+        if chars.get(*pos) == Some(&'^') {
+            return Err("negated classes are not supported".into());
+        }
+        while let Some(&c) = chars.get(*pos) {
+            match c {
+                ']' => {
+                    *pos += 1;
+                    if out.is_empty() {
+                        return Err("empty character class".into());
+                    }
+                    return Ok(out);
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = *chars.get(*pos).ok_or("trailing backslash in class")?;
+                    *pos += 1;
+                    out.push(unescape(esc));
+                }
+                c => {
+                    *pos += 1;
+                    // Range `a-z` (a '-' not followed by ']' and not first).
+                    if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        *pos += 1;
+                        let hi = chars[*pos];
+                        *pos += 1;
+                        let (lo, hi) = (c as u32, hi as u32);
+                        if lo > hi {
+                            return Err(format!("bad range {c}-{hi}"));
+                        }
+                        for cp in lo..=hi {
+                            if let Some(ch) = char::from_u32(cp) {
+                                out.push(ch);
+                            }
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        Err("unterminated character class".into())
+    }
+
+    fn parse_counts(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+        let mut min = String::new();
+        let mut max = String::new();
+        let mut in_max = false;
+        while let Some(&c) = chars.get(*pos) {
+            *pos += 1;
+            match c {
+                '}' => {
+                    let lo: u32 = min.parse().map_err(|_| "bad repetition count")?;
+                    let hi: u32 = if in_max {
+                        if max.is_empty() {
+                            lo + 8
+                        } else {
+                            max.parse().map_err(|_| "bad repetition count")?
+                        }
+                    } else {
+                        lo
+                    };
+                    return Ok((lo, hi));
+                }
+                ',' => in_max = true,
+                d if d.is_ascii_digit() => {
+                    if in_max {
+                        max.push(d);
+                    } else {
+                        min.push(d);
+                    }
+                }
+                other => return Err(format!("bad character {other:?} in repetition")),
+            }
+        }
+        Err("unterminated repetition".into())
+    }
+
+    pub fn sample(seq: &[Repeat], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        sample_into(seq, rng, &mut out);
+        out
+    }
+
+    fn sample_into(seq: &[Repeat], rng: &mut TestRng, out: &mut String) {
+        for rep in seq {
+            // Note `{m,n}` is inclusive of n in regex syntax.
+            let span = u64::from(rep.max - rep.min) + 1;
+            let count = rep.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match &rep.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(choices) => {
+                        let i = rng.below(choices.len() as u64) as usize;
+                        out.push(choices[i]);
+                    }
+                    Atom::Group(inner) => sample_into(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-runner plumbing.
+
+/// Per-test configuration (`#![proptest_config(…)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property (from `prop_assert!`-family macros).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!("proptest case {} of {} failed: {}",
+                               __case + 1, __cfg.cases, __e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = crate::TestRng::deterministic("patterns");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let v = Strategy::sample(&"[0-9]{1,2}(\\.[0-9]{1,2}){0,2}(~rc[0-9])?", &mut rng);
+            assert!(v.chars().next().unwrap().is_ascii_digit(), "{v:?}");
+
+            let lit = Strategy::sample(&"b/c", &mut rng);
+            assert_eq!(lit, "b/c");
+
+            let cls = Strategy::sample(&"[a-z0-9 +*=\\[\\];]{0,10}", &mut rng);
+            assert!(cls.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let x = Strategy::sample(&(0u32..7), &mut rng);
+            assert!(x < 7);
+            let (a, b) = Strategy::sample(&((1usize..3), (10i64..12)), &mut rng);
+            assert!((1..3).contains(&a) && (10..12).contains(&b));
+            let f = Strategy::sample(&(0.0f64..1e6), &mut rng);
+            assert!((0.0..1e6).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: vec sizes respect bounds, oneof picks arms.
+        #[test]
+        fn macro_plumbing(
+            v in prop::collection::vec(any::<u8>(), 1..5),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+    }
+}

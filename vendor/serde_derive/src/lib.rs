@@ -1,0 +1,439 @@
+//! Vendored minimal `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds hermetically, so this proc-macro crate parses the
+//! deriving type's token stream by hand (no `syn`/`quote`) and emits impls
+//! of the vendored `serde` crate's value-based traits. Supported shapes are
+//! exactly what the workspace uses:
+//!
+//! * structs with named fields (any visibility),
+//! * one-field tuple structs (serialized transparently, like newtypes),
+//! * enums with unit, one-field tuple, and struct variants
+//!   (externally tagged, serde's default),
+//! * field/variant attributes `#[serde(rename = "…")]`, `#[serde(default)]`
+//!   and `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Generics are not supported — the derive fails with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// A tiny AST for the supported shapes.
+
+struct Field {
+    ident: String,
+    /// JSON key: the rename attribute or the field name.
+    key: String,
+    /// `#[serde(default)]` or an `Option<…>` type.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`, pasted verbatim.
+    skip_if: Option<String>,
+}
+
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// One-field tuple struct (`NodeId(pub usize)`): transparent.
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    ident: String,
+    key: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// One unnamed field.
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+
+/// Serde attributes collected from `#[serde(…)]` groups.
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+/// Strip surrounding quotes from a string literal token.
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    let s = s.strip_prefix('"').unwrap_or(s);
+    let s = s.strip_suffix('"').unwrap_or(s);
+    s.to_string()
+}
+
+/// Consume leading attributes from `toks[*i]`, folding `#[serde(…)]`
+/// contents into the result and skipping everything else (doc comments,
+/// other derives' helper attributes).
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *i < toks.len() {
+        let TokenTree::Punct(p) = &toks[*i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let TokenTree::Group(g) = &toks[*i] else {
+            panic!("serde_derive: `#` not followed by an attribute group")
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let mut arg_toks = args.stream().into_iter().peekable();
+        while let Some(tok) = arg_toks.next() {
+            let TokenTree::Ident(id) = &tok else { continue };
+            match id.to_string().as_str() {
+                "default" => attrs.default = true,
+                "rename" => {
+                    arg_toks.next(); // `=`
+                    if let Some(TokenTree::Literal(l)) = arg_toks.next() {
+                        attrs.rename = Some(unquote(&l.to_string()));
+                    }
+                }
+                "skip_serializing_if" => {
+                    arg_toks.next(); // `=`
+                    if let Some(TokenTree::Literal(l)) = arg_toks.next() {
+                        attrs.skip_if = Some(unquote(&l.to_string()));
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    attrs
+}
+
+/// Parse the fields of a named-field body `{ … }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        // Visibility: `pub` possibly followed by a `(crate)`-style group.
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive: expected field name, got {:?}", toks[i].to_string())
+        };
+        let ident = name.to_string();
+        i += 1; // name
+        i += 1; // `:`
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generics don't end the field. Parens/brackets arrive as single
+        // Group tokens, so only `<`/`>` need counting.
+        let mut depth = 0i32;
+        let mut first_type_tok: Option<String> = None;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                t => {
+                    if first_type_tok.is_none() {
+                        first_type_tok = Some(t.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+        let is_option = first_type_tok.as_deref() == Some("Option");
+        fields.push(Field {
+            key: attrs.rename.clone().unwrap_or_else(|| ident.clone()),
+            ident,
+            default: attrs.default || is_option,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive: expected variant name, got {:?}", toks[i].to_string())
+        };
+        let ident = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the comma separating variants.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant {
+            key: attrs.rename.unwrap_or_else(|| ident.clone()),
+            ident,
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before the struct/enum keyword.
+    loop {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            other => panic!("serde_derive: unexpected token {:?}", other.to_string()),
+        }
+    }
+    let is_struct = matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive: expected type name")
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving {name})");
+    }
+    let shape = if is_struct {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = inner
+                    .iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                if commas > 1 {
+                    panic!("serde_derive: multi-field tuple structs are not supported ({name})");
+                }
+                Shape::Newtype
+            }
+            other => panic!("serde_derive: unsupported struct body {:?}", other.to_string()),
+        }
+    } else {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: unsupported enum body {:?}", other.to_string()),
+        }
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then reparsed).
+
+/// Push the field-serialization statements for a list of fields, reading
+/// from expressions produced by `access` (e.g. `&self.f` or a binding).
+fn gen_fields_ser(out: &mut String, fields: &[Field], access: impl Fn(&Field) -> String) {
+    for f in fields {
+        let expr = access(f);
+        let push = format!(
+            "__m.push(({:?}.to_string(), ::serde::Serialize::to_value({expr})));",
+            f.key
+        );
+        match &f.skip_if {
+            Some(path) => {
+                out.push_str(&format!("if !({path}({expr})) {{ {push} }}\n"));
+            }
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Field-deserialization initializer list for a struct literal.
+fn gen_fields_de(fields: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fallback = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("return Err(::serde::Error::missing_field({:?}))", f.key)
+        };
+        out.push_str(&format!(
+            "{}: match ::serde::Value::field({obj}, {:?}) {{ \
+               Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+               None => {fallback} }},\n",
+            f.ident, f.key
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(fields) => {
+            let mut b = String::from(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            gen_fields_ser(&mut b, fields, |f| format!("&self.{}", f.ident));
+            b.push_str("::serde::Value::Object(__m)");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{} => ::serde::Value::Str({:?}.to_string()),\n",
+                        v.ident, v.key
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{}(__inner) => ::serde::Value::Object(vec![({:?}.to_string(), \
+                         ::serde::Serialize::to_value(__inner))]),\n",
+                        v.ident, v.key
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        gen_fields_ser(&mut inner, fields, |f| f.ident.clone());
+                        arms.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{ {inner} \
+                             ::serde::Value::Object(vec![({:?}.to_string(), \
+                             ::serde::Value::Object(__m))]) }},\n",
+                            v.ident,
+                            bindings.join(", "),
+                            v.key
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Newtype => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Struct(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+               ::serde::Error::expected(\"object\", __v))?;\n\
+             Ok({name} {{ {} }})",
+            gen_fields_de(fields, "__obj")
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{:?} => Ok({name}::{}),\n",
+                        v.key, v.ident
+                    )),
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "{:?} => Ok({name}::{}(::serde::Deserialize::from_value(__inner)?)),\n",
+                        v.key, v.ident
+                    )),
+                    VariantKind::Struct(fields) => tagged_arms.push_str(&format!(
+                        "{:?} => {{ let __obj = __inner.as_object().ok_or_else(|| \
+                           ::serde::Error::expected(\"object\", __inner))?;\n\
+                           Ok({name}::{} {{ {} }}) }},\n",
+                        v.key,
+                        v.ident,
+                        gen_fields_de(fields, "__obj")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err(::serde::Error::unknown_variant(__other)),\n\
+                   }},\n\
+                   ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__m[0];\n\
+                     match __tag.as_str() {{\n\
+                       {tagged_arms}\
+                       __other => Err(::serde::Error::unknown_variant(__other)),\n\
+                     }}\n\
+                   }},\n\
+                   __other => Err(::serde::Error::expected(\"enum\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
