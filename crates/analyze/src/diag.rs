@@ -1,0 +1,231 @@
+//! The shared diagnostics engine: severity, spans, diagnostics and the
+//! per-check report with human and JSON rendering.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Diagnostic severity. `Error` findings make [`CheckReport::has_errors`]
+/// true and gate `comt rebuild --check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    #[serde(rename = "info")]
+    Info,
+    #[serde(rename = "warning")]
+    Warning,
+    #[serde(rename = "error")]
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where a finding anchors: a trace step, a file, a layer index — any
+/// combination, all optional.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Span {
+    /// Zero-based index into the recorded trace.
+    pub step: Option<usize>,
+    /// The step's command line, for display.
+    pub command: Option<String>,
+    /// Absolute file path the finding is about.
+    pub file: Option<String>,
+    /// Zero-based layer index in the image manifest.
+    pub layer: Option<usize>,
+}
+
+impl Span {
+    pub fn step(idx: usize, command: &str) -> Span {
+        Span {
+            step: Some(idx),
+            command: Some(command.to_string()),
+            ..Span::default()
+        }
+    }
+
+    pub fn file(path: &str) -> Span {
+        Span {
+            file: Some(path.to_string()),
+            ..Span::default()
+        }
+    }
+
+    pub fn layer(idx: usize) -> Span {
+        Span {
+            layer: Some(idx),
+            ..Span::default()
+        }
+    }
+
+    pub fn with_file(mut self, path: &str) -> Span {
+        self.file = Some(path.to_string());
+        self
+    }
+}
+
+/// One finding: a stable code, severity, message, span and fix hint.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Stable code (`COMT-E001`, `COMT-W001`, …) — see the registry.
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+    /// Actionable fix hint, when one exists.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic for a registered code; severity comes from the
+    /// registry so code and severity can never disagree.
+    pub fn new(code: &'static str, message: String, span: Span) -> Diagnostic {
+        let severity = crate::registry::lookup(code)
+            .map(|info| info.severity)
+            .unwrap_or(Severity::Warning);
+        Diagnostic {
+            code,
+            severity,
+            message,
+            span,
+            hint: None,
+        }
+    }
+
+    pub fn with_hint(mut self, hint: String) -> Diagnostic {
+        self.hint = Some(hint);
+        self
+    }
+}
+
+/// The result of one `comt check` run over a single target.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckReport {
+    /// What was checked: an image ref or `<cache>` for bare cache checks.
+    pub target: String,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    pub fn new(target: &str, mut diagnostics: Vec<Diagnostic>) -> CheckReport {
+        // Deterministic presentation: errors first, then by step/file.
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.cmp(b.code))
+                .then_with(|| a.span.step.cmp(&b.span.step))
+                .then_with(|| a.span.file.cmp(&b.span.file))
+        });
+        CheckReport {
+            target: target.to_string(),
+            diagnostics,
+        }
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any finding is error-severity (gates `rebuild --check`).
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Rustc-style human rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+            if let (Some(step), Some(cmd)) = (d.span.step, d.span.command.as_ref()) {
+                out.push_str(&format!("  --> step {step}: {cmd}\n"));
+            }
+            if let Some(file) = &d.span.file {
+                out.push_str(&format!("  --> file {file}\n"));
+            }
+            if let Some(layer) = d.span.layer {
+                out.push_str(&format!("  --> layer {layer}\n"));
+            }
+            if let Some(hint) = &d.hint {
+                out.push_str(&format!("  = help: {hint}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s)\n",
+            self.target,
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Structured JSON rendering (one object per report).
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Wire {
+            target: String,
+            errors: usize,
+            warnings: usize,
+            diagnostics: Vec<Diagnostic>,
+        }
+        serde_json::to_string_pretty(&Wire {
+            target: self.target.clone(),
+            errors: self.error_count(),
+            warnings: self.warning_count(),
+            diagnostics: self.diagnostics.clone(),
+        })
+        .unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_renders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_sorts_errors_first_and_counts() {
+        let warn = Diagnostic::new("COMT-W001", "warn".into(), Span::step(1, "gcc"));
+        let err = Diagnostic::new("COMT-E001", "err".into(), Span::step(0, "gcc"));
+        let report = CheckReport::new("app+coM", vec![warn, err]);
+        assert_eq!(report.diagnostics[0].code, "COMT-E001");
+        assert!(report.has_errors());
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        let human = report.render_human();
+        assert!(human.contains("error[COMT-E001]"));
+        assert!(human.contains("--> step 0: gcc"));
+    }
+
+    #[test]
+    fn json_is_structured() {
+        let d = Diagnostic::new("COMT-W001", "non-portable".into(), Span::file("/src/a.c"))
+            .with_hint("drop the flag".into());
+        let report = CheckReport::new("app+coM", vec![d]);
+        let json = report.to_json();
+        assert!(json.contains("\"COMT-W001\""));
+        assert!(json.contains("\"warning\""));
+        assert!(json.contains("\"/src/a.c\""));
+        assert!(json.contains("drop the flag"));
+    }
+}

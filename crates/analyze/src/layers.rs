@@ -1,0 +1,157 @@
+//! Pass 3: layer-stack analysis over the OCI image backing the model.
+//!
+//! Structural checks (`COMT-E102`/`COMT-E103`/`COMT-E104`) verify that the
+//! manifest, config `diff_ids` and blob contents still agree — a `+coM` /
+//! `+coMre` image is assembled by appending layers and the bookkeeping
+//! must stay consistent. Content checks flag duplicate conflicting
+//! entries within one layer (`COMT-W101`) and whiteouts that delete a
+//! path the recorded rebuild reads or the cache layer itself provides
+//! (`COMT-E101`).
+
+use crate::diag::{Diagnostic, Span};
+use comtainer::CacheContents;
+use comt_buildsys::StepIo;
+use comt_digest::Digest;
+use comt_oci::layout::OciDir;
+use std::collections::BTreeSet;
+
+/// Every absolute path the recorded rebuild reads, plus the cache layer's
+/// own files: whiteouts over these shadow data replay depends on.
+fn protected_paths(cache: &CacheContents) -> BTreeSet<String> {
+    let mut paths: BTreeSet<String> = cache
+        .trace
+        .commands
+        .iter()
+        .flat_map(|cmd| StepIo::of_command(cmd).reads)
+        .collect();
+    paths.extend(cache.sources.keys().cloned());
+    paths
+}
+
+/// Analyze the layer stack of `image_ref` against the decoded cache.
+pub fn check_layers(oci: &OciDir, image_ref: &str, cache: &CacheContents) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let image = match oci.load_image(image_ref) {
+        Ok(image) => image,
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                "COMT-E104",
+                format!("cannot load image {image_ref}: {e}"),
+                Span::default(),
+            ));
+            return diags;
+        }
+    };
+
+    let layers = &image.manifest.layers;
+    let diff_ids = &image.config.rootfs.diff_ids;
+    if layers.len() != diff_ids.len() {
+        diags.push(
+            Diagnostic::new(
+                "COMT-E102",
+                format!(
+                    "manifest lists {} layers but config records {} diff_ids",
+                    layers.len(),
+                    diff_ids.len()
+                ),
+                Span::default(),
+            )
+            .with_hint("append the diff_id alongside every layer".to_string()),
+        );
+    }
+
+    let protected = protected_paths(cache);
+    let cache_root = format!("/{}", comtainer::cache::CACHE_PREFIX);
+
+    for (idx, layer) in layers.iter().enumerate() {
+        let tar = match comt_oci::layer_tar(&oci.blobs, layer) {
+            Ok(tar) => tar,
+            Err(e) => {
+                diags.push(Diagnostic::new(
+                    "COMT-E104",
+                    format!("layer {idx} blob unavailable: {e}"),
+                    Span::layer(idx),
+                ));
+                continue;
+            }
+        };
+
+        if let Some(diff_id) = diff_ids.get(idx) {
+            let actual = Digest::of(&tar).to_oci_string();
+            if &actual != diff_id {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-E103",
+                        format!(
+                            "layer {idx} content digests to {actual} but the config records \
+                             {diff_id}"
+                        ),
+                        Span::layer(idx),
+                    )
+                    .with_hint("re-export the layout".to_string()),
+                );
+            }
+        }
+
+        let entries = match comt_tar::read_archive(&tar) {
+            Ok(entries) => entries,
+            Err(e) => {
+                diags.push(Diagnostic::new(
+                    "COMT-E104",
+                    format!("layer {idx} is not a valid tar stream: {e}"),
+                    Span::layer(idx),
+                ));
+                continue;
+            }
+        };
+
+        // W101: same path twice with different content within one layer.
+        let mut seen: std::collections::BTreeMap<&str, &comt_tar::Entry> =
+            std::collections::BTreeMap::new();
+        for entry in &entries {
+            if let Some(prev) = seen.insert(entry.path.as_str(), entry) {
+                if prev.kind != entry.kind {
+                    diags.push(
+                        Diagnostic::new(
+                            "COMT-W101",
+                            format!("layer {idx} contains /{} twice with different content", entry.path),
+                            Span::layer(idx).with_file(&format!("/{}", entry.path)),
+                        )
+                        .with_hint("regenerate the layer from a filesystem diff".to_string()),
+                    );
+                }
+            }
+        }
+
+        // E101: whiteouts shadowing protected paths.
+        for entry in &entries {
+            let Some(target) = comt_vfs::whiteout_target(&entry.path) else {
+                continue;
+            };
+            let shadows_read = protected.contains(&target)
+                || protected
+                    .iter()
+                    .any(|p| p.starts_with(&format!("{target}/")));
+            let shadows_cache = target == cache_root
+                || target.starts_with(&format!("{cache_root}/"))
+                || cache_root.starts_with(&format!("{target}/"));
+            if shadows_read || shadows_cache {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-E101",
+                        format!(
+                            "layer {idx} whiteout deletes {target}, which the rebuild reads"
+                        ),
+                        Span::layer(idx).with_file(&target),
+                    )
+                    .with_hint(
+                        "drop the whiteout or re-record the build without this input"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+
+    diags
+}

@@ -1,0 +1,247 @@
+//! Pass 2: portability and reproducibility lints over the recorded
+//! compiler invocations and cached sources.
+//!
+//! * `COMT-W001` — `-march=native` / `-mtune=native` / `-mcpu=native`:
+//!   the recorded flags resolve on the build host, not in the model.
+//! * `COMT-W002` — `__DATE__`/`__TIME__`/`__TIMESTAMP__` in a cached
+//!   source or a `-D` define: rebuilds can never be bit-identical.
+//! * `COMT-W003` — absolute host paths (`/home/…`, `/tmp/…`) in the
+//!   command line: the rebuild container will not have them.
+//! * `COMT-W004` — ISA-specific flags the check target cannot map
+//!   (shared logic with [`comtainer::crossisa`]).
+
+use crate::diag::{Diagnostic, Span};
+use comtainer::crossisa::flag_is_isa_specific;
+use comtainer::CacheContents;
+use comt_toolchain::invocation::Arg;
+use comt_toolchain::CompilerInvocation;
+
+/// Path prefixes that only exist on the machine that recorded the build.
+const HOST_PREFIXES: &[&str] = &["/home/", "/root/", "/Users/", "/tmp/", "/var/tmp/"];
+
+const TIMESTAMP_MACROS: &[&str] = &["__DATE__", "__TIME__", "__TIMESTAMP__"];
+
+fn is_host_path(path: &str) -> bool {
+    HOST_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Run every lint over the cache contents against one target ISA.
+pub fn check_lints(cache: &CacheContents, target_isa: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    for (idx, cmd) in cache.trace.commands.iter().enumerate() {
+        let command = cmd.argv.join(" ");
+
+        // W004 needs only raw tokens, no parse.
+        for token in &cmd.argv {
+            if flag_is_isa_specific(token, target_isa) {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-W004",
+                        format!("{token} is specific to another ISA than {target_isa}"),
+                        Span::step(idx, &command),
+                    )
+                    .with_hint(
+                        "run `comt cross-check` for the full feasibility report".to_string(),
+                    ),
+                );
+            }
+        }
+
+        let Ok(inv) = CompilerInvocation::parse(&cmd.argv) else {
+            continue;
+        };
+
+        // W001: host-resolved machine flags.
+        for (flag, value) in [
+            ("-march", inv.march()),
+            ("-mtune", inv.mtune()),
+            ("-mcpu", machine_value(&inv, "mcpu=")),
+        ] {
+            if value == Some("native") {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-W001",
+                        format!("{flag}=native resolves on the build host, not in the model"),
+                        Span::step(idx, &command),
+                    )
+                    .with_hint(format!(
+                        "record an explicit {flag} value, or rely on the system-side adapter"
+                    )),
+                );
+            }
+        }
+
+        // W002 in defines: -DSTAMP=__DATE__ and friends.
+        for def in inv.defines() {
+            if TIMESTAMP_MACROS.iter().any(|m| def.contains(m)) {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-W002",
+                        format!("define -D{def} embeds the build timestamp"),
+                        Span::step(idx, &command),
+                    )
+                    .with_hint("pass a fixed value instead of a timestamp macro".to_string()),
+                );
+            }
+        }
+
+        // W003: absolute host paths anywhere a path can appear.
+        let mut host_paths: Vec<String> = Vec::new();
+        for arg in &inv.args {
+            match arg {
+                Arg::Input { path, .. } if is_host_path(path) => {
+                    host_paths.push(path.clone());
+                }
+                Arg::Opt {
+                    value: Some(v), ..
+                } if is_host_path(v) => {
+                    host_paths.push(v.clone());
+                }
+                _ => {}
+            }
+        }
+        host_paths.sort();
+        host_paths.dedup();
+        for path in host_paths {
+            diags.push(
+                Diagnostic::new(
+                    "COMT-W003",
+                    format!("absolute host path {path} will not exist in the rebuild container"),
+                    Span::step(idx, &command).with_file(&path),
+                )
+                .with_hint("use container-relative paths in the build script".to_string()),
+            );
+        }
+    }
+
+    // W002 in cached sources.
+    for (path, content) in &cache.sources {
+        let text = String::from_utf8_lossy(content);
+        for m in TIMESTAMP_MACROS {
+            if text.contains(m) {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-W002",
+                        format!("{path} uses {m}: rebuilds embed their own build time"),
+                        Span::file(path),
+                    )
+                    .with_hint(
+                        "replace the macro with a configure-time constant".to_string(),
+                    ),
+                );
+                break; // one diagnostic per file
+            }
+        }
+    }
+
+    diags
+}
+
+/// Last `-mcpu=` value, mirroring the march/mtune accessors.
+fn machine_value<'a>(inv: &'a CompilerInvocation, token: &str) -> Option<&'a str> {
+    inv.args.iter().rev().find_map(|a| match a {
+        Arg::Opt {
+            token: t,
+            value: Some(v),
+            ..
+        } if t == token => Some(v.as_str()),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use comtainer::models::{BuildGraph, ImageModel, ProcessModels};
+    use comt_buildsys::{BuildTrace, RawCommand};
+    use std::collections::BTreeMap;
+
+    fn cache_with(sources: &[(&str, &str)], cmds: &[&str]) -> CacheContents {
+        let mut src = BTreeMap::new();
+        for (p, c) in sources {
+            src.insert(p.to_string(), Bytes::from(c.as_bytes().to_vec()));
+        }
+        CacheContents {
+            models: ProcessModels {
+                image: ImageModel::default(),
+                graph: BuildGraph::new(),
+                isa: "x86_64".into(),
+                cache_mode: Default::default(),
+            },
+            trace: BuildTrace {
+                commands: cmds
+                    .iter()
+                    .map(|c| RawCommand {
+                        argv: c.split_whitespace().map(String::from).collect(),
+                        cwd: "/src".into(),
+                        env: vec![],
+                        inputs: vec![],
+                        outputs: vec![],
+                    })
+                    .collect(),
+            },
+            sources: src,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn march_native_is_w001() {
+        let cache = cache_with(&[], &["gcc -O2 -march=native -c a.c -o a.o"]);
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(codes(&diags), vec!["COMT-W001"]);
+        assert_eq!(diags[0].span.step, Some(0));
+    }
+
+    #[test]
+    fn mtune_and_mcpu_native_also_flagged() {
+        let cache = cache_with(
+            &[],
+            &[
+                "gcc -mtune=native -c a.c -o a.o",
+                "gcc -mcpu=native -c b.c -o b.o",
+            ],
+        );
+        assert_eq!(check_lints(&cache, "x86_64").len(), 2);
+    }
+
+    #[test]
+    fn timestamp_macros_in_source_and_define() {
+        let cache = cache_with(
+            &[("/src/version.c", "const char *b = __DATE__ \" \" __TIME__;\n")],
+            &["gcc -DBUILD_STAMP=__TIMESTAMP__ -c version.c -o version.o"],
+        );
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == "COMT-W002"));
+    }
+
+    #[test]
+    fn absolute_host_paths_are_w003() {
+        let cache = cache_with(
+            &[],
+            &["gcc -I/home/alice/include -c /tmp/scratch/a.c -o a.o"],
+        );
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(codes(&diags), vec!["COMT-W003", "COMT-W003"]);
+    }
+
+    #[test]
+    fn container_paths_are_clean() {
+        let cache = cache_with(&[], &["gcc -I/usr/include -c /src/a.c -o a.o"]);
+        assert!(check_lints(&cache, "x86_64").is_empty());
+    }
+
+    #[test]
+    fn cross_isa_flag_is_w004() {
+        let cache = cache_with(&[], &["gcc -mavx512f -c a.c -o a.o"]);
+        assert!(check_lints(&cache, "x86_64").is_empty());
+        let diags = check_lints(&cache, "aarch64");
+        assert_eq!(codes(&diags), vec!["COMT-W004"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! The diagnostic code registry: one table backing `comt check --explain`,
+//! the docs and severity resolution for every pass.
+//!
+//! Codes are stable: `COMT-Exxx` are error-severity (they gate
+//! `comt rebuild --check`), `COMT-Wxxx` are warnings. The hundreds digit
+//! groups by pass: 0xx hazards/lints on the build model, 1xx layer stack,
+//! 2xx adapter chain.
+
+use crate::diag::Severity;
+
+/// One registry entry, rendered by `comt check --explain <code>`.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// One-line title.
+    pub title: &'static str,
+    /// Longer explanation of why this is a problem.
+    pub explanation: &'static str,
+    /// Generic fix guidance.
+    pub hint: &'static str,
+}
+
+/// Every diagnostic `comt check` can emit.
+pub const REGISTRY: &[CodeInfo] = &[
+    CodeInfo {
+        code: "COMT-E001",
+        severity: Severity::Error,
+        title: "unordered write-write hazard between build steps",
+        explanation: "Two steps in the same parallel compile segment write the same path and \
+                      no dependency edge orders them. The ready-queue scheduler may run them \
+                      in either order (or concurrently), so the replayed image content depends \
+                      on scheduling.",
+        hint: "declare the earlier step's output as an input of the later step, or give the \
+               steps distinct output paths",
+    },
+    CodeInfo {
+        code: "COMT-E002",
+        severity: Severity::Error,
+        title: "unordered read-write hazard between build steps",
+        explanation: "One step reads a path another step in the same parallel compile segment \
+                      writes, with no dependency edge between them. Depending on scheduling \
+                      the reader sees the file before or after the write.",
+        hint: "declare the written path as an input of the reading step so the scheduler \
+               derives the edge",
+    },
+    CodeInfo {
+        code: "COMT-E101",
+        severity: Severity::Error,
+        title: "whiteout shadows a file the rebuild reads",
+        explanation: "A layer contains a whiteout entry deleting a path that a recorded build \
+                      step reads or that belongs to the cache layer. After the layer stack is \
+                      flattened the rebuild cannot see the file and replay fails or silently \
+                      diverges.",
+        hint: "drop the whiteout or re-record the build so the deleted path is not an input",
+    },
+    CodeInfo {
+        code: "COMT-E102",
+        severity: Severity::Error,
+        title: "manifest layers and config diff_ids disagree",
+        explanation: "The image manifest lists a different number of layers than the config's \
+                      rootfs.diff_ids. The image violates the OCI spec and runtimes will \
+                      reject or mis-apply it.",
+        hint: "rebuild the image with a writer that appends the diff_id alongside every layer",
+    },
+    CodeInfo {
+        code: "COMT-E103",
+        severity: Severity::Error,
+        title: "layer diff_id does not match blob content",
+        explanation: "The digest of a layer's uncompressed tar differs from the diff_id the \
+                      config records at the same index: the blob was modified, truncated or \
+                      mis-ordered after the config was written.",
+        hint: "re-export the layout; if the corruption persists, the blob store is damaged",
+    },
+    CodeInfo {
+        code: "COMT-E104",
+        severity: Severity::Error,
+        title: "layer blob missing or undecodable",
+        explanation: "A layer descriptor points at a blob that is absent from the store or \
+                      cannot be decompressed/parsed as a tar stream.",
+        hint: "re-export the layout from a store that holds every referenced blob",
+    },
+    CodeInfo {
+        code: "COMT-W001",
+        severity: Severity::Warning,
+        title: "machine flag resolves on the build host",
+        explanation: "`-march=native`/`-mtune=native`/`-mcpu=native` make the compiler probe \
+                      the machine it runs on, so the recorded flags do not describe the code \
+                      that a rebuild on different hardware will generate. coMtainer's \
+                      adapters re-resolve `native` on the system side, but the recorded model \
+                      is not self-describing.",
+        hint: "record with an explicit -march value, or rely on the system-side adapter and \
+               ignore this warning",
+    },
+    CodeInfo {
+        code: "COMT-W002",
+        severity: Severity::Warning,
+        title: "timestamp macro embeds build time",
+        explanation: "A cached source (or a -D define) uses __DATE__/__TIME__/__TIMESTAMP__, \
+                      so every rebuild embeds its own wall-clock time and the rebuilt \
+                      artifacts can never be bit-identical to the originals.",
+        hint: "replace the macro with a configure-time constant to keep rebuilds reproducible",
+    },
+    CodeInfo {
+        code: "COMT-W003",
+        severity: Severity::Warning,
+        title: "absolute host path recorded in command line",
+        explanation: "The command line references an absolute path under a host-specific \
+                      prefix (/home, /root, /Users, /tmp, …). The rebuild container will not \
+                      have that path unless the cache layer happens to carry it.",
+        hint: "build from container-relative paths so the model replays anywhere",
+    },
+    CodeInfo {
+        code: "COMT-W004",
+        severity: Severity::Warning,
+        title: "ISA-specific flag the target cannot map",
+        explanation: "A recorded flag names a CPU or feature of a different ISA than the \
+                      check target (e.g. -mavx2 when targeting aarch64). The adapter chain \
+                      has no rewrite for it, so a cross-ISA rebuild would pass a flag the \
+                      target compiler rejects.",
+        hint: "run `comt cross-check` for the full feasibility report, or drop the flag from \
+               the build script",
+    },
+    CodeInfo {
+        code: "COMT-W101",
+        severity: Severity::Warning,
+        title: "duplicate conflicting entries in one layer",
+        explanation: "A single layer tar contains the same path twice with different content. \
+                      Appliers keep the last entry, but duplicate paths usually indicate a \
+                      corrupted or hand-assembled layer.",
+        hint: "regenerate the layer from a filesystem diff",
+    },
+    CodeInfo {
+        code: "COMT-W201",
+        severity: Severity::Warning,
+        title: "unparseable flag blocks adaptation",
+        explanation: "A toolchain-claimed command line has a flag the option model cannot \
+                      parse, so the step falls back to verbatim replay: no adapter (native \
+                      toolchain swap, LTO, PGO) can transform it.",
+        hint: "spell the flag in a standard form, or extend the option table",
+    },
+    CodeInfo {
+        code: "COMT-W202",
+        severity: Severity::Warning,
+        title: "adapter chain drops a flag without rewrite",
+        explanation: "Running the configured adapter chain over this step removes a recorded \
+                      flag without introducing a replacement of the same category. The \
+                      rebuilt step silently loses behavior the original build requested.",
+        hint: "check the adapter pipeline order, or add an adapter that maps the flag",
+    },
+];
+
+/// Look up a code (exact match).
+pub fn lookup(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|c| c.code == code)
+}
+
+/// Rustc-style `--explain` rendering for one code.
+pub fn render_explain(code: &str) -> Option<String> {
+    let info = lookup(code)?;
+    Some(format!(
+        "{} ({}): {}\n\n{}\n\nhelp: {}\n",
+        info.code, info.severity, info.title, info.explanation, info.hint
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_severity_matches_prefix() {
+        for (i, a) in REGISTRY.iter().enumerate() {
+            for b in &REGISTRY[i + 1..] {
+                assert_ne!(a.code, b.code, "duplicate code");
+            }
+            let expect = if a.code.starts_with("COMT-E") {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            assert_eq!(a.severity, expect, "{}", a.code);
+        }
+    }
+
+    #[test]
+    fn explain_renders_registry_entry() {
+        let text = render_explain("COMT-W001").expect("registered");
+        assert!(text.contains("COMT-W001"));
+        assert!(text.contains("march=native"));
+        assert!(text.contains("help:"));
+        assert!(render_explain("COMT-X999").is_none());
+    }
+}

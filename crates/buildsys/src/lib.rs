@@ -19,13 +19,18 @@
 //!   runs the instructions and commits each stage as an OCI image.
 //! * [`BuildTrace`] / [`RawCommand`] — the recorded build process with a
 //!   plain-text serialization that round-trips through the cache layer.
+//! * [`StepIo`] — per-step read/write file sets (declared IO merged with
+//!   paths implied by the command line), shared by the engine's scheduler
+//!   and the `comt-analyze` hazard detector.
 
 mod builder;
 mod containerfile;
 mod exec;
+mod stepio;
 mod trace;
 
 pub use builder::{BuildError, BuildResult, Builder};
 pub use containerfile::{Containerfile, ContainerfileError, Instruction, Stage};
 pub use exec::{Container, ExecError, Executor};
+pub use stepio::StepIo;
 pub use trace::{BuildTrace, RawCommand, TraceParseError};

@@ -5,27 +5,32 @@
 //! ```text
 //! comt refs        <layout-dir>                     list image refs
 //! comt inspect     <layout-dir> <ref>               image + model summary
-//! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt] [--stats]
+//! comt check       <layout-dir> [ref] [--isa x86_64] [--lto] [--format json]
+//! comt check       --explain <CODE>                 describe a diagnostic code
+//! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt] [--stats] [--check]
 //! comt redirect    <layout-dir> <coMre-ref> [--isa x86_64]
 //! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--stats]
 //! comt cross-check <layout-dir> <ext-ref>  <target-isa>
 //! ```
 //!
 //! The system side (`--isa`) is synthesized with
-//! [`comtainer::SystemSide::native`]; payloads use the test scale.
+//! [`comtainer::SystemSide::native`]; payloads use the test scale. The
+//! static verifier (`comt check`, `comt rebuild --check`) needs no system
+//! rootfs and configures itself from the ISA alone.
 
 use comtainer::crossisa::analyze_cross;
 use comtainer::{
     comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache, LtoAdapter,
-    RebuildOptions, SystemSide,
+    NativeToolchainAdapter, RebuildOptions, SystemAdapter, SystemSide,
 };
 use comt_oci::layout::OciDir;
+use comt_toolchain::Toolchain;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>"
     );
     ExitCode::from(2)
 }
@@ -59,6 +64,16 @@ fn system_side(args: &[String]) -> Result<SystemSide, String> {
         side = side.with_adapter(Box::new(LtoAdapter::whole_graph()));
     }
     Ok(side)
+}
+
+/// The verifier's adapter pipeline: what [`system_side`] would use, minus
+/// the rootfs work the static checks never need.
+fn check_adapters(args: &[String]) -> Vec<Box<dyn SystemAdapter>> {
+    let mut adapters: Vec<Box<dyn SystemAdapter>> = vec![Box::new(NativeToolchainAdapter)];
+    if flag(args, "--lto") {
+        adapters.push(Box::new(LtoAdapter::whole_graph()));
+    }
+    adapters
 }
 
 fn cmd_refs(dir: &str) -> Result<(), String> {
@@ -114,6 +129,64 @@ fn cmd_inspect(dir: &str, r: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `comt check`: run the static verifier over one ref, or over every
+/// extended image in the layout when no ref is given.
+fn cmd_check(dir: &str, r: Option<&str>, args: &[String]) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    let isa = opt_value(args, "--isa", "x86_64");
+    let toolchain = Toolchain::vendor_for(&isa);
+    let adapters = check_adapters(args);
+    let json = opt_value(args, "--format", "human") == "json";
+
+    let refs: Vec<String> = match r {
+        Some(r) => vec![r.to_string()],
+        None => oci
+            .index
+            .ref_names()
+            .into_iter()
+            .filter(|name| load_cache(&oci, name).is_ok())
+            .collect(),
+    };
+    if refs.is_empty() {
+        return Err(format!("{dir}: no coMtainer extended images to check"));
+    }
+
+    let mut errors = 0usize;
+    let mut reports = Vec::new();
+    for name in &refs {
+        let report = comt_analyze::check_extended_image(&oci, name, &isa, &toolchain, &adapters)
+            .map_err(|e| format!("check {name}: {e}"))?;
+        errors += report.error_count();
+        reports.push(report);
+    }
+
+    if json {
+        // One JSON array over all checked refs, machine-consumable.
+        let bodies: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", bodies.join(",\n"));
+    } else {
+        for report in &reports {
+            print!("{}", report.render_human());
+        }
+    }
+    if errors > 0 {
+        return Err(format!("{errors} error-severity finding(s)"));
+    }
+    Ok(())
+}
+
+fn cmd_explain(code: &str) -> Result<(), String> {
+    match comt_analyze::render_explain(code) {
+        Some(text) => {
+            print!("{text}");
+            Ok(())
+        }
+        None => Err(format!(
+            "unknown diagnostic code {code} (codes look like COMT-W001)"
+        )),
+    }
+}
+
 fn cmd_rebuild(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     let mut oci = load_layout(dir)?;
     let side = system_side(args)?;
@@ -122,7 +195,14 @@ fn cmd_rebuild(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
         post_link_layout: flag(args, "--bolt"),
         ..Default::default()
     };
-    let new_ref = if flag(args, "--stats") {
+    let new_ref = if flag(args, "--check") {
+        let (new_ref, report) = comt_analyze::rebuild_checked(&mut oci, r, &side, &opts)
+            .map_err(|e| format!("rebuild: {e}"))?;
+        if report.warning_count() > 0 {
+            eprint!("{}", report.render_human());
+        }
+        new_ref
+    } else if flag(args, "--stats") {
         let (new_ref, report) = comtainer_rebuild_with_report(&mut oci, r, &side, &opts)
             .map_err(|e| format!("rebuild: {e}"))?;
         print!("{}", report.render());
@@ -190,6 +270,16 @@ fn main() -> ExitCode {
     let result = match args.as_slice() {
         [cmd, dir] if cmd == "refs" => cmd_refs(dir),
         [cmd, dir, r, ..] if cmd == "inspect" => cmd_inspect(dir, r),
+        [cmd, explain, code] if cmd == "check" && explain == "--explain" => cmd_explain(code),
+        [cmd, dir, rest @ ..] if cmd == "check" => {
+            // The ref is the first non-flag operand, if any.
+            let r = rest
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .next();
+            cmd_check(dir, r, rest)
+        }
         [cmd, dir, r, rest @ ..] if cmd == "rebuild" => cmd_rebuild(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "redirect" => cmd_redirect(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "adapt" => cmd_adapt(dir, r, rest),

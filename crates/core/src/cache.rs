@@ -31,8 +31,10 @@ use comt_oci::spec::{Descriptor, MediaType};
 use comt_tar::Entry;
 use std::collections::BTreeMap;
 
-const CACHE_PREFIX: &str = ".coMtainer/cache";
-const REBUILD_PREFIX: &str = ".coMtainer/rebuild";
+/// Tar-relative root of the cache layer (`/.coMtainer/cache` in an image).
+pub const CACHE_PREFIX: &str = ".coMtainer/cache";
+/// Tar-relative root of the rebuild layer.
+pub const REBUILD_PREFIX: &str = ".coMtainer/rebuild";
 
 /// Decoded contents of a cache layer.
 #[derive(Debug)]

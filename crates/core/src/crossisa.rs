@@ -45,9 +45,21 @@ impl CrossIsaReport {
     }
 }
 
+/// The canonical GNU target triple for an ISA. Part of the artifact-cache
+/// step fingerprint (cross-ISA rebuilds of identical sources must never
+/// alias) and of the `xbuild` script generator's tool names.
+pub fn target_triple(isa: &str) -> String {
+    match isa {
+        "aarch64" => "aarch64-linux-gnu".to_string(),
+        "x86_64" => "x86_64-linux-gnu".to_string(),
+        other => format!("{other}-linux-gnu"),
+    }
+}
+
 /// `-march`/`-mcpu`/`-mtune` values (and `-m` flags) that only exist on one
-/// ISA: carrying them across breaks the build.
-fn flag_is_isa_specific(token: &str, target_isa: &str) -> bool {
+/// ISA: carrying them across breaks the build. Shared with the analyzer's
+/// portability lint (`COMT-W004`).
+pub fn flag_is_isa_specific(token: &str, target_isa: &str) -> bool {
     let x86_values = [
         "x86-64", "haswell", "icelake-server", "skylake-avx512", "znver3", "znver4", "native",
     ];
@@ -137,10 +149,8 @@ pub fn port_containerfile(cf: &Containerfile, from_isa: &str, to_isa: &str) -> C
 /// through, and fix the runtime stage. This is deliberately the *manual*
 /// path whose edit distance Figure 11 contrasts with coMtainer's.
 pub fn xbuild_containerfile(cf: &Containerfile, to_isa: &str) -> Containerfile {
-    let triple = match to_isa {
-        "aarch64" => "aarch64-linux-gnu",
-        _ => "x86_64-linux-gnu",
-    };
+    let triple = target_triple(to_isa);
+    let triple = triple.as_str();
     let mut out = cf.clone();
     for stage in &mut out.stages {
         let is_build_stage = stage

@@ -28,6 +28,50 @@ use std::sync::{Arc, Mutex};
 /// The output files one compile step produced: (container path, content).
 pub type StepOutputs = Vec<(String, Vec<u8>)>;
 
+/// Everything besides input-file content that identifies one adapted
+/// compile step for caching.
+#[derive(Debug, Clone, Copy)]
+pub struct StepKeyInputs<'a> {
+    /// Adapted argv tokens (post adapter pipeline).
+    pub argv: &'a [String],
+    /// Step working directory.
+    pub cwd: &'a str,
+    /// Environment as `KEY=VALUE` lines.
+    pub env: &'a [String],
+    /// Order-sensitive adapter-chain fingerprint.
+    pub chain_fp: &'a str,
+    /// Toolchain identity (`name@isa`).
+    pub toolchain_id: &'a str,
+    /// Target ISA.
+    pub isa: &'a str,
+    /// Canonical GNU target triple ([`crate::crossisa::target_triple`]) —
+    /// keeps cross-ISA rebuilds of identical sources from aliasing.
+    pub target_triple: &'a str,
+}
+
+/// Assemble the content-addressed key for one compile step from its
+/// identity plus the content digest of every contributing input file.
+pub fn step_key(inputs: &StepKeyInputs<'_>, files: &[(String, Digest)]) -> Digest {
+    let argv = inputs.argv.join("\u{1f}");
+    let env = inputs.env.join("\u{1f}");
+    let mut parts: Vec<Vec<u8>> = vec![
+        b"comt-step-v2".to_vec(),
+        argv.into_bytes(),
+        inputs.cwd.as_bytes().to_vec(),
+        env.into_bytes(),
+        inputs.chain_fp.as_bytes().to_vec(),
+        inputs.toolchain_id.as_bytes().to_vec(),
+        inputs.isa.as_bytes().to_vec(),
+        inputs.target_triple.as_bytes().to_vec(),
+    ];
+    for (path, digest) in files {
+        parts.push(path.as_bytes().to_vec());
+        parts.push(digest.raw().to_vec());
+    }
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    comt_digest::fingerprint(&refs)
+}
+
 /// Thread-safe content-addressed store of compile-step outputs. Cheap to
 /// clone through an [`Arc`]; shared across engine runs via
 /// [`crate::RebuildOptions::artifact_cache`].
@@ -103,6 +147,43 @@ mod tests {
         assert_eq!(got[0].0, "/src/a.o");
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn step_key_separates_target_triples() {
+        // Identical step, identical inputs, different target: the keys must
+        // differ or cross-ISA rebuilds of the same sources would alias.
+        let argv: Vec<String> = ["gcc", "-O2", "-c", "main.c", "-o", "main.o"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let files = vec![(
+            "/src/main.c".to_string(),
+            Digest::of(b"int main(){}".as_slice()),
+        )];
+        let base = StepKeyInputs {
+            argv: &argv,
+            cwd: "/src",
+            env: &[],
+            chain_fp: "native-toolchain",
+            toolchain_id: "vendor-x86@x86_64",
+            isa: "x86_64",
+            target_triple: "x86_64-linux-gnu",
+        };
+        let cross = StepKeyInputs {
+            toolchain_id: "vendor-arm@aarch64",
+            isa: "aarch64",
+            target_triple: "aarch64-linux-gnu",
+            ..base
+        };
+        assert_eq!(step_key(&base, &files), step_key(&base, &files));
+        assert_ne!(step_key(&base, &files), step_key(&cross, &files));
+        // The triple alone must already separate the keys.
+        let triple_only = StepKeyInputs {
+            target_triple: "aarch64-linux-gnu",
+            ..base
+        };
+        assert_ne!(step_key(&base, &files), step_key(&triple_only, &files));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 pub mod artifact_cache;
 pub mod scheduler;
 
-pub use artifact_cache::{ArtifactCache, StepOutputs};
+pub use artifact_cache::{step_key, ArtifactCache, StepKeyInputs, StepOutputs};
 
 use crate::adapters::chain_fingerprint;
 use crate::backend::RebuildOptions;
@@ -50,6 +50,8 @@ pub struct EngineCtx<'a> {
     pub chain_fp: String,
     /// Identity of the toolchain set the replay executes under.
     pub toolchain_id: String,
+    /// Canonical GNU target triple of the system side (cache-key input).
+    pub target_triple: String,
     /// Stats recorder: spans per stage, counters for steps and cache
     /// probes. Deterministic per run (not global).
     pub recorder: Recorder,
@@ -94,6 +96,7 @@ impl<'a> RebuildEngine<'a> {
                 adapter_ctx,
                 chain_fp: chain_fingerprint(&side.adapters),
                 toolchain_id: format!("{}@{}", side.toolchain.name, side.isa),
+                target_triple: crate::crossisa::target_triple(&side.isa),
                 recorder: Recorder::new(),
             },
         }
@@ -315,34 +318,36 @@ impl<'a> RebuildEngine<'a> {
     /// The content-addressed cache key for one compile step, or `None`
     /// when any contributing input is unreadable (then the step simply
     /// executes uncached and fails loudly if it must).
+    ///
+    /// The read set comes from [`comt_buildsys::StepIo`] — the same
+    /// extraction the scheduler and the static analyzer use — so recorded
+    /// inputs, positional sources and `-fprofile-use=` profiles all
+    /// contribute content digests.
     fn cache_key(&self, fs: &comt_vfs::Vfs, step: &AdaptedStep) -> Option<Digest> {
-        let argv = step.model.argv().join("\u{1f}");
-        let env = step.env.join("\u{1f}");
-        let mut parts: Vec<Vec<u8>> = vec![
-            b"comt-step-v1".to_vec(),
-            argv.into_bytes(),
-            step.model.cwd().as_bytes().to_vec(),
-            env.into_bytes(),
-            self.ctx.chain_fp.as_bytes().to_vec(),
-            self.ctx.toolchain_id.as_bytes().to_vec(),
-            self.ctx.side.isa.as_bytes().to_vec(),
-        ];
-        // Content identity of every contributing input: the recorded
-        // inputs plus any profile named by `-fprofile-use=`.
-        let profile_inputs = step
-            .model
-            .argv()
-            .iter()
-            .filter_map(|t| t.strip_prefix("-fprofile-use=").map(String::from))
-            .collect::<Vec<_>>();
-        for input in step.inputs.iter().chain(profile_inputs.iter()) {
-            let path = comt_vfs::join(step.model.cwd(), input);
+        let io = comt_buildsys::StepIo::extract(
+            step.model.argv(),
+            step.model.cwd(),
+            &step.inputs,
+            &[],
+        );
+        let mut files = Vec::with_capacity(io.reads.len());
+        for path in io.reads {
             let content = fs.read(&path).ok()?;
-            parts.push(path.into_bytes());
-            parts.push(Digest::of(&content).raw().to_vec());
+            let digest = Digest::of(&content);
+            files.push((path, digest));
         }
-        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-        Some(comt_digest::fingerprint(&refs))
+        Some(step_key(
+            &StepKeyInputs {
+                argv: step.model.argv(),
+                cwd: step.model.cwd(),
+                env: &step.env,
+                chain_fp: &self.ctx.chain_fp,
+                toolchain_id: &self.ctx.toolchain_id,
+                isa: &self.ctx.side.isa,
+                target_triple: &self.ctx.target_triple,
+            },
+            &files,
+        ))
     }
 
     /// Run the simulated compiler for one compile step (cache miss path).
@@ -404,9 +409,23 @@ impl<'a> RebuildEngine<'a> {
         container: &mut Container,
         segment: &[AdaptedStep],
     ) -> Result<usize, ComtError> {
-        let io: Vec<(&[String], &[String])> = segment
+        // Shared IO extraction (declared + argv-implied paths): a step with
+        // no recorded inputs whose command line reads a sibling's output
+        // still gets its edge, instead of being treated as always-ready.
+        let step_io: Vec<comt_buildsys::StepIo> = segment
             .iter()
-            .map(|s| (s.inputs.as_slice(), s.outputs.as_slice()))
+            .map(|s| {
+                comt_buildsys::StepIo::extract(
+                    s.model.argv(),
+                    s.model.cwd(),
+                    &s.inputs,
+                    &s.outputs,
+                )
+            })
+            .collect();
+        let io: Vec<(&[String], &[String])> = step_io
+            .iter()
+            .map(|s| (s.reads.as_slice(), s.writes.as_slice()))
             .collect();
         let graph = scheduler::StepGraph::from_io(&io);
         let base_fs = &container.fs;

@@ -266,6 +266,34 @@ mod tests {
     }
 
     #[test]
+    fn argv_implied_reads_create_edges() {
+        // A step with zero *declared* inputs whose command line reads a
+        // sibling's output must not be treated as always-ready: the shared
+        // StepIo extraction supplies the implicit read-edge.
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        let gen = comt_buildsys::StepIo::extract(
+            &argv("gcc -c gen.c -o config.h"),
+            "/src",
+            &["/src/gen.c".to_string()],
+            &["/src/config.h".to_string()],
+        );
+        // No declared IO at all — only the argv names its files.
+        let user = comt_buildsys::StepIo::extract(
+            &argv("gcc -include config.h -c a.c -o a.o"),
+            "/src",
+            &[],
+            &[],
+        );
+        let io: Vec<(&[String], &[String])> = [&gen, &user]
+            .iter()
+            .map(|s| (s.reads.as_slice(), s.writes.as_slice()))
+            .collect();
+        let graph = StepGraph::from_io(&io);
+        assert_eq!(graph.deps[1], vec![0], "implicit read-edge missing");
+        assert_eq!(graph.critical_path_depth(), 2);
+    }
+
+    #[test]
     fn errors_and_panics_are_localized() {
         let graph = StepGraph::new(vec![vec![]; 3]);
         let out = run(&graph, |i| match i {

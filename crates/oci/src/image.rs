@@ -227,21 +227,28 @@ impl ImageBuilder {
 
 /// Compute the final filesystem state of an image by applying all layers in
 /// order — the "POSIX file system simulator" step of the paper (§4.5).
+/// Fetch one layer blob and return its *uncompressed* tar bytes (the form
+/// the config's `diff_ids` describe). Shared by [`flatten`] and the layer
+/// verifier in `comt-analyze`.
+pub fn layer_tar(store: &BlobStore, layer: &crate::spec::Descriptor) -> Result<Bytes, ImageError> {
+    let d = layer
+        .parsed_digest()
+        .map_err(|e| ImageError::CorruptJson(e.to_string()))?;
+    let blob = store
+        .get(&d)
+        .ok_or_else(|| ImageError::MissingBlob(layer.digest.clone()))?;
+    match layer.media_type {
+        crate::spec::MediaType::LayerTarGzip => Ok(Bytes::from(
+            comt_flate::gunzip(&blob).map_err(|e| ImageError::BadLayer(e.to_string()))?,
+        )),
+        _ => Ok(blob),
+    }
+}
+
 pub fn flatten(store: &BlobStore, image: &Image) -> Result<Vfs, ImageError> {
     let mut fs = Vfs::new();
     for layer in &image.manifest.layers {
-        let d = layer
-            .parsed_digest()
-            .map_err(|e| ImageError::CorruptJson(e.to_string()))?;
-        let blob = store
-            .get(&d)
-            .ok_or_else(|| ImageError::MissingBlob(layer.digest.clone()))?;
-        let tar = match layer.media_type {
-            crate::spec::MediaType::LayerTarGzip => Bytes::from(
-                comt_flate::gunzip(&blob).map_err(|e| ImageError::BadLayer(e.to_string()))?,
-            ),
-            _ => blob,
-        };
+        let tar = layer_tar(store, layer)?;
         let entries =
             comt_tar::read_archive(&tar).map_err(|e| ImageError::BadLayer(e.to_string()))?;
         comt_vfs::apply_layer(&mut fs, &entries)

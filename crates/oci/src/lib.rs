@@ -21,7 +21,7 @@ pub mod layout;
 pub mod spec;
 pub mod store;
 
-pub use image::{flatten, Image, ImageBuilder, ImageError};
+pub use image::{flatten, layer_tar, Image, ImageBuilder, ImageError};
 pub use spec::{
     Descriptor, ImageConfig, ImageIndex, ImageManifest, MediaType, Platform, RuntimeConfig,
 };
@@ -31,6 +31,12 @@ pub use store::{BlobStore, Registry};
 /// tools that need to hand-craft manifests).
 pub fn manifest_to_json(m: &spec::ImageManifest) -> Vec<u8> {
     serde_json::to_vec(m).expect("manifest serializes")
+}
+
+/// Serialize an image config to JSON bytes (companion to
+/// [`manifest_to_json`], for the same hand-crafting use cases).
+pub fn config_to_json(c: &spec::ImageConfig) -> Vec<u8> {
+    serde_json::to_vec(c).expect("config serializes")
 }
 
 #[cfg(test)]

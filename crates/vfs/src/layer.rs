@@ -14,6 +14,19 @@ pub const WHITEOUT_PREFIX: &str = ".wh.";
 /// Basename marking an opaque directory.
 pub const OPAQUE_MARKER: &str = ".wh..wh..opq";
 
+/// If the (layer-relative) entry path is a plain whiteout, the absolute
+/// path it deletes. Opaque markers return `None` — they reset a directory
+/// rather than delete a named path.
+pub fn whiteout_target(entry_path: &str) -> Option<String> {
+    let abs = normalize(&format!("/{entry_path}"));
+    let name = crate::path::file_name(&abs);
+    if name == OPAQUE_MARKER {
+        return None;
+    }
+    let victim = name.strip_prefix(WHITEOUT_PREFIX)?;
+    Some(normalize(&format!("{}/{}", parent(&abs), victim)))
+}
+
 /// Apply a layer changeset to a filesystem in place.
 pub fn apply_layer(fs: &mut Vfs, entries: &[Entry]) -> Result<(), VfsError> {
     for e in entries {
@@ -36,11 +49,12 @@ pub fn apply_layer(fs: &mut Vfs, entries: &[Entry]) -> Result<(), VfsError> {
             continue;
         }
 
-        if let Some(victim) = name.strip_prefix(WHITEOUT_PREFIX) {
-            let target = format!("{}/{}", parent(&abs), victim);
-            // Whiteout of a missing path is tolerated (tar streams may
-            // whiteout files shadowed by earlier layers we never saw).
-            let _ = fs.remove(&target);
+        if name.starts_with(WHITEOUT_PREFIX) {
+            if let Some(target) = whiteout_target(&e.path) {
+                // Whiteout of a missing path is tolerated (tar streams may
+                // whiteout files shadowed by earlier layers we never saw).
+                let _ = fs.remove(&target);
+            }
             continue;
         }
 
@@ -212,6 +226,14 @@ mod tests {
         let d = diff_layers(&a, &b);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].path, ".wh.d");
+    }
+
+    #[test]
+    fn whiteout_target_resolution() {
+        assert_eq!(whiteout_target("d/.wh.f"), Some("/d/f".to_string()));
+        assert_eq!(whiteout_target(".wh.top"), Some("/top".to_string()));
+        assert_eq!(whiteout_target("d/.wh..wh..opq"), None);
+        assert_eq!(whiteout_target("d/plain"), None);
     }
 
     #[test]

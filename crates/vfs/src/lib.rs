@@ -19,7 +19,7 @@ mod layer;
 mod path;
 mod vfs;
 
-pub use layer::{apply_layer, diff_layers, OPAQUE_MARKER, WHITEOUT_PREFIX};
+pub use layer::{apply_layer, diff_layers, whiteout_target, OPAQUE_MARKER, WHITEOUT_PREFIX};
 pub use path::{file_name, join, normalize, parent, split};
 pub use vfs::{Node, NodeKind, Vfs, VfsError};
 

@@ -1,0 +1,38 @@
+//! Generate the example extended-image OCI layouts that `comt check`
+//! verifies in CI.
+//!
+//! Each layout directory holds a full `dist` / `+coM` / `+coMre` ref
+//! family for one application, produced by the real user-side build and
+//! rebuild pipeline and written with `OciDir::save`. CI then runs
+//! `comt check <dir> --format json` over every generated directory,
+//! failing on error-severity findings and publishing the JSON reports as
+//! a build artifact.
+//!
+//! Run with: `cargo run --example make_check_layouts [out-dir]`
+
+use comt_bench::Lab;
+use comtainer_suite::pkg::catalog;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/check-layouts".to_string());
+    let out = std::path::PathBuf::from(out);
+
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    for app in ["hpccg", "comd"] {
+        let art = lab.prepare_app(app);
+        let dir = out.join(format!("{app}.oci"));
+        let _ = std::fs::remove_dir_all(&dir);
+        art.oci.save(&dir).expect("save layout");
+        println!(
+            "wrote {} (refs: {:?})",
+            dir.display(),
+            art.oci.index.ref_names()
+        );
+    }
+    println!(
+        "verify with: comt check {}/<app>.oci --format json",
+        out.display()
+    );
+}
