@@ -1,0 +1,159 @@
+//! Extension experiment — layer-codec scaling sweep (not a paper figure).
+//!
+//! Measures encode/decode throughput of the block-parallel gzip codec
+//! against worker count and block size over example workload layer tars,
+//! and proves the determinism contract on real payloads: for every block
+//! size, the compressed blob digest must be identical for every worker
+//! count. Emits the results as `BENCH_codec_scaling.json` so the perf
+//! trajectory is machine-diffable across runs.
+//!
+//! ```text
+//! codec_scaling [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs one workload with one timing iteration (the CI
+//! configuration); the digest cross-check still covers every worker count.
+
+use comt_bench::report::{json_report, json_row, table};
+use comt_digest::Digest;
+use comt_flate::{default_workers, gunzip, GzipEncoder, DEFAULT_BLOCK_SIZE};
+use comt_pkg::catalog;
+use comt_vfs::{diff_layers, Vfs};
+use comt_workloads::source_tree;
+use serde::Value;
+use std::time::Instant;
+
+const KIB: usize = 1024;
+
+fn layer_tar(app: &str) -> Vec<u8> {
+    let tree = source_tree(app, "x86_64", catalog::MINI_SCALE).expect("workload tree");
+    let entries = diff_layers(&Vfs::new(), &tree);
+    comt_tar::write_archive(&entries)
+}
+
+fn encode(data: &[u8], workers: usize, block: usize) -> Vec<u8> {
+    let mut enc = GzipEncoder::with_block_size(workers, block);
+    enc.write(data);
+    enc.finish()
+}
+
+/// Best-of-N wall time for one closure, in seconds.
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+fn mib_s(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / secs.max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_codec_scaling.json".to_string());
+    let iters = if smoke { 1 } else { 3 };
+    let apps: &[&str] = if smoke {
+        &["lulesh"]
+    } else {
+        &["lulesh", "hpl", "minimd"]
+    };
+
+    let mut workers_sweep = vec![1usize, 2, 4, default_workers()];
+    workers_sweep.sort_unstable();
+    workers_sweep.dedup();
+    let blocks = [32 * KIB, DEFAULT_BLOCK_SIZE, 512 * KIB];
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Extension: layer codec scaling ({cores} cores available) ==\n");
+
+    let mut json_rows: Vec<Value> = Vec::new();
+    // encode throughput at the default block size, per worker count — for
+    // the cross-worker speedup check after the sweep.
+    let mut default_block_encode: Vec<(usize, f64)> = Vec::new();
+
+    for app in apps {
+        let tar = layer_tar(app);
+        let mut rows = Vec::new();
+        for &block in &blocks {
+            // The determinism contract: every worker count must produce the
+            // same bytes, so one digest per block size is the reference.
+            let reference = Digest::of(&encode(&tar, 1, block));
+            for &workers in &workers_sweep {
+                let (enc_s, blob) = time_best(iters, || encode(&tar, workers, block));
+                assert_eq!(
+                    Digest::of(&blob),
+                    reference,
+                    "{app}: workers={workers} block={block} changed the output bytes"
+                );
+                let (dec_s, plain) = time_best(iters, || gunzip(&blob).expect("decode"));
+                assert_eq!(plain, tar, "{app}: roundtrip mismatch");
+                let enc_tp = mib_s(tar.len(), enc_s);
+                let dec_tp = mib_s(tar.len(), dec_s);
+                if block == DEFAULT_BLOCK_SIZE {
+                    default_block_encode.push((workers, enc_tp));
+                }
+                rows.push(vec![
+                    format!("{}K", block / KIB),
+                    workers.to_string(),
+                    format!("{enc_tp:.1}"),
+                    format!("{dec_tp:.1}"),
+                    format!("{:.2}", blob.len() as f64 / tar.len() as f64),
+                ]);
+                json_rows.push(json_row(vec![
+                    ("app", Value::Str(app.to_string())),
+                    ("block_size", Value::Int(block as i64)),
+                    ("workers", Value::Int(workers as i64)),
+                    ("tar_bytes", Value::Int(tar.len() as i64)),
+                    ("blob_bytes", Value::Int(blob.len() as i64)),
+                    ("encode_mib_s", Value::Float(enc_tp)),
+                    ("decode_mib_s", Value::Float(dec_tp)),
+                    ("digest", Value::Str(reference.to_oci_string())),
+                ]));
+            }
+        }
+        println!("-- {app} ({:.2} MiB tar) --", tar.len() as f64 / (1024.0 * 1024.0));
+        println!(
+            "{}",
+            table(&["block", "workers", "enc MiB/s", "dec MiB/s", "ratio"], &rows)
+        );
+    }
+
+    // The acceptance bar: >= 2x encode throughput at 4 workers vs 1 — only
+    // meaningful when the machine actually has the cores to scale onto.
+    let tp_at = |k: usize| {
+        let v: Vec<f64> = default_block_encode
+            .iter()
+            .filter(|(w, _)| *w == k)
+            .map(|(_, t)| *t)
+            .collect();
+        comt_bench::report::mean(&v)
+    };
+    if cores >= 4 && workers_sweep.contains(&4) {
+        let speedup = tp_at(4) / tp_at(1);
+        println!("encode speedup @4 workers: {speedup:.2}x");
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x encode throughput at 4 workers, got {speedup:.2}x"
+        );
+    } else {
+        println!(
+            "encode speedup check skipped: {cores} core(s) available (needs >=4)"
+        );
+    }
+
+    let json = json_report("codec_scaling", json_rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -203,8 +203,11 @@ fn cmd_rebuild(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
         }
         new_ref
     } else if flag(args, "--stats") {
-        let (new_ref, report) = comtainer_rebuild_with_report(&mut oci, r, &side, &opts)
+        let (new_ref, mut report) = comtainer_rebuild_with_report(&mut oci, r, &side, &opts)
             .map_err(|e| format!("rebuild: {e}"))?;
+        // Data-plane events (layer codec, blob verification) land in the
+        // global recorder; merge them so --stats shows the whole pipeline.
+        report.absorb(&comt_observe::global().report());
         print!("{}", report.render());
         new_ref
     } else {
@@ -228,9 +231,10 @@ fn cmd_adapt(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     let mut oci = load_layout(dir)?;
     let side = system_side(args)?;
     let rebuilt = if flag(args, "--stats") {
-        let (rebuilt, report) =
+        let (rebuilt, mut report) =
             comtainer_rebuild_with_report(&mut oci, r, &side, &RebuildOptions::default())
                 .map_err(|e| format!("rebuild: {e}"))?;
+        report.absorb(&comt_observe::global().report());
         print!("{}", report.render());
         rebuilt
     } else {

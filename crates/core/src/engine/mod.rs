@@ -254,13 +254,17 @@ impl<'a> RebuildEngine<'a> {
     }
 
     /// Stage 4: gather the rebuilt artifacts named by the image model.
+    ///
+    /// Artifacts are independent reads (plus an optional post-link layout
+    /// rewrite each), so collection fans out on the same ready-queue
+    /// scheduler the replay stage uses — here with a flat, edge-free graph.
     fn collect(
         &self,
         cache: &CacheContents,
         container: &Container,
     ) -> Result<BTreeMap<String, Bytes>, ComtError> {
-        let mut artifacts = BTreeMap::new();
-        for (image_path, build_path) in cache.models.image.build_files() {
+        let wanted: Vec<(&str, &str)> = cache.models.image.build_files();
+        let collect_one = |&(image_path, build_path): &(&str, &str)| {
             let mut content = container.fs.read(build_path).map_err(|_| {
                 ComtError::build(format!(
                     "rebuild did not produce {build_path} (needed for {image_path})"
@@ -277,7 +281,25 @@ impl<'a> RebuildEngine<'a> {
                     content = Bytes::from(comt_toolchain::artifact::write_linked(&bin));
                 }
             }
-            artifacts.insert(image_path.to_string(), content);
+            Ok((image_path.to_string(), content))
+        };
+
+        let mut artifacts = BTreeMap::new();
+        if self.ctx.opts.parallel && wanted.len() > 1 {
+            let graph = scheduler::StepGraph::new(vec![Vec::new(); wanted.len()]);
+            let outcome = scheduler::run(&graph, |idx| collect_one(&wanted[idx]));
+            self.ctx
+                .recorder
+                .count("collect.workers.max", outcome.workers as u64);
+            for result in outcome.results {
+                let (path, content) = result?;
+                artifacts.insert(path, content);
+            }
+        } else {
+            for pair in &wanted {
+                let (path, content) = collect_one(pair)?;
+                artifacts.insert(path, content);
+            }
         }
         self.ctx
             .recorder

@@ -9,14 +9,19 @@
 //!   incompressible input,
 //! * [`inflate`] — a full decompressor handling stored, fixed-Huffman and
 //!   dynamic-Huffman blocks (so foreign gzip streams decode too),
-//! * [`gzip`] / [`gunzip`] — the RFC 1952 wrapper with CRC-32 integrity.
+//! * [`gzip`] / [`gunzip`] — the RFC 1952 wrapper with CRC-32 integrity,
+//! * [`gzip_parallel`] / [`GzipEncoder`] — block-parallel gzip (pigz-style)
+//!   whose output is bit-identical for any worker count, built on
+//!   [`crc32_combine`] and sync-flush block joins.
 
 mod bits;
 mod crc32;
 mod huffman;
 mod lz77;
+mod parallel;
 
-pub use crc32::crc32;
+pub use crc32::{crc32, crc32_combine};
+pub use parallel::{default_workers, gzip_parallel, GzipEncoder, DEFAULT_BLOCK_SIZE};
 
 use bits::{BitReader, BitWriter};
 use huffman::HuffmanDecoder;

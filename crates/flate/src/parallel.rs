@@ -1,0 +1,384 @@
+//! Block-parallel gzip, pigz-style.
+//!
+//! The input is split into fixed-size blocks; each block is compressed
+//! independently (the LZ77 window resets at block boundaries) into a
+//! *fragment*: a run of non-final DEFLATE blocks ending byte-aligned via a
+//! sync-flush (an empty stored block, RFC 1951 §3.2.4 — exactly what
+//! `Z_SYNC_FLUSH` emits). Fragments concatenate into one conformant DEFLATE
+//! stream, terminated by a single final empty stored block. The gzip
+//! trailer CRC is assembled from per-block CRCs with [`crc32_combine`], so
+//! no thread ever needs to see the whole input.
+//!
+//! **Determinism.** A fragment is a pure function of its block's bytes, and
+//! fragments are assembled in block order — so the output is bit-identical
+//! for *any* worker count (1, 2, N). Blob digests and the `+coMre`
+//! bit-reproducibility guarantee depend on this property; it is
+//! property-tested in `tests/parallel_codec.rs`.
+
+use crate::bits::BitWriter;
+use crate::crc32::{crc32, crc32_combine};
+use crate::lz77;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default compression block size. 128 KiB amortizes the per-block
+/// sync-flush overhead (≤ 9 bytes) to < 0.01 % while keeping enough blocks
+/// in flight to saturate a worker pool on layer-sized inputs.
+pub const DEFAULT_BLOCK_SIZE: usize = 128 * 1024;
+
+/// Worker count matching the host (at least 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Sync-flush marker: empty stored block, BFINAL=0 (already byte-aligned
+/// when emitted after `align_byte`).
+const SYNC_FLUSH: [u8; 4] = [0x00, 0x00, 0xff, 0xff];
+/// Stream terminator: empty stored block with BFINAL=1.
+const FINAL_BLOCK: [u8; 5] = [0x01, 0x00, 0x00, 0xff, 0xff];
+
+/// One compressed block plus the trailer inputs its worker computed.
+struct Fragment {
+    bytes: Vec<u8>,
+    crc: u32,
+    len: u64,
+}
+
+/// Compress one block into a byte-aligned, non-final DEFLATE fragment.
+///
+/// Like [`crate::deflate`] this picks fixed-Huffman or stored blocks per
+/// block content — the choice is a pure function of the block, preserving
+/// cross-worker determinism.
+fn deflate_fragment(block: &[u8]) -> Vec<u8> {
+    // Fixed-Huffman candidate, closed by a sync flush.
+    let mut w = BitWriter::new();
+    w.put_bits(0, 1); // BFINAL = 0
+    w.put_bits(0b01, 2); // fixed Huffman
+    for tok in lz77::tokenize(block) {
+        match tok {
+            lz77::Token::Literal(b) => crate::put_fixed_litlen(&mut w, b as u16),
+            lz77::Token::Match { len, dist } => {
+                let (code, eb, ev) = crate::length_code(len);
+                crate::put_fixed_litlen(&mut w, code);
+                w.put_bits(ev as u32, eb as u32);
+                let (dcode, deb, dev) = crate::dist_code(dist);
+                crate::put_fixed_dist(&mut w, dcode);
+                w.put_bits(dev as u32, deb as u32);
+            }
+        }
+    }
+    crate::put_fixed_litlen(&mut w, 256); // end of block
+    // Sync flush: empty stored block, BFINAL=0, byte-aligned end.
+    w.put_bits(0, 1);
+    w.put_bits(0b00, 2);
+    w.align_byte();
+    w.put_aligned_bytes(&SYNC_FLUSH);
+    let fixed = w.finish();
+
+    // Stored fallback for incompressible blocks: 5 bytes per 64 KiB chunk,
+    // naturally byte-aligned (no sync flush needed).
+    let stored_size = block.len() + 5 * block.len().div_ceil(65535).max(1);
+    if stored_size < fixed.len() {
+        let mut out = Vec::with_capacity(stored_size);
+        for chunk in block.chunks(65535) {
+            out.push(0); // BFINAL=0 + BTYPE=00
+            let len = chunk.len() as u16;
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(&(!len).to_le_bytes());
+            out.extend_from_slice(chunk);
+        }
+        return out;
+    }
+    fixed
+}
+
+fn compress_block(block: &[u8]) -> Fragment {
+    Fragment {
+        crc: crc32(block),
+        len: block.len() as u64,
+        bytes: deflate_fragment(block),
+    }
+}
+
+/// Streaming block-parallel gzip encoder.
+///
+/// Feed bytes with [`write`](GzipEncoder::write); full blocks are handed to
+/// a worker pool immediately, so compression overlaps with whatever
+/// produces the input (tar serialization, hashing). [`finish`] flushes the
+/// tail block, joins the workers and assembles the gzip member.
+pub struct GzipEncoder {
+    block_size: usize,
+    workers: usize,
+    buf: Vec<u8>,
+    next_index: usize,
+    total_in: u64,
+    /// Job channel into the pool (`None` once closed, or in inline mode).
+    jobs: Option<mpsc::Sender<(usize, Vec<u8>)>>,
+    results: Option<mpsc::Receiver<(usize, Fragment)>>,
+    pool: Vec<JoinHandle<()>>,
+    /// Fragments compressed inline (workers == 1 runs pool-free).
+    inline: BTreeMap<usize, Fragment>,
+}
+
+impl GzipEncoder {
+    /// Encoder with the given worker count (clamped to ≥ 1) and the
+    /// default block size.
+    pub fn new(workers: usize) -> Self {
+        Self::with_block_size(workers, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Encoder with explicit worker count and block size.
+    pub fn with_block_size(workers: usize, block_size: usize) -> Self {
+        let workers = workers.max(1);
+        let block_size = block_size.max(1024);
+        let (jobs, results, pool) = if workers > 1 {
+            let (job_tx, job_rx) = mpsc::channel::<(usize, Vec<u8>)>();
+            let (res_tx, res_rx) = mpsc::channel::<(usize, Fragment)>();
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            let pool = (0..workers)
+                .map(|_| {
+                    let job_rx = Arc::clone(&job_rx);
+                    let res_tx = res_tx.clone();
+                    std::thread::spawn(move || loop {
+                        let job = {
+                            let rx = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+                            rx.recv()
+                        };
+                        match job {
+                            Ok((idx, block)) => {
+                                // Receiver gone ⇒ finish() already bailed.
+                                if res_tx.send((idx, compress_block(&block))).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(_) => return, // job channel closed: drain done
+                        }
+                    })
+                })
+                .collect();
+            (Some(job_tx), Some(res_rx), pool)
+        } else {
+            (None, None, Vec::new())
+        };
+        GzipEncoder {
+            block_size,
+            workers,
+            buf: Vec::with_capacity(block_size),
+            next_index: 0,
+            total_in: 0,
+            jobs,
+            results,
+            pool,
+            inline: BTreeMap::new(),
+        }
+    }
+
+    /// Total uncompressed bytes consumed so far.
+    pub fn total_in(&self) -> u64 {
+        self.total_in
+    }
+
+    /// Worker threads compressing for this encoder (1 = inline).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn dispatch_block(&mut self) {
+        let block = std::mem::replace(&mut self.buf, Vec::with_capacity(self.block_size));
+        let idx = self.next_index;
+        self.next_index += 1;
+        match &self.jobs {
+            Some(tx) => {
+                // Send fails only if every worker died (panicked); fall
+                // back to inline compression rather than losing the block.
+                if let Err(mpsc::SendError((idx, block))) = tx.send((idx, block)) {
+                    self.inline.insert(idx, compress_block(&block));
+                }
+            }
+            None => {
+                let frag = compress_block(&block);
+                self.inline.insert(idx, frag);
+            }
+        }
+    }
+
+    /// Absorb more input, dispatching every completed block to the pool.
+    pub fn write(&mut self, mut data: &[u8]) {
+        self.total_in += data.len() as u64;
+        while !data.is_empty() {
+            let room = self.block_size - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == self.block_size {
+                self.dispatch_block();
+            }
+        }
+    }
+
+    /// Flush the tail, join the pool and return the complete gzip member.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.finish_into(|chunk| out.extend_from_slice(chunk));
+        out
+    }
+
+    /// Like [`finish`](GzipEncoder::finish) but hands each output chunk to
+    /// `sink` as soon as it is assembled, so callers can overlap
+    /// compressed-blob hashing with assembly (the fused layer codec hashes
+    /// while fragments stream out).
+    pub fn finish_into(mut self, mut sink: impl FnMut(&[u8])) {
+        if !self.buf.is_empty() {
+            self.dispatch_block();
+        }
+        let n_blocks = self.next_index;
+        // Close the job channel so workers exit after draining.
+        drop(self.jobs.take());
+        let mut fragments = std::mem::take(&mut self.inline);
+        if let Some(results) = self.results.take() {
+            while fragments.len() < n_blocks {
+                match results.recv() {
+                    Ok((idx, frag)) => {
+                        fragments.insert(idx, frag);
+                    }
+                    Err(_) => break, // all workers gone; handled below
+                }
+            }
+        }
+        for h in self.pool.drain(..) {
+            let _ = h.join();
+        }
+        assert_eq!(
+            fragments.len(),
+            n_blocks,
+            "compression worker lost a block"
+        );
+
+        sink(&[
+            0x1f, 0x8b, // magic
+            8,    // CM = deflate
+            0,    // FLG
+            0, 0, 0, 0, // MTIME
+            0,    // XFL
+            255,  // OS = unknown
+        ]);
+        let mut crc = 0u32;
+        for frag in fragments.values() {
+            sink(&frag.bytes);
+            crc = crc32_combine(crc, frag.crc, frag.len);
+        }
+        sink(&FINAL_BLOCK);
+        sink(&crc.to_le_bytes());
+        sink(&(self.total_in as u32).to_le_bytes());
+    }
+}
+
+impl Drop for GzipEncoder {
+    fn drop(&mut self) {
+        // finish_into() joined already; this covers an encoder dropped
+        // without finishing (e.g. on an error path).
+        drop(self.jobs.take());
+        drop(self.results.take());
+        for h in self.pool.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One-shot block-parallel gzip of a full buffer.
+///
+/// Output is bit-identical for every `workers` value; `workers == 1`
+/// compresses inline on the calling thread.
+pub fn gzip_parallel(data: &[u8], workers: usize) -> Vec<u8> {
+    let mut enc = GzipEncoder::new(workers);
+    enc.write(data);
+    enc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gunzip;
+
+    #[test]
+    fn roundtrip_and_determinism_small() {
+        let data = b"hello block-parallel world".repeat(40);
+        let one = gzip_parallel(&data, 1);
+        let two = gzip_parallel(&data, 2);
+        let eight = gzip_parallel(&data, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        assert_eq!(gunzip(&one).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let gz = gzip_parallel(b"", 4);
+        assert_eq!(gunzip(&gz).unwrap(), b"");
+        assert_eq!(gz, gzip_parallel(b"", 1));
+    }
+
+    #[test]
+    fn multiblock_input_compresses_and_roundtrips() {
+        // > 3 blocks of repetitive data.
+        let data = b"abcdefgh".repeat(60_000);
+        let gz = gzip_parallel(&data, 4);
+        assert!(gz.len() < data.len() / 4);
+        assert_eq!(gunzip(&gz).unwrap(), data);
+        assert_eq!(gz, gzip_parallel(&data, 1));
+    }
+
+    #[test]
+    fn incompressible_multiblock_uses_stored_blocks() {
+        let mut data = Vec::with_capacity(400_000);
+        let mut s: u64 = 88172645463325252;
+        while data.len() < 400_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.extend_from_slice(&s.to_le_bytes());
+        }
+        let gz = gzip_parallel(&data, 3);
+        // Stored overhead: 5 B per 64 KiB chunk + per-block + header/trailer.
+        assert!(gz.len() < data.len() + 1024);
+        assert_eq!(gunzip(&gz).unwrap(), data);
+        assert_eq!(gz, gzip_parallel(&data, 1));
+    }
+
+    #[test]
+    fn streaming_writes_match_oneshot() {
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = gzip_parallel(&data, 2);
+        let mut enc = GzipEncoder::new(2);
+        for chunk in data.chunks(777) {
+            enc.write(chunk);
+        }
+        assert_eq!(enc.finish(), oneshot);
+    }
+
+    #[test]
+    fn custom_block_size_roundtrips() {
+        let data = b"layer content ".repeat(9000);
+        for bs in [4096usize, 64 * 1024, 1 << 20] {
+            let mut a = GzipEncoder::with_block_size(1, bs);
+            a.write(&data);
+            let mut b = GzipEncoder::with_block_size(4, bs);
+            b.write(&data);
+            let (a, b) = (a.finish(), b.finish());
+            assert_eq!(a, b, "block size {bs}");
+            assert_eq!(gunzip(&a).unwrap(), data, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn serial_gzip_still_decodes() {
+        // Foreign single-block members (our own serial writer stands in)
+        // must keep inflating after the parallel codec lands.
+        let data = b"single member".repeat(100);
+        assert_eq!(gunzip(&crate::gzip(&data)).unwrap(), data);
+    }
+}

@@ -36,6 +36,20 @@ fn system_gunzip_reads_our_output() {
 }
 
 #[test]
+fn system_gunzip_reads_parallel_output() {
+    if !have_system_gzip() {
+        eprintln!("skipping: no system gzip");
+        return;
+    }
+    // Multi-block member with sync-flush joins: real gunzip must accept the
+    // fragment framing (it is plain RFC 1951/1952).
+    let data: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+    let ours = comt_flate::gzip_parallel(&data, 4);
+    let decoded = pipe("gzip", &["-dc"], &ours);
+    assert_eq!(decoded, data);
+}
+
+#[test]
 fn we_read_system_gzip_output() {
     if !have_system_gzip() {
         eprintln!("skipping: no system gzip");

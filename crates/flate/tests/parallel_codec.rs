@@ -1,0 +1,145 @@
+//! Property tests for the block-parallel codec: bit-identical output
+//! across worker counts, roundtrip identity on every input shape, the
+//! `crc32_combine` algebra, and backward compatibility with single-block
+//! (serial / foreign) streams.
+
+use comt_flate::{crc32, crc32_combine, gunzip, gzip_parallel, GzipEncoder};
+use proptest::prelude::*;
+
+/// Inputs spanning multiple 128 KiB blocks would make proptest slow; cover
+/// the multi-block regime with a smaller block size instead.
+fn multiblock(data: &[u8], workers: usize) -> Vec<u8> {
+    let mut enc = GzipEncoder::with_block_size(workers, 4096);
+    enc.write(data);
+    enc.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn byte_identical_across_worker_counts(
+        data in prop::collection::vec(any::<u8>(), 0..40_000),
+    ) {
+        let k1 = gzip_parallel(&data, 1);
+        let k2 = gzip_parallel(&data, 2);
+        let k8 = gzip_parallel(&data, 8);
+        prop_assert_eq!(&k1, &k2);
+        prop_assert_eq!(&k1, &k8);
+        // Same determinism with many small blocks in flight.
+        let m1 = multiblock(&data, 1);
+        let m8 = multiblock(&data, 8);
+        prop_assert_eq!(m1, m8);
+    }
+
+    #[test]
+    fn roundtrip_random(data in prop::collection::vec(any::<u8>(), 0..40_000)) {
+        prop_assert_eq!(gunzip(&gzip_parallel(&data, 4)).unwrap(), data.clone());
+        prop_assert_eq!(gunzip(&multiblock(&data, 4)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_repetitive(
+        unit in prop::collection::vec(any::<u8>(), 4..32),
+        reps in 200usize..800,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let gz = multiblock(&data, 4);
+        prop_assert!(gz.len() < data.len() / 2);
+        prop_assert_eq!(gunzip(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible(seed in any::<u64>(), len in 10_000usize..60_000) {
+        // xorshift noise defeats LZ77: exercises the stored-block fragments.
+        let mut s = seed | 1;
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.extend_from_slice(&s.to_le_bytes());
+        }
+        data.truncate(len);
+        let gz = multiblock(&data, 3);
+        // Stored fragments bound expansion to block framing overhead.
+        prop_assert!(gz.len() < data.len() + data.len() / 16 + 128);
+        prop_assert_eq!(gunzip(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn crc32_combine_matches_whole_input(
+        a in prop::collection::vec(any::<u8>(), 0..4096),
+        b in prop::collection::vec(any::<u8>(), 0..4096),
+        c in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let whole: Vec<u8> = [a.as_slice(), b.as_slice(), c.as_slice()].concat();
+        let folded = crc32_combine(
+            crc32_combine(crc32(&a), crc32(&b), b.len() as u64),
+            crc32(&c),
+            c.len() as u64,
+        );
+        prop_assert_eq!(folded, crc32(&whole));
+    }
+
+    #[test]
+    fn chunked_streaming_is_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 1..30_000),
+        chunk in 1usize..5000,
+    ) {
+        let mut enc = GzipEncoder::with_block_size(2, 4096);
+        for piece in data.chunks(chunk) {
+            enc.write(piece);
+        }
+        let mut oneshot = GzipEncoder::with_block_size(2, 4096);
+        oneshot.write(&data);
+        prop_assert_eq!(enc.finish(), oneshot.finish());
+    }
+
+    #[test]
+    fn foreign_single_block_streams_still_inflate(
+        data in prop::collection::vec(any::<u8>(), 0..20_000),
+    ) {
+        // The serial writer emits one BFINAL=1 member with no sync-flush
+        // joins — the shape foreign encoders and pre-codec blobs use.
+        prop_assert_eq!(gunzip(&comt_flate::gzip(&data)).unwrap(), data);
+    }
+}
+
+/// RFC 1952 check values: the gzip trailer CRC for known strings must come
+/// out identical whether hashed whole or folded from block CRCs.
+#[test]
+fn crc32_combine_known_vectors() {
+    let cases: [(&[u8], &[u8], u32); 3] = [
+        (b"123456789", b"", 0xCBF4_3926),
+        (b"1234", b"56789", 0xCBF4_3926),
+        (
+            b"The quick brown fox ",
+            b"jumps over the lazy dog",
+            0x414F_A339,
+        ),
+    ];
+    for (a, b, expected) in cases {
+        assert_eq!(
+            crc32_combine(crc32(a), crc32(b), b.len() as u64),
+            expected,
+            "{:?} + {:?}",
+            a,
+            b
+        );
+    }
+}
+
+/// The gzip members the parallel encoder emits carry the standard header
+/// and an RFC 1952 trailer (CRC32 + ISIZE) over the whole input.
+#[test]
+fn parallel_member_has_standard_framing() {
+    let data = b"framing check ".repeat(1000);
+    let gz = gzip_parallel(&data, 4);
+    assert_eq!(&gz[..3], &[0x1f, 0x8b, 8], "magic + deflate CM");
+    let n = gz.len();
+    let crc = u32::from_le_bytes(gz[n - 8..n - 4].try_into().unwrap());
+    let isize_ = u32::from_le_bytes(gz[n - 4..].try_into().unwrap());
+    assert_eq!(crc, crc32(&data));
+    assert_eq!(isize_ as usize, data.len());
+}

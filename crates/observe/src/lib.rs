@@ -14,13 +14,19 @@
 //! A [`Report`] snapshot renders everything as a stable, alphabetically
 //! sorted human-readable table (see [`Report::render`]) which the `comt`
 //! CLI prints under `--stats` and the bench harness embeds in ablation
-//! output. Recording is cheap (one mutex lock per event) and recorders are
-//! `Sync`, so scheduler worker threads share one by reference.
+//! output. Recorders are `Sync`, so scheduler and codec worker threads
+//! share one by reference; internally events land in per-thread *shards*
+//! (selected by thread id, merged at snapshot time), so hot counters bumped
+//! from many workers don't serialize on one mutex.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Shard count: enough to spread codec/scheduler worker threads without
+/// noticeably slowing the merge at snapshot time.
+const SHARDS: usize = 8;
 
 /// Aggregated timing for one span name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,9 +45,36 @@ struct State {
 
 /// Collects counters and spans from one engine run (or globally, via
 /// [`global`]). Thread-safe; share by reference across workers.
-#[derive(Debug, Default)]
+///
+/// Events are accumulated into [`SHARDS`] independently locked states; a
+/// recording thread only ever touches the shard its thread id hashes to,
+/// so concurrent workers bumping hot counters (`flate.bytes_in`, scheduler
+/// step tallies) don't contend. Reads ([`counter`](Recorder::counter),
+/// [`report`](Recorder::report)) merge all shards into one snapshot.
+#[derive(Debug)]
 pub struct Recorder {
-    state: Mutex<State>,
+    shards: [Mutex<State>; SHARDS],
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            shards: std::array::from_fn(|_| Mutex::new(State::default())),
+        }
+    }
+}
+
+/// Shard index for the calling thread (computed once per thread).
+fn shard_index() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static IDX: usize = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish() as usize % SHARDS
+        };
+    }
+    IDX.with(|i| *i)
 }
 
 impl Recorder {
@@ -49,9 +82,13 @@ impl Recorder {
         Self::default()
     }
 
+    fn my_shard(&self) -> &Mutex<State> {
+        &self.shards[shard_index()]
+    }
+
     /// Add `n` to the named counter (creating it at zero first).
     pub fn count(&self, name: &str, n: u64) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.my_shard().lock().unwrap_or_else(|e| e.into_inner());
         *st.counters.entry(name.to_string()).or_insert(0) += n;
     }
 
@@ -68,32 +105,52 @@ impl Recorder {
     /// Record an externally measured interval under a span name. Used when
     /// the duration is simulated rather than wall-clock (perfsim).
     pub fn record_span(&self, name: &str, elapsed: Duration) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.my_shard().lock().unwrap_or_else(|e| e.into_inner());
         let s = st.spans.entry(name.to_string()).or_default();
         s.count += 1;
         s.total += elapsed;
     }
 
-    /// Current value of a counter (zero if never touched).
+    /// Current value of a counter (zero if never touched), summed across
+    /// all shards.
     pub fn counter(&self, name: &str) -> u64 {
-        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.counters.get(name).copied().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .counters
+                    .get(name)
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
-    /// Snapshot everything recorded so far.
+    /// Snapshot everything recorded so far (all shards merged).
     pub fn report(&self) -> Report {
-        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        Report {
-            counters: st.counters.clone(),
-            spans: st.spans.clone(),
+        let mut report = Report::default();
+        for sh in &self.shards {
+            let st = sh.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, v) in &st.counters {
+                *report.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &st.spans {
+                let s = report.spans.entry(k.clone()).or_default();
+                s.count += v.count;
+                s.total += v.total;
+            }
         }
+        report
     }
 
     /// Drop all recorded events (mainly for the global recorder in tests).
     pub fn reset(&self) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.counters.clear();
-        st.spans.clear();
+        for sh in &self.shards {
+            let mut st = sh.lock().unwrap_or_else(|e| e.into_inner());
+            st.counters.clear();
+            st.spans.clear();
+        }
     }
 }
 
@@ -275,5 +332,27 @@ mod tests {
             }
         });
         assert_eq!(r.counter("hits"), 400);
+    }
+
+    #[test]
+    fn sharded_events_merge_into_one_report() {
+        // More threads than shards: counters, spans and the rendered table
+        // must still aggregate as if there were a single state.
+        let r = Recorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..(SHARDS * 3) {
+                s.spawn(|| {
+                    r.count("flate.bytes_in", 10);
+                    r.record_span("codec.encode", Duration::from_micros(5));
+                });
+            }
+        });
+        let rep = r.report();
+        assert_eq!(rep.counter("flate.bytes_in"), (SHARDS as u64 * 3) * 10);
+        assert_eq!(rep.span("codec.encode").count, SHARDS as u64 * 3);
+        let text = rep.render();
+        assert!(text.contains("flate.bytes_in"), "{text}");
+        r.reset();
+        assert!(r.report().is_empty());
     }
 }

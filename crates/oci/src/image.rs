@@ -1,11 +1,13 @@
 //! Image assembly and flattening.
 
+use crate::codec::{EncodedLayer, LayerCodec};
 use crate::spec::{
     Descriptor, HistoryEntry, ImageConfig, ImageManifest, MediaType, RuntimeConfig,
 };
 use crate::store::BlobStore;
 use bytes::Bytes;
 use comt_digest::Digest;
+use comt_tar::Entry;
 use comt_vfs::Vfs;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -73,6 +75,25 @@ impl Image {
     }
 }
 
+/// A layer queued on the builder, encoded at commit time so serialization,
+/// hashing and compression run fused (and layers encode concurrently).
+enum PendingLayer {
+    /// Pre-serialized tar bytes.
+    Tar(Bytes),
+    /// A changeset whose tar serialization is deferred into the fused
+    /// encode pass (never materialized separately).
+    Entries(Vec<Entry>),
+}
+
+impl PendingLayer {
+    fn encode(&self, codec: &LayerCodec) -> EncodedLayer {
+        match self {
+            PendingLayer::Tar(tar) => codec.encode_tar(tar.clone()),
+            PendingLayer::Entries(entries) => codec.encode_entries(entries),
+        }
+    }
+}
+
 /// Builder assembling a new image into a [`BlobStore`].
 pub struct ImageBuilder {
     arch: String,
@@ -80,8 +101,8 @@ pub struct ImageBuilder {
     layers: Vec<Descriptor>,
     diff_ids: Vec<String>,
     history: Vec<HistoryEntry>,
-    /// Raw tars of layers added by this builder (stored at commit).
-    new_layers: Vec<(Vec<u8>, String)>,
+    /// Layers added by this builder (encoded and stored at commit).
+    new_layers: Vec<(PendingLayer, String)>,
     runtime: RuntimeConfig,
     annotations: BTreeMap<String, String>,
     /// Store new layers gzip-compressed (`tar+gzip` media type).
@@ -134,16 +155,28 @@ impl ImageBuilder {
     }
 
     /// Add a raw tar changeset as the next layer.
-    pub fn with_layer_tar(mut self, tar: Vec<u8>, created_by: &str) -> Self {
-        self.new_layers.push((tar, created_by.to_string()));
+    pub fn with_layer_tar(mut self, tar: impl Into<Bytes>, created_by: &str) -> Self {
+        self.new_layers
+            .push((PendingLayer::Tar(tar.into()), created_by.to_string()));
         self
     }
 
-    /// Add a layer computed as the diff between two filesystem states.
-    pub fn with_layer_from_fs(self, from: &Vfs, to: &Vfs) -> Self {
+    /// Add a layer computed as the diff between two filesystem states. The
+    /// changeset's tar serialization is deferred to commit, where it fuses
+    /// with hashing and compression in a single streaming pass.
+    pub fn with_layer_from_fs(mut self, from: &Vfs, to: &Vfs) -> Self {
         let entries = comt_vfs::diff_layers(from, to);
-        let tar = comt_tar::write_archive(&entries);
-        self.with_layer_tar(tar, "layer-from-fs")
+        self.new_layers
+            .push((PendingLayer::Entries(entries), "layer-from-fs".to_string()));
+        self
+    }
+
+    /// Add a layer directly from tar entries (deferred serialization, like
+    /// [`with_layer_from_fs`](Self::with_layer_from_fs)).
+    pub fn with_layer_entries(mut self, entries: Vec<Entry>, created_by: &str) -> Self {
+        self.new_layers
+            .push((PendingLayer::Entries(entries), created_by.to_string()));
+        self
     }
 
     pub fn with_env(mut self, var: &str, value: &str) -> Self {
@@ -178,19 +211,40 @@ impl ImageBuilder {
     }
 
     /// Write config + layers + manifest blobs and return the loaded image.
+    ///
+    /// Pending layers are independent, so they encode concurrently (one
+    /// fused serialize+hash+compress pass each); results land in the
+    /// manifest in the order the layers were added.
     pub fn commit(mut self, store: &mut BlobStore) -> Result<Image, ImageError> {
-        for (tar, created_by) in std::mem::take(&mut self.new_layers) {
-            // diff_id is always the digest of the *uncompressed* tar.
-            let diff_id = Digest::of(&tar).to_oci_string();
-            let (blob, media_type) = if self.compress {
-                (comt_flate::gzip(&tar), MediaType::LayerTarGzip)
-            } else {
-                (tar, MediaType::LayerTar)
-            };
-            let size = blob.len() as u64;
-            let digest = store.put(Bytes::from(blob));
-            self.layers.push(Descriptor::new(media_type, digest, size));
-            self.diff_ids.push(diff_id);
+        let pending = std::mem::take(&mut self.new_layers);
+        let codec = LayerCodec::new(self.compress);
+        let encoded: Vec<(EncodedLayer, String)> = if pending.len() > 1 {
+            comt_observe::global().count("codec.layers.concurrent", pending.len() as u64);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = pending
+                    .iter()
+                    .map(|(layer, _)| s.spawn(move || layer.encode(&codec)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .zip(pending.iter())
+                    .map(|(h, (_, created_by))| {
+                        (h.join().expect("layer encode panicked"), created_by.clone())
+                    })
+                    .collect()
+            })
+        } else {
+            pending
+                .iter()
+                .map(|(layer, created_by)| (layer.encode(&codec), created_by.clone()))
+                .collect()
+        };
+
+        for (enc, created_by) in encoded {
+            let size = enc.blob.len() as u64;
+            let digest = store.put_prehashed(enc.blob_digest, enc.blob);
+            self.layers.push(Descriptor::new(enc.media_type, digest, size));
+            self.diff_ids.push(enc.diff_id.to_oci_string());
             self.history.push(HistoryEntry {
                 created_by,
                 empty_layer: false,
@@ -237,21 +291,43 @@ pub fn layer_tar(store: &BlobStore, layer: &crate::spec::Descriptor) -> Result<B
     let blob = store
         .get(&d)
         .ok_or_else(|| ImageError::MissingBlob(layer.digest.clone()))?;
-    match layer.media_type {
-        crate::spec::MediaType::LayerTarGzip => Ok(Bytes::from(
-            comt_flate::gunzip(&blob).map_err(|e| ImageError::BadLayer(e.to_string()))?,
-        )),
-        _ => Ok(blob),
-    }
+    LayerCodec::decode(blob, &layer.media_type).map_err(|e| ImageError::BadLayer(e.to_string()))
 }
 
 pub fn flatten(store: &BlobStore, image: &Image) -> Result<Vfs, ImageError> {
+    // Layer decode (gunzip + tar parse) is independent per layer, so it
+    // fans out; application must stay sequential — changesets stack.
+    let layers = &image.manifest.layers;
+    let decoded: Vec<Result<Vec<comt_tar::Entry>, ImageError>> = if layers.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = layers
+                .iter()
+                .map(|layer| {
+                    s.spawn(move || {
+                        let tar = layer_tar(store, layer)?;
+                        comt_tar::read_archive(&tar)
+                            .map_err(|e| ImageError::BadLayer(e.to_string()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("layer decode panicked"))
+                .collect()
+        })
+    } else {
+        layers
+            .iter()
+            .map(|layer| {
+                let tar = layer_tar(store, layer)?;
+                comt_tar::read_archive(&tar).map_err(|e| ImageError::BadLayer(e.to_string()))
+            })
+            .collect()
+    };
+
     let mut fs = Vfs::new();
-    for layer in &image.manifest.layers {
-        let tar = layer_tar(store, layer)?;
-        let entries =
-            comt_tar::read_archive(&tar).map_err(|e| ImageError::BadLayer(e.to_string()))?;
-        comt_vfs::apply_layer(&mut fs, &entries)
+    for entries in decoded {
+        comt_vfs::apply_layer(&mut fs, &entries?)
             .map_err(|e| ImageError::BadLayer(e.to_string()))?;
     }
     Ok(fs)

@@ -16,11 +16,13 @@
 //! * [`layout`] — on-disk OCI image layout (`oci-layout`, `index.json`,
 //!   `blobs/sha256/…`).
 
+pub mod codec;
 pub mod image;
 pub mod layout;
 pub mod spec;
 pub mod store;
 
+pub use codec::{EncodedLayer, LayerCodec};
 pub use image::{flatten, layer_tar, Image, ImageBuilder, ImageError};
 pub use spec::{
     Descriptor, ImageConfig, ImageIndex, ImageManifest, MediaType, Platform, RuntimeConfig,

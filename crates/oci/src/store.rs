@@ -24,6 +24,15 @@ impl BlobStore {
         d
     }
 
+    /// Store a blob whose digest the caller already computed (the fused
+    /// layer codec hashes while compressing), skipping the re-hash.
+    pub fn put_prehashed(&mut self, digest: Digest, data: impl Into<Bytes>) -> Digest {
+        let data = data.into();
+        debug_assert_eq!(digest, Digest::of(&data), "put_prehashed digest mismatch");
+        self.blobs.entry(digest).or_insert(data);
+        digest
+    }
+
     /// Fetch a blob by digest.
     pub fn get(&self, digest: &Digest) -> Option<Bytes> {
         self.blobs.get(digest).cloned()
@@ -60,6 +69,13 @@ impl BlobStore {
         before - self.blobs.len()
     }
 
+    /// Insert a blob under an arbitrary digest, bypassing hashing — only
+    /// for corruption tests.
+    #[cfg(test)]
+    pub(crate) fn insert_raw(&mut self, digest: Digest, data: Bytes) {
+        self.blobs.insert(digest, data);
+    }
+
     /// Copy a blob from another store if missing here.
     pub fn fetch_from(&mut self, other: &BlobStore, digest: &Digest) -> bool {
         if self.contains(digest) {
@@ -84,6 +100,8 @@ pub enum RegistryError {
     MissingBlob(String),
     /// Manifest blob failed to parse.
     CorruptManifest(String),
+    /// A blob's content does not hash to its digest.
+    DigestMismatch(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -92,7 +110,44 @@ impl std::fmt::Display for RegistryError {
             RegistryError::UnknownTag(t) => write!(f, "unknown tag: {t}"),
             RegistryError::MissingBlob(d) => write!(f, "missing blob: {d}"),
             RegistryError::CorruptManifest(e) => write!(f, "corrupt manifest: {e}"),
+            RegistryError::DigestMismatch(d) => {
+                write!(f, "blob content does not match digest {d}")
+            }
         }
+    }
+}
+
+/// Re-hash each closure blob in `src` and check it against its address.
+///
+/// Blobs are independent, so verification fans out across threads (real
+/// registries do the same on push/pull: digest checks dominate transfer CPU
+/// time). Runs under the `store.verify` span with a `store.verify.blobs`
+/// counter.
+fn verify_blobs(src: &BlobStore, digests: &[Digest]) -> Result<(), RegistryError> {
+    let obs = comt_observe::global();
+    let _span = obs.span("store.verify");
+    let verify_one = |d: &Digest| -> Result<(), RegistryError> {
+        let blob = src
+            .get(d)
+            .ok_or_else(|| RegistryError::MissingBlob(d.to_string()))?;
+        if Digest::of(&blob) != *d {
+            return Err(RegistryError::DigestMismatch(d.to_string()));
+        }
+        Ok(())
+    };
+    obs.count("store.verify.blobs", digests.len() as u64);
+    if digests.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = digests
+                .iter()
+                .map(|d| s.spawn(move || verify_one(d)))
+                .collect();
+            handles
+                .into_iter()
+                .try_for_each(|h| h.join().expect("verify worker panicked"))
+        })
+    } else {
+        digests.iter().try_for_each(verify_one)
     }
 }
 
@@ -166,8 +221,12 @@ impl Registry {
         manifest_digest: Digest,
         src: &BlobStore,
     ) -> Result<usize, RegistryError> {
+        let closure = Self::closure(src, &manifest_digest)?;
+        // Verify content-addressing before admitting blobs (concurrently —
+        // layers are independent).
+        verify_blobs(src, &closure)?;
         let mut transferred = 0usize;
-        for d in Self::closure(src, &manifest_digest)? {
+        for d in closure {
             if !self.store.contains(&d) {
                 if !self.store.fetch_from(src, &d) {
                     return Err(RegistryError::MissingBlob(d.to_string()));
@@ -189,8 +248,10 @@ impl Registry {
         let manifest_digest = self
             .resolve(tag)
             .ok_or_else(|| RegistryError::UnknownTag(tag.to_string()))?;
+        let closure = Self::closure(&self.store, &manifest_digest)?;
+        verify_blobs(&self.store, &closure)?;
         let mut transferred = 0usize;
-        for d in Self::closure(&self.store, &manifest_digest)? {
+        for d in closure {
             if !dst.contains(&d) {
                 if !dst.fetch_from(&self.store, &d) {
                     return Err(RegistryError::MissingBlob(d.to_string()));
@@ -273,6 +334,34 @@ mod tests {
             reg.pull("ghost:latest", &mut dst),
             Err(RegistryError::UnknownTag(_))
         ));
+    }
+
+    #[test]
+    fn push_detects_corrupt_blob() {
+        let mut local = BlobStore::new();
+        let md = tiny_image(&mut local);
+        // Corrupt the first layer blob in place (content no longer hashes
+        // to its address).
+        let layer_digest = {
+            let raw = local.get(&md).unwrap();
+            let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw).unwrap();
+            manifest.layers[0].parsed_digest().unwrap()
+        };
+        local.insert_raw(layer_digest, Bytes::from_static(b"tampered"));
+        let mut reg = Registry::new();
+        assert!(matches!(
+            reg.push("bad:1", md, &local),
+            Err(RegistryError::DigestMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn put_prehashed_skips_rehash_but_addresses_correctly() {
+        let mut s = BlobStore::new();
+        let data = Bytes::from_static(b"layer blob");
+        let d = Digest::of(&data);
+        assert_eq!(s.put_prehashed(d, data.clone()), d);
+        assert_eq!(s.get(&d).unwrap(), data);
     }
 
     #[test]

@@ -11,21 +11,25 @@
 //! * `name`+`prefix` splitting, with GNU `L` long-name records as fallback
 //!   for paths that do not fit the USTAR fields.
 //!
-//! Archives live fully in memory (`Vec<u8>`), matching the simulated blob
-//! store in `comt-oci`.
+//! Archives live fully in memory, matching the simulated blob store in
+//! `comt-oci`. File payloads are reference-counted [`Bytes`], so an entry
+//! lifted out of a VFS (or a reader) shares storage instead of copying, and
+//! the [`Writer`] is generic over a [`TarSink`] so serialization can stream
+//! straight into a hasher/compressor without materializing the archive.
 
 mod header;
 mod reader;
 mod writer;
 
+pub use bytes::Bytes;
 pub use reader::{read_archive, ReadError};
-pub use writer::Writer;
+pub use writer::{FnSink, TarSink, Writer};
 
 /// Type of an archive member.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EntryKind {
-    /// Regular file with its content.
-    File(Vec<u8>),
+    /// Regular file with its content (cheaply cloneable, shared storage).
+    File(Bytes),
     /// Directory.
     Dir,
     /// Symbolic link to `target` (not resolved by the archive layer).
@@ -53,7 +57,7 @@ pub struct Entry {
 
 impl Entry {
     /// Regular file with default root ownership.
-    pub fn file(path: impl Into<String>, content: impl Into<Vec<u8>>, mode: u32) -> Self {
+    pub fn file(path: impl Into<String>, content: impl Into<Bytes>, mode: u32) -> Self {
         Entry {
             path: path.into(),
             kind: EntryKind::File(content.into()),
@@ -143,7 +147,7 @@ mod tests {
     fn roundtrip_metadata() {
         let e = vec![Entry {
             path: "data.bin".into(),
-            kind: EntryKind::File(vec![0u8; 1000]),
+            kind: EntryKind::File(vec![0u8; 1000].into()),
             mode: 0o600,
             uid: 1000,
             gid: 100,

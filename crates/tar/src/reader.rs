@@ -83,7 +83,7 @@ pub fn read_archive(bytes: &[u8]) -> Result<Vec<Entry>, ReadError> {
 
         let path = pending_longname.take().unwrap_or_else(|| hdr.full_path());
         let kind = match hdr.typeflag {
-            TYPE_FILE | 0 => EntryKind::File(payload.to_vec()),
+            TYPE_FILE | 0 => EntryKind::File(payload.to_vec().into()),
             TYPE_DIR => EntryKind::Dir,
             TYPE_SYMLINK => EntryKind::Symlink(hdr.linkname.clone()),
             TYPE_HARDLINK => EntryKind::Hardlink(hdr.linkname.clone()),

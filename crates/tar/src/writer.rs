@@ -5,31 +5,73 @@ use crate::header::{
 };
 use crate::{Entry, EntryKind};
 
-/// Incremental USTAR writer producing an in-memory archive.
-pub struct Writer {
-    out: Vec<u8>,
+/// Destination for serialized archive bytes.
+///
+/// The writer pushes headers and padded payloads through this trait as it
+/// goes, so a sink can tee the stream into a hasher and a compressor and the
+/// archive never has to exist as one contiguous buffer. `Vec<u8>` implements
+/// it for the buffered [`write_archive`](crate::write_archive) path.
+pub trait TarSink {
+    /// Absorb the next run of archive bytes.
+    fn write(&mut self, data: &[u8]);
 }
 
-impl Default for Writer {
+impl TarSink for Vec<u8> {
+    fn write(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+/// Adapter turning any `FnMut(&[u8])` closure into a [`TarSink`].
+pub struct FnSink<F: FnMut(&[u8])>(pub F);
+
+impl<F: FnMut(&[u8])> TarSink for FnSink<F> {
+    fn write(&mut self, data: &[u8]) {
+        (self.0)(data);
+    }
+}
+
+/// Incremental USTAR writer emitting into a [`TarSink`].
+///
+/// `Writer::new()` targets a `Vec<u8>` (the original in-memory API);
+/// [`Writer::with_sink`] streams into any sink.
+pub struct Writer<S: TarSink = Vec<u8>> {
+    sink: S,
+    written: usize,
+}
+
+impl Default for Writer<Vec<u8>> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Writer {
-    /// Empty archive under construction.
+impl Writer<Vec<u8>> {
+    /// Empty in-memory archive under construction.
     pub fn new() -> Self {
-        Writer { out: Vec::new() }
+        Writer::with_sink(Vec::new())
+    }
+}
+
+impl<S: TarSink> Writer<S> {
+    /// Writer streaming into `sink`.
+    pub fn with_sink(sink: S) -> Self {
+        Writer { sink, written: 0 }
     }
 
     /// Bytes emitted so far (headers + padded payloads, no terminator).
     pub fn len(&self) -> usize {
-        self.out.len()
+        self.written
     }
 
     /// Whether nothing has been appended yet.
     pub fn is_empty(&self) -> bool {
-        self.out.is_empty()
+        self.written == 0
+    }
+
+    fn emit(&mut self, data: &[u8]) {
+        self.sink.write(data);
+        self.written += data.len();
     }
 
     /// Append one entry.
@@ -58,7 +100,7 @@ impl Writer {
                     TYPE_GNU_LONGNAME,
                     "",
                 );
-                self.out.extend_from_slice(&hdr);
+                self.emit(&hdr);
                 self.append_padded(&payload);
                 // Truncated name in the real header; readers use the L record.
                 (String::new(), entry.path.chars().take(100).collect())
@@ -77,24 +119,24 @@ impl Writer {
             typeflag,
             linkname,
         );
-        self.out.extend_from_slice(&hdr);
+        self.emit(&hdr);
         if let Some(c) = content {
             self.append_padded(c);
         }
     }
 
     fn append_padded(&mut self, data: &[u8]) {
-        self.out.extend_from_slice(data);
+        self.emit(data);
         let rem = data.len() % BLOCK;
         if rem != 0 {
-            self.out.extend(std::iter::repeat_n(0u8, BLOCK - rem));
+            self.emit(&[0u8; BLOCK][..BLOCK - rem]);
         }
     }
 
-    /// Terminate with two zero blocks and return the archive bytes.
-    pub fn finish(mut self) -> Vec<u8> {
-        self.out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
-        self.out
+    /// Terminate with two zero blocks and return the sink.
+    pub fn finish(mut self) -> S {
+        self.emit(&[0u8; 2 * BLOCK]);
+        self.sink
     }
 }
 
@@ -117,5 +159,23 @@ mod tests {
         let mut w = Writer::new();
         w.append(&Entry::dir("d", 0o755));
         assert_eq!(w.len(), 512);
+    }
+
+    #[test]
+    fn sink_stream_matches_buffered() {
+        let entries = vec![
+            Entry::dir("d", 0o755),
+            Entry::file("d/f", vec![3u8; 777], 0o644),
+            Entry::symlink("d/l", "f"),
+        ];
+        let mut buffered = Writer::new();
+        let mut streamed: Vec<u8> = Vec::new();
+        let mut w = Writer::with_sink(FnSink(|chunk: &[u8]| streamed.extend_from_slice(chunk)));
+        for e in &entries {
+            buffered.append(e);
+            w.append(e);
+        }
+        w.finish();
+        assert_eq!(buffered.finish(), streamed);
     }
 }

@@ -14,7 +14,7 @@ fn arb_entry() -> impl Strategy<Value = Entry> {
     (
         arb_path(),
         prop_oneof![
-            prop::collection::vec(any::<u8>(), 0..2048).prop_map(EntryKind::File),
+            prop::collection::vec(any::<u8>(), 0..2048).prop_map(|v| EntryKind::File(v.into())),
             Just(EntryKind::Dir),
             arb_path().prop_map(EntryKind::Symlink),
             arb_path().prop_map(EntryKind::Hardlink),

@@ -59,8 +59,10 @@ pub fn apply_layer(fs: &mut Vfs, entries: &[Entry]) -> Result<(), VfsError> {
         }
 
         let node = match &e.kind {
+            // Tar payloads are `Bytes` too: the clone shares storage with
+            // the archive entry instead of copying the file content.
             EntryKind::File(content) => Node {
-                kind: NodeKind::File(Bytes::from(content.clone())),
+                kind: NodeKind::File(content.clone()),
                 mode: e.mode,
                 uid: e.uid,
                 gid: e.gid,
@@ -103,7 +105,9 @@ pub fn apply_layer(fs: &mut Vfs, entries: &[Entry]) -> Result<(), VfsError> {
 fn node_to_entry(path: &str, node: &Node) -> Entry {
     let rel = path.trim_start_matches('/').to_string();
     let kind = match &node.kind {
-        NodeKind::File(c) => EntryKind::File(c.to_vec()),
+        // Shares the VFS node's storage — no per-file copy when lifting a
+        // filesystem into a layer changeset.
+        NodeKind::File(c) => EntryKind::File(c.clone()),
         NodeKind::Dir => EntryKind::Dir,
         NodeKind::Symlink(t) => EntryKind::Symlink(t.clone()),
     };
@@ -149,7 +153,7 @@ pub fn diff_layers(base: &Vfs, upper: &Vfs) -> Vec<Entry> {
         };
         entries.push(Entry {
             path: wh,
-            kind: EntryKind::File(Vec::new()),
+            kind: EntryKind::File(Bytes::new()),
             mode: 0o644,
             uid: 0,
             gid: 0,

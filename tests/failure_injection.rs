@@ -62,7 +62,7 @@ fn corrupt_models_json_is_a_cache_error() {
     let tampered = tamper_cache_layer(&art.oci, "hpccg.dist+coM", |entries| {
         for e in entries.iter_mut() {
             if e.path.ends_with("models.json") {
-                e.kind = comt_tar::EntryKind::File(b"{not json".to_vec());
+                e.kind = comt_tar::EntryKind::File(b"{not json".to_vec().into());
             }
         }
     });
@@ -89,7 +89,7 @@ fn tampered_source_breaks_rebuild_loudly() {
     let tampered = tamper_cache_layer(&art.oci, "hpccg.dist+coM", |entries| {
         for e in entries.iter_mut() {
             if e.path.contains("/src/") && e.path.ends_with("hpccg_unit_0.cc") {
-                e.kind = comt_tar::EntryKind::File(b"int x;\n".to_vec());
+                e.kind = comt_tar::EntryKind::File(b"int x;\n".to_vec().into());
             }
         }
     });
