@@ -1,0 +1,196 @@
+//! Extension experiment — distribution throughput sweep (not a paper
+//! figure).
+//!
+//! Serves a workload image from the `comt-dist` loopback daemon and
+//! measures aggregate pull throughput as concurrent clients scale, with
+//! digest verification active on both ends of every transfer (the server
+//! verifies before serving, the client verifies before admitting). Emits
+//! the results as `BENCH_dist_throughput.json` so the perf trajectory is
+//! machine-diffable across runs.
+//!
+//! ```text
+//! dist_throughput [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the payload and iteration count (the CI
+//! configuration); every pulled closure is still digest-verified
+//! bit-identical against the pushed one.
+
+use bytes::Bytes;
+use comt_bench::report::{json_report, json_row, table};
+use comt_dist::{serve, DistClient, ServerOptions};
+use comt_oci::store::closure_digests;
+use comt_oci::{BlobStore, ImageBuilder, Registry};
+use comt_pkg::catalog;
+use comt_vfs::Vfs;
+use comt_workloads::source_tree;
+use serde::Value;
+use std::time::Instant;
+
+/// Deterministic incompressible-ish filler so the wire moves real bytes
+/// even in smoke mode (no RNG: xorshift from a fixed seed).
+fn filler(len: usize) -> Vec<u8> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut v = Vec::with_capacity(len + 8);
+    while v.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+/// One image: each workload source tree as a layer, plus a bulk filler
+/// layer that dominates the closure size.
+fn build_image(apps: &[&str], bulk: usize, store: &mut BlobStore) -> comt_digest::Digest {
+    let mut b = ImageBuilder::from_scratch("x86_64");
+    for app in apps {
+        let tree = source_tree(app, "x86_64", catalog::MINI_SCALE).expect("workload tree");
+        b = b.with_layer_from_fs(&Vfs::new(), &tree);
+    }
+    b = b.with_layer_tar(Bytes::from(filler(bulk)), "bulk filler");
+    b.commit(store).expect("commit image").manifest_digest
+}
+
+/// Best-of-N wall time for one closure, in seconds.
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+fn mib_s(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / secs.max(1e-9)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_dist_throughput.json".to_string());
+    let iters = if smoke { 2 } else { 3 };
+    let apps: &[&str] = if smoke {
+        &["lulesh"]
+    } else {
+        &["lulesh", "hpl", "minimd"]
+    };
+    let bulk = if smoke { 2 << 20 } else { 16 << 20 };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Extension: distribution pull throughput ({cores} cores available) ==\n");
+
+    // Build the workload image locally and push it to a loopback daemon.
+    let mut local = BlobStore::new();
+    let md = build_image(apps, bulk, &mut local);
+    let closure = closure_digests(&local, &md).expect("closure");
+    let closure_bytes: u64 = closure
+        .iter()
+        .map(|d| local.get(d).expect("closure blob").len() as u64)
+        .sum();
+
+    let server = serve(Registry::new(), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind loopback daemon");
+    let addr = server.addr().to_string();
+    let pusher = DistClient::new(addr.clone());
+    let (push_s, _) = time_best(1, || {
+        pusher.push_image("bench", "v1", md, &local).expect("push")
+    });
+    println!(
+        "pushed {} blobs, {:.2} MiB in {push_s:.3}s ({:.1} MiB/s)\n",
+        closure.len(),
+        closure_bytes as f64 / (1024.0 * 1024.0),
+        mib_s(closure_bytes, push_s)
+    );
+
+    let mut clients_sweep = vec![1usize, 2, 4, cores.min(8)];
+    clients_sweep.sort_unstable();
+    clients_sweep.dedup();
+
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<Value> = Vec::new();
+    // aggregate throughput per client count, for the scaling check.
+    let mut agg_at: Vec<(usize, f64)> = Vec::new();
+
+    for &n in &clients_sweep {
+        let (wall_s, moved) = time_best(iters, || {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|_| {
+                        let addr = addr.clone();
+                        s.spawn(move || {
+                            let c = DistClient::new(addr);
+                            let mut dst = BlobStore::new();
+                            let (got, stats) = c.pull_image("bench", "v1", &mut dst).expect("pull");
+                            assert_eq!(got, md, "manifest digest drifted over the wire");
+                            stats.blobs_moved as u64
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("puller"))
+                    .sum::<u64>()
+            })
+        });
+        assert_eq!(moved, closure.len() as u64 * n as u64, "partial pull");
+        let agg = mib_s(closure_bytes * n as u64, wall_s);
+        let per = mib_s(closure_bytes, wall_s);
+        agg_at.push((n, agg));
+        rows.push(vec![
+            n.to_string(),
+            format!("{wall_s:.3}"),
+            format!("{agg:.1}"),
+            format!("{per:.1}"),
+        ]);
+        json_rows.push(json_row(vec![
+            ("clients", Value::Int(n as i64)),
+            ("closure_bytes", Value::Int(closure_bytes as i64)),
+            ("blobs", Value::Int(closure.len() as i64)),
+            ("wall_s", Value::Float(wall_s)),
+            ("aggregate_mib_s", Value::Float(agg)),
+            ("per_client_mib_s", Value::Float(per)),
+            ("manifest", Value::Str(md.to_oci_string())),
+        ]));
+    }
+    println!(
+        "{}",
+        table(&["clients", "wall s", "agg MiB/s", "per-client MiB/s"], &rows)
+    );
+
+    // The acceptance bar: >= 2x aggregate pull throughput at 4 clients vs
+    // 1 — only meaningful when the machine has the cores to scale onto.
+    let tp = |k: usize| {
+        agg_at
+            .iter()
+            .find(|(n, _)| *n == k)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    };
+    if cores >= 4 && clients_sweep.contains(&4) {
+        let speedup = tp(4) / tp(1);
+        println!("aggregate pull speedup @4 clients: {speedup:.2}x");
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x aggregate pull throughput at 4 clients, got {speedup:.2}x"
+        );
+    } else {
+        println!("pull speedup check skipped: {cores} core(s) available (needs >=4)");
+    }
+
+    drop(server);
+    let json = json_report("dist_throughput", json_rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

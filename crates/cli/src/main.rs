@@ -11,6 +11,10 @@
 //! comt redirect    <layout-dir> <coMre-ref> [--isa x86_64]
 //! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--stats]
 //! comt cross-check <layout-dir> <ext-ref>  <target-isa>
+//! comt serve       <layout-dir> [--addr HOST:PORT] [--threads N]
+//! comt push        <layout-dir> <ref> --remote HOST:PORT [--stats]
+//! comt pull        <layout-dir> <ref> --remote HOST:PORT [--stats]
+//! comt gc          <layout-dir> [--apply]
 //! ```
 //!
 //! The system side (`--isa`) is synthesized with
@@ -20,17 +24,20 @@
 
 use comtainer::crossisa::analyze_cross;
 use comtainer::{
-    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache, LtoAdapter,
-    NativeToolchainAdapter, RebuildOptions, SystemAdapter, SystemSide,
+    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache, ComtError,
+    LtoAdapter, NativeToolchainAdapter, Phase, RebuildOptions, SystemAdapter, SystemSide,
 };
+use comt_dist::{serve, split_ref, tag_key, DistClient, DistError, ServerOptions};
 use comt_oci::layout::OciDir;
+use comt_oci::spec::{Descriptor, MediaType};
+use comt_oci::Registry;
 use comt_toolchain::Toolchain;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply]"
     );
     ExitCode::from(2)
 }
@@ -248,6 +255,153 @@ fn cmd_adapt(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Render an error with its full `source()` chain, one `caused by:` line
+/// per link, so transport failures show the socket-level reason.
+fn render_error_chain(e: &dyn std::error::Error) -> String {
+    let mut out = e.to_string();
+    let mut src = e.source();
+    while let Some(s) = src {
+        out.push_str("\n  caused by: ");
+        out.push_str(&s.to_string());
+        src = s.source();
+    }
+    out
+}
+
+/// Wrap a transport failure into the pipeline's error convention
+/// (oci class, distribute phase, cause chained) and render it.
+fn dist_failure(op: &str, r: &str, e: DistError) -> String {
+    let err = ComtError::oci(format!("{op} of {r} failed"))
+        .with_phase(Phase::Distribute)
+        .with_artifact(r.to_string())
+        .with_source(e);
+    render_error_chain(&err)
+}
+
+fn remote_addr(args: &[String]) -> Result<String, String> {
+    let addr = opt_value(args, "--remote", "");
+    if addr.is_empty() {
+        return Err("missing --remote HOST:PORT".into());
+    }
+    Ok(addr)
+}
+
+/// Load a layout into a serving [`Registry`]: every blob, then every index
+/// ref as a verified tag under the wire's `name:reference` key.
+fn registry_from_layout(oci: &OciDir) -> Result<Registry, String> {
+    let mut reg = Registry::new();
+    for (d, bytes) in oci.blobs.iter() {
+        reg.store_mut().put_prehashed(*d, bytes.clone());
+    }
+    for name in oci.index.ref_names() {
+        let desc = oci.index.find_ref(&name).expect("ref listed by index");
+        let digest = desc
+            .parsed_digest()
+            .map_err(|e| format!("ref {name}: bad digest: {e}"))?;
+        let (n, t) = split_ref(&name);
+        reg.tag_verified(&tag_key(n, t), digest)
+            .map_err(|e| format!("ref {name}: {e}"))?;
+    }
+    Ok(reg)
+}
+
+fn cmd_serve(dir: &str, args: &[String]) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    let nrefs = oci.index.ref_names().len();
+    let nblobs = oci.blobs.len();
+    let reg = registry_from_layout(&oci)?;
+    let addr = opt_value(args, "--addr", "127.0.0.1:7070");
+    let mut opts = ServerOptions::default();
+    if let Ok(n) = opt_value(args, "--threads", "").parse::<usize>() {
+        opts.threads = n.max(1);
+    }
+    let server = serve(reg, addr.as_str(), opts).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving {dir} on {} ({nrefs} refs, {nblobs} blobs)",
+        server.addr()
+    );
+    // Serve until killed; the daemon threads own the registry.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_push(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    let addr = remote_addr(args)?;
+    let digest = oci.resolve(r).map_err(|e| e.to_string())?;
+    let (name, reference) = split_ref(r);
+    let client = DistClient::new(addr.clone());
+    let stats = client
+        .push_image(name, reference, digest, &oci.blobs)
+        .map_err(|e| dist_failure("push", r, e))?;
+    println!(
+        "pushed {r} to {addr}: {} blob(s) moved, {} deduped, {:.2} MiB",
+        stats.blobs_moved,
+        stats.blobs_skipped,
+        stats.bytes_moved as f64 / (1024.0 * 1024.0)
+    );
+    if flag(args, "--stats") {
+        print!("{}", comt_observe::global().report());
+    }
+    Ok(())
+}
+
+fn cmd_pull(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
+    let addr = remote_addr(args)?;
+    let mut oci = if Path::new(dir).exists() {
+        load_layout(dir)?
+    } else {
+        OciDir::new()
+    };
+    let (name, reference) = split_ref(r);
+    let client = DistClient::new(addr.clone());
+    let (digest, stats) = client
+        .pull_image(name, reference, &mut oci.blobs)
+        .map_err(|e| dist_failure("pull", r, e))?;
+    let size = oci.blobs.get(&digest).map(|b| b.len() as u64).unwrap_or(0);
+    oci.index
+        .set_ref(r, Descriptor::new(MediaType::ImageManifest, digest, size));
+    save_layout(&oci, dir)?;
+    println!(
+        "pulled {r} from {addr}: {} blob(s) moved, {} already present, {:.2} MiB",
+        stats.blobs_moved,
+        stats.blobs_skipped,
+        stats.bytes_moved as f64 / (1024.0 * 1024.0)
+    );
+    if flag(args, "--stats") {
+        print!("{}", comt_observe::global().report());
+    }
+    Ok(())
+}
+
+fn cmd_gc(dir: &str, args: &[String]) -> Result<(), String> {
+    let mut oci = load_layout(dir)?;
+    let (dead, bytes) = oci.gc_plan();
+    let mib = bytes as f64 / (1024.0 * 1024.0);
+    if dead.is_empty() {
+        println!(
+            "{dir}: nothing to collect ({} blobs, all reachable)",
+            oci.blobs.len()
+        );
+        return Ok(());
+    }
+    for d in &dead {
+        println!("unreachable {d}");
+    }
+    if flag(args, "--apply") {
+        let n = oci.gc();
+        save_layout(&oci, dir)?;
+        println!("removed {n} blob(s), reclaimed {mib:.2} MiB");
+    } else {
+        println!(
+            "{} unreachable blob(s), {mib:.2} MiB reclaimable (dry run; pass --apply to delete)",
+            dead.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_cross_check(dir: &str, r: &str, target_isa: &str) -> Result<(), String> {
     let oci = load_layout(dir)?;
     let cache = load_cache(&oci, r).map_err(|e| e.to_string())?;
@@ -288,6 +442,10 @@ fn main() -> ExitCode {
         [cmd, dir, r, rest @ ..] if cmd == "redirect" => cmd_redirect(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "adapt" => cmd_adapt(dir, r, rest),
         [cmd, dir, r, isa] if cmd == "cross-check" => cmd_cross_check(dir, r, isa),
+        [cmd, dir, rest @ ..] if cmd == "serve" => cmd_serve(dir, rest),
+        [cmd, dir, r, rest @ ..] if cmd == "push" => cmd_push(dir, r, rest),
+        [cmd, dir, r, rest @ ..] if cmd == "pull" => cmd_pull(dir, r, rest),
+        [cmd, dir, rest @ ..] if cmd == "gc" => cmd_gc(dir, rest),
         _ => return usage(),
     };
     match result {
@@ -296,5 +454,51 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_failure_renders_full_cause_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer reset");
+        let rendered = dist_failure("pull", "app.dist+coM", DistError::io("read response", io));
+        assert!(rendered.contains("distribute"), "{rendered}");
+        assert!(rendered.contains("pull of app.dist+coM failed"), "{rendered}");
+        assert!(rendered.contains("caused by: read response"), "{rendered}");
+        assert!(rendered.contains("caused by: peer reset"), "{rendered}");
+    }
+
+    #[test]
+    fn remote_addr_is_required() {
+        let args = vec!["--stats".to_string()];
+        assert!(remote_addr(&args).is_err());
+        let args = vec!["--remote".to_string(), "127.0.0.1:7070".to_string()];
+        assert_eq!(remote_addr(&args).unwrap(), "127.0.0.1:7070");
+    }
+
+    #[test]
+    fn registry_from_layout_tags_every_ref() {
+        let mut oci = OciDir::new();
+        let image = comt_oci::ImageBuilder::from_scratch("x86_64")
+            .with_layer_tar(bytes::Bytes::from_static(b"tarbits"), "test layer")
+            .commit(&mut oci.blobs)
+            .unwrap();
+        oci.index.set_ref(
+            "app.dist+coM",
+            Descriptor::new(
+                MediaType::ImageManifest,
+                image.manifest_digest,
+                oci.blobs.get(&image.manifest_digest).unwrap().len() as u64,
+            ),
+        );
+        let reg = registry_from_layout(&oci).unwrap();
+        assert_eq!(
+            reg.resolve(&tag_key("app.dist+coM", "latest")),
+            Some(image.manifest_digest)
+        );
+        assert_eq!(reg.store().len(), oci.blobs.len());
     }
 }

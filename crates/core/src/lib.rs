@@ -85,6 +85,8 @@ pub enum Phase {
     Collect,
     Redirect,
     Storage,
+    /// Registry transfer (push/pull, in-process or over the wire).
+    Distribute,
 }
 
 impl std::fmt::Display for Phase {
@@ -97,6 +99,7 @@ impl std::fmt::Display for Phase {
             Phase::Collect => "collect",
             Phase::Redirect => "redirect",
             Phase::Storage => "storage",
+            Phase::Distribute => "distribute",
         };
         f.write_str(s)
     }
@@ -267,6 +270,18 @@ impl std::error::Error for ComtError {
     }
 }
 
+/// Registry failures surface as OCI errors in the distribute phase with
+/// the transport-level cause chained for `source()` — so `--stats` and
+/// error output can show *why* a transfer failed, matching the PR 1
+/// error-context convention.
+impl From<comt_oci::RegistryError> for ComtError {
+    fn from(e: comt_oci::RegistryError) -> Self {
+        ComtError::oci(format!("registry transfer failed: {e}"))
+            .with_phase(Phase::Distribute)
+            .with_source(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +301,19 @@ mod tests {
         assert!(text.contains("[artifact: /app/run]"), "{text}");
         let src = std::error::Error::source(&err).expect("source chained");
         assert_eq!(src.to_string(), "gone");
+    }
+
+    #[test]
+    fn registry_error_chains_into_comt_error() {
+        let reg_err = comt_oci::RegistryError::DigestMismatch("sha256:abcd".into());
+        let err: ComtError = reg_err.clone().into();
+        assert!(matches!(err, ComtError::Oci(_)));
+        assert_eq!(err.failure().phase, Some(Phase::Distribute));
+        let text = err.to_string();
+        assert!(text.contains("[phase: distribute]"), "{text}");
+        // The transport-level cause is reachable through source().
+        let src = std::error::Error::source(&err).expect("source chained");
+        assert_eq!(src.to_string(), reg_err.to_string());
     }
 
     #[test]

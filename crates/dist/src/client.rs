@@ -1,0 +1,442 @@
+//! The distribution client: dedupe on push, resume on pull, retry on
+//! everything transient.
+//!
+//! Every operation runs under a bounded retry loop: exponential backoff
+//! with deterministic-per-client jitter, a per-attempt socket deadline and
+//! an overall operation deadline. Blob downloads keep the partial prefix
+//! across attempts and continue with `Range: bytes=N-`, so a killed
+//! connection costs only the un-received suffix. Every received blob is
+//! re-hashed before it is admitted; a digest mismatch discards the buffer
+//! and retries from scratch.
+
+use crate::wire;
+use crate::{tag_key, DistError, MEDIA_TYPE_MANIFEST};
+use bytes::Bytes;
+use comt_digest::Digest;
+use comt_oci::store::{closure_digests, BlobStore};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Bounded exponential backoff with jitter, plus the two deadlines.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2 (doubles per attempt).
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Wall-clock budget for one logical operation across all attempts.
+    pub op_deadline: Duration,
+    /// Per-attempt socket read/write deadline.
+    pub io_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            op_deadline: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast policy for tests.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before `attempt` (2-based), jittered into `[d/2, d]` by a
+    /// cheap xorshift keyed on the seed and the attempt number.
+    fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt.saturating_sub(2)).min(16))
+            .min(self.max_delay);
+        let mut x = seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let half = exp.as_nanos() as u64 / 2;
+        Duration::from_nanos(half + (x % half.max(1)))
+    }
+}
+
+/// What a push or pull moved (and skipped via deduplication).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Blobs actually sent/received.
+    pub blobs_moved: usize,
+    /// Closure blobs skipped because the other side already had them.
+    pub blobs_skipped: usize,
+    /// Body bytes moved (blob payloads, both directions).
+    pub bytes_moved: u64,
+}
+
+/// A client bound to one registry address.
+#[derive(Debug, Clone)]
+pub struct DistClient {
+    addr: String,
+    policy: RetryPolicy,
+    max_body: usize,
+    jitter_seed: u64,
+}
+
+impl DistClient {
+    pub fn new(addr: impl Into<String>) -> Self {
+        DistClient::with_policy(addr, RetryPolicy::default())
+    }
+
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let addr = addr.into();
+        // Deterministic per-address seed; spreads concurrent clients
+        // without needing a randomness source.
+        let jitter_seed = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            addr.hash(&mut h);
+            std::process::id().hash(&mut h);
+            h.finish() | 1
+        };
+        DistClient {
+            addr,
+            policy,
+            max_body: 1 << 30,
+            jitter_seed,
+        }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, DistError> {
+        let sockaddr: SocketAddr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| DistError::io("resolve", e))?
+            .next()
+            .ok_or_else(|| DistError::protocol(format!("no address for {}", self.addr)))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.policy.io_timeout)
+            .map_err(|e| DistError::io("connect", e))?;
+        stream
+            .set_read_timeout(Some(self.policy.io_timeout))
+            .and_then(|_| stream.set_write_timeout(Some(self.policy.io_timeout)))
+            .and_then(|_| stream.set_nodelay(true))
+            .map_err(|e| DistError::io("socket setup", e))?;
+        Ok(stream)
+    }
+
+    /// One request/response exchange on a fresh connection. The body (if
+    /// any) streams into `sink`; on transport death the partial prefix is
+    /// preserved there.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(String, String)],
+        body: Option<&[u8]>,
+        chunked: bool,
+        sink: &mut Vec<u8>,
+    ) -> Result<(u16, Vec<(String, String)>), DistError> {
+        let stream = self.connect()?;
+        let mut writer = stream.try_clone().map_err(|e| DistError::io("clone", e))?;
+        let mut all_headers = vec![("Host".to_string(), self.addr.clone())];
+        all_headers.extend_from_slice(headers);
+        wire::write_request(&mut writer, method, path, &all_headers, body, chunked)
+            .map_err(|e| DistError::io("send request", e))?;
+        writer.flush().map_err(|e| DistError::io("flush", e))?;
+        let mut reader = BufReader::new(stream);
+        wire::read_response_into(&mut reader, sink, self.max_body)
+            .map_err(|e| DistError::io("read response", e))
+    }
+
+    /// Run `attempt` under the retry loop. The closure decides what a
+    /// non-transport failure means by returning `Err`; transport errors
+    /// and 5xx are retried, 4xx are not.
+    fn with_retries<T>(
+        &self,
+        op: &str,
+        mut attempt_fn: impl FnMut() -> Result<T, DistError>,
+    ) -> Result<T, DistError> {
+        let started = Instant::now();
+        let obs = comt_observe::global();
+        let mut last: Option<DistError> = None;
+        for attempt in 1..=self.policy.max_attempts {
+            if attempt > 1 {
+                obs.count("dist.client.retries", 1);
+                std::thread::sleep(self.policy.backoff(attempt, self.jitter_seed));
+            }
+            match attempt_fn() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && started.elapsed() < self.policy.op_deadline => {
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(DistError::RetriesExhausted {
+            op: op.to_string(),
+            attempts: self.policy.max_attempts,
+            last: Box::new(last.unwrap_or_else(|| DistError::protocol("no attempt ran"))),
+        })
+    }
+
+    /// Does the remote have this blob? Returns its size if so.
+    pub fn head_blob(&self, name: &str, digest: &Digest) -> Result<Option<u64>, DistError> {
+        let path = format!("/v2/{name}/blobs/{}", digest.to_oci_string());
+        self.with_retries("head blob", || {
+            let mut sink = Vec::new();
+            let (status, headers) = self.exchange("HEAD", &path, &[], None, false, &mut sink)?;
+            match status {
+                200 => Ok(wire::find_header(&headers, "x-content-length")
+                    .and_then(|v| v.parse().ok())),
+                404 => Ok(None),
+                s => Err(DistError::status("head blob", s, &sink)),
+            }
+        })
+    }
+
+    /// Download a blob, resuming across dropped connections and verifying
+    /// the digest before returning.
+    pub fn get_blob(&self, name: &str, digest: &Digest) -> Result<Bytes, DistError> {
+        let path = format!("/v2/{name}/blobs/{}", digest.to_oci_string());
+        let obs = comt_observe::global();
+        let _span = obs.span("dist.client.get_blob");
+        let mut buf: Vec<u8> = Vec::new();
+        self.with_retries("get blob", || {
+            let mut headers = Vec::new();
+            let resumed = !buf.is_empty();
+            if resumed {
+                obs.count("dist.client.resumes", 1);
+                headers.push(("Range".to_string(), format!("bytes={}-", buf.len())));
+            }
+            let before = buf.len();
+            let result = self.exchange("GET", &path, &headers, None, false, &mut buf);
+            obs.count("dist.client.bytes_in", (buf.len() - before) as u64);
+            let (status, resp_headers) = match result {
+                Ok(v) => v,
+                Err(e) => return Err(e), // partial prefix stays in buf
+            };
+            match (status, resumed) {
+                (200, false) | (206, true) => {}
+                (200, true) => {
+                    // Server ignored the range; its body is the whole blob.
+                    buf.drain(..before);
+                }
+                (416, true) => {
+                    // Our offset confused the server — start over (a
+                    // Protocol error is retryable, unlike a 4xx status).
+                    buf.clear();
+                    return Err(DistError::protocol("range not satisfiable, restarting"));
+                }
+                (404, _) => return Err(DistError::status("get blob", 404, b"not found")),
+                (s, _) => {
+                    let body = buf.split_off(before);
+                    return Err(DistError::status("get blob", s, &body));
+                }
+            }
+            if resumed && status == 206 {
+                // Cross-check the server's idea of the resume offset.
+                let ok = wire::find_header(&resp_headers, "content-range")
+                    .and_then(|v| v.strip_prefix("bytes "))
+                    .and_then(|v| v.split('-').next())
+                    .and_then(|v| v.parse::<usize>().ok())
+                    == Some(before);
+                if !ok {
+                    buf.clear();
+                    return Err(DistError::protocol("content-range offset mismatch"));
+                }
+            }
+            let got = Digest::of(&buf);
+            if got != *digest {
+                obs.count("dist.client.verify_failures", 1);
+                let e = DistError::DigestMismatch {
+                    expected: digest.to_oci_string(),
+                    got: got.to_oci_string(),
+                };
+                buf.clear(); // corrupt transfer — retry from scratch
+                return Err(e);
+            }
+            Ok(())
+        })?;
+        Ok(Bytes::from(std::mem::take(&mut buf)))
+    }
+
+    /// Upload a blob as a chunked PUT. The server stages, verifies and
+    /// atomically publishes; we retry the whole upload on transport death.
+    pub fn put_blob(&self, name: &str, digest: &Digest, data: &[u8]) -> Result<(), DistError> {
+        let path = format!("/v2/{name}/blobs/{}", digest.to_oci_string());
+        let obs = comt_observe::global();
+        let _span = obs.span("dist.client.put_blob");
+        self.with_retries("put blob", || {
+            let mut sink = Vec::new();
+            let (status, _) = self.exchange("PUT", &path, &[], Some(data), true, &mut sink)?;
+            match status {
+                201 => {
+                    obs.count("dist.client.bytes_out", data.len() as u64);
+                    Ok(())
+                }
+                s => Err(DistError::status("put blob", s, &sink)),
+            }
+        })
+    }
+
+    /// Fetch a manifest by tag; returns its (verified) digest and bytes.
+    pub fn get_manifest(&self, name: &str, reference: &str) -> Result<(Digest, Bytes), DistError> {
+        let path = format!("/v2/{name}/manifests/{reference}");
+        self.with_retries("get manifest", || {
+            let mut sink = Vec::new();
+            let (status, headers) = self.exchange("GET", &path, &[], None, false, &mut sink)?;
+            match status {
+                200 => {
+                    let digest = Digest::of(&sink);
+                    if let Some(advertised) = wire::find_header(&headers, "docker-content-digest")
+                    {
+                        if advertised != digest.to_oci_string() {
+                            return Err(DistError::DigestMismatch {
+                                expected: advertised.to_string(),
+                                got: digest.to_oci_string(),
+                            });
+                        }
+                    }
+                    Ok((digest, Bytes::from(sink)))
+                }
+                404 => Err(DistError::status(
+                    "get manifest",
+                    404,
+                    format!("unknown: {}", tag_key(name, reference)).as_bytes(),
+                )),
+                s => Err(DistError::status("get manifest", s, &sink)),
+            }
+        })
+    }
+
+    /// Upload a manifest under a tag. The tag only appears if the server
+    /// verified the full closure.
+    pub fn put_manifest(
+        &self,
+        name: &str,
+        reference: &str,
+        manifest: &[u8],
+    ) -> Result<Digest, DistError> {
+        let path = format!("/v2/{name}/manifests/{reference}");
+        let headers = [("Content-Type".to_string(), MEDIA_TYPE_MANIFEST.to_string())];
+        self.with_retries("put manifest", || {
+            let mut sink = Vec::new();
+            let (status, _) =
+                self.exchange("PUT", &path, &headers, Some(manifest), false, &mut sink)?;
+            match status {
+                201 => Ok(Digest::of(manifest)),
+                s => Err(DistError::status("put manifest", s, &sink)),
+            }
+        })
+    }
+
+    /// Push a manifest closure from `src`, deduplicating via HEAD: only
+    /// blobs the remote does not already hold are transferred; the
+    /// manifest goes last so the tag flips only onto a complete closure.
+    pub fn push_image(
+        &self,
+        name: &str,
+        reference: &str,
+        manifest_digest: Digest,
+        src: &BlobStore,
+    ) -> Result<TransferStats, DistError> {
+        let obs = comt_observe::global();
+        let _span = obs.span("dist.client.push");
+        let closure = closure_digests(src, &manifest_digest)?;
+        let mut stats = TransferStats::default();
+        for d in &closure[1..] {
+            let blob = src
+                .get(d)
+                .ok_or(comt_oci::RegistryError::MissingBlob(d.to_string()))?;
+            if self.head_blob(name, d)?.is_some() {
+                stats.blobs_skipped += 1;
+                obs.count("dist.client.blobs_deduped", 1);
+                continue;
+            }
+            self.put_blob(name, d, &blob)?;
+            stats.blobs_moved += 1;
+            stats.bytes_moved += blob.len() as u64;
+        }
+        let manifest = src
+            .get(&manifest_digest)
+            .ok_or(comt_oci::RegistryError::MissingBlob(manifest_digest.to_string()))?;
+        self.put_manifest(name, reference, &manifest)?;
+        stats.blobs_moved += 1;
+        stats.bytes_moved += manifest.len() as u64;
+        Ok(stats)
+    }
+
+    /// Pull a tag's closure into `dst`, transferring only missing blobs,
+    /// resuming interrupted downloads and verifying every digest.
+    pub fn pull_image(
+        &self,
+        name: &str,
+        reference: &str,
+        dst: &mut BlobStore,
+    ) -> Result<(Digest, TransferStats), DistError> {
+        let obs = comt_observe::global();
+        let _span = obs.span("dist.client.pull");
+        let (manifest_digest, manifest) = self.get_manifest(name, reference)?;
+        let mut stats = TransferStats {
+            blobs_moved: 1,
+            blobs_skipped: 0,
+            bytes_moved: manifest.len() as u64,
+        };
+        dst.put_prehashed(manifest_digest, manifest);
+        let closure = closure_digests(dst, &manifest_digest)?;
+        for d in &closure[1..] {
+            if dst.contains(d) {
+                stats.blobs_skipped += 1;
+                obs.count("dist.client.blobs_deduped", 1);
+                continue;
+            }
+            let blob = self.get_blob(name, d)?; // digest-verified
+            stats.bytes_moved += blob.len() as u64;
+            dst.put_prehashed(*d, blob);
+            stats.blobs_moved += 1;
+        }
+        Ok((manifest_digest, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let p = RetryPolicy::default();
+        for attempt in 2..=10 {
+            let d = p.backoff(attempt, 12345);
+            assert!(d <= p.max_delay, "attempt {attempt}: {d:?}");
+            assert!(d >= p.base_delay / 2, "attempt {attempt}: {d:?}");
+        }
+        // Different seeds give different jitter (almost surely).
+        let a = p.backoff(3, 1);
+        let b = p.backoff(3, 2);
+        assert!(a != b || p.backoff(4, 1) != p.backoff(4, 2));
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts() {
+        let p = RetryPolicy {
+            base_delay: Duration::from_millis(8),
+            max_delay: Duration::from_secs(1),
+            ..Default::default()
+        };
+        // Jitter floor is half the exponential value, so attempt 6's floor
+        // (64ms ⇒ ≥32ms) clears attempt 2's ceiling (8ms).
+        assert!(p.backoff(6, 7) > p.backoff(2, 7));
+    }
+}

@@ -1,0 +1,462 @@
+//! The registry daemon: a TCP server speaking the distribution protocol,
+//! backed by the in-process [`Registry`].
+//!
+//! ## Shape
+//!
+//! One acceptor thread hands connections to a **bounded pool** of worker
+//! threads over a bounded queue; each worker runs a keep-alive loop with
+//! per-connection read/write deadlines, so a stalled peer can never pin a
+//! worker forever. All state lives behind one mutex, but workers hold it
+//! only long enough to clone cheap [`bytes::Bytes`] handles in or out —
+//! digest hashing and socket I/O happen outside the lock, which is what
+//! lets concurrent pullers scale.
+//!
+//! ## Atomicity
+//!
+//! Uploads are **staged**: the body accumulates in a per-request buffer,
+//! its digest is verified against the address in the URL, and only then is
+//! the blob published into the content-addressed store (the in-memory
+//! equivalent of write-to-temp → fsync → rename). A connection killed
+//! mid-upload discards the stage; a digest mismatch is a 400 and nothing
+//! becomes visible. Manifest PUTs verify the *entire closure* (bytes, not
+//! just presence) before the tag appears, so a pull can never observe a
+//! half-pushed image.
+
+use crate::wire::{self, Request, Response};
+use crate::{tag_key, MEDIA_TYPE_MANIFEST};
+use comt_digest::Digest;
+use comt_oci::store::{closure_digests, Registry};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Fault injection: truncate the next `truncate_blob_gets` blob GET
+/// responses after `truncate_after` body bytes and drop the connection.
+/// Exercises the client's Range-resume path deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct Chaos {
+    pub truncate_blob_gets: u32,
+    pub truncate_after: usize,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads handling connections (the pool bound).
+    pub threads: usize,
+    /// Pending-connection queue depth between acceptor and workers.
+    pub backlog: usize,
+    /// Per-connection socket read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// Largest accepted request body (blob upload cap).
+    pub max_body: usize,
+    /// Optional fault injection.
+    pub chaos: Option<Chaos>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 16)),
+            backlog: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: 1 << 30,
+            chaos: None,
+        }
+    }
+}
+
+struct State {
+    registry: Mutex<Registry>,
+    max_body: usize,
+    chaos_budget: AtomicU32,
+    chaos_after: usize,
+}
+
+/// A running daemon. Dropping it without [`DistServer::shutdown`] stops
+/// accepting but does not join workers; call `shutdown` for a clean stop
+/// that hands the registry (with everything pushed to it) back.
+pub struct DistServer {
+    addr: SocketAddr,
+    state: Arc<State>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DistServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistServer").field("addr", &self.addr).finish()
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// `registry` until shutdown.
+pub fn serve(registry: Registry, addr: &str, opts: ServerOptions) -> io::Result<DistServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let state = Arc::new(State {
+        registry: Mutex::new(registry),
+        max_body: opts.max_body,
+        chaos_budget: AtomicU32::new(opts.chaos.map_or(0, |c| c.truncate_blob_gets)),
+        chaos_after: opts.chaos.map_or(0, |c| c.truncate_after),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(opts.backlog);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(opts.threads);
+    for i in 0..opts.threads {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let (rt, wt) = (opts.read_timeout, opts.write_timeout);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("dist-worker-{i}"))
+                .spawn(move || loop {
+                    let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &state, rt, wt),
+                        Err(_) => break, // acceptor gone, queue drained
+                    }
+                })?,
+        );
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("dist-acceptor".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        // A full queue back-pressures the acceptor (bounded).
+                        Ok(stream) => {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // tx drops here; workers drain the queue then exit.
+            })?
+    };
+
+    Ok(DistServer {
+        addr: local,
+        state,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl DistServer {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join all threads and hand back the registry with
+    /// every successfully pushed image in it.
+    pub fn shutdown(mut self) -> Registry {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let state = Arc::clone(&self.state);
+        drop(self); // release the server's own strong ref
+        match Arc::try_unwrap(state) {
+            Ok(st) => st.registry.into_inner().unwrap_or_else(|e| e.into_inner()),
+            // All workers joined, so this shouldn't happen; fall back to a
+            // clone rather than panic.
+            Err(arc) => arc.registry.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        }
+    }
+}
+
+impl Drop for DistServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &State,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let obs = comt_observe::global();
+    loop {
+        let req = match wire::read_request(&mut reader, state.max_body) {
+            Ok(Some(req)) => req,
+            // Clean close, timeout, or a killed upload: the stage (the
+            // request body buffer) is discarded with the error — nothing
+            // was published.
+            Ok(None) | Err(_) => return,
+        };
+        let close = req.wants_close();
+        obs.count("dist.server.bytes_in", req.body.len() as u64);
+        let started = Instant::now();
+        let (endpoint, action) = dispatch(&req, state);
+        obs.count(&format!("dist.server.req.{endpoint}"), 1);
+        obs.record_value(
+            &format!("dist.server.{endpoint}.latency_us"),
+            started.elapsed().as_micros() as u64,
+        );
+        match action {
+            Action::Respond(resp) => {
+                obs.count("dist.server.bytes_out", resp.body.len() as u64);
+                if wire::write_response(&mut writer, &resp, None).is_err() {
+                    return;
+                }
+            }
+            Action::RespondTruncated(resp, after) => {
+                obs.count("dist.server.chaos_truncations", 1);
+                obs.count("dist.server.bytes_out", after.min(resp.body.len()) as u64);
+                let _ = wire::write_response(&mut writer, &resp, Some(after));
+                return; // the advertised length was a lie — drop the line
+            }
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+enum Action {
+    Respond(Response),
+    /// Chaos: send only the first N body bytes, then close the connection.
+    RespondTruncated(Response, usize),
+}
+
+fn bad_request(detail: impl Into<String>) -> Action {
+    Action::Respond(Response::new(400).with_body(detail.into()))
+}
+
+fn not_found() -> Action {
+    Action::Respond(Response::new(404))
+}
+
+/// Split `/v2/<name…>/(blobs|manifests)/<ref>`; the repository name may
+/// itself contain `/`, so the kind marker is located from the end.
+fn parse_path(path: &str) -> Option<(&str, &str, &str)> {
+    let rest = path.strip_prefix("/v2/")?;
+    let (head, reference) = rest.rsplit_once('/')?;
+    let (name, kind) = head.rsplit_once('/')?;
+    if name.is_empty() || reference.is_empty() {
+        return None;
+    }
+    matches!(kind, "blobs" | "manifests").then_some((name, kind, reference))
+}
+
+/// Route one request. Returns the endpoint label (for counters) plus the
+/// action to take on the socket.
+fn dispatch(req: &Request, state: &State) -> (&'static str, Action) {
+    if req.path == "/v2/" || req.path == "/v2" {
+        return (
+            "version",
+            Action::Respond(Response::new(200).with_body(&b"{}"[..])),
+        );
+    }
+    let Some((name, kind, reference)) = parse_path(&req.path) else {
+        return ("unroutable", not_found());
+    };
+    match (req.method.as_str(), kind) {
+        ("HEAD", "blobs") => ("blob_head", blob_head(name, reference, state)),
+        ("GET", "blobs") => ("blob_get", blob_get(req, name, reference, state)),
+        ("PUT", "blobs") => ("blob_put", blob_put(req, name, reference, state)),
+        ("GET", "manifests") => ("manifest_get", manifest_get(name, reference, state)),
+        ("HEAD", "manifests") => ("manifest_head", manifest_get(name, reference, state)),
+        ("PUT", "manifests") => ("manifest_put", manifest_put(req, name, reference, state)),
+        _ => ("unroutable", Action::Respond(Response::new(405))),
+    }
+}
+
+fn parse_digest(reference: &str) -> Result<Digest, Action> {
+    reference
+        .parse::<Digest>()
+        .map_err(|e| bad_request(format!("bad digest {reference}: {e}")))
+}
+
+fn blob_head(_name: &str, reference: &str, state: &State) -> Action {
+    let digest = match parse_digest(reference) {
+        Ok(d) => d,
+        Err(a) => return a,
+    };
+    let len = {
+        let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        reg.store().get(&digest).map(|b| b.len())
+    };
+    match len {
+        Some(len) => Action::Respond(
+            Response::new(200)
+                .with_header("Docker-Content-Digest", reference)
+                .with_header("X-Content-Length", len.to_string()),
+        ),
+        None => not_found(),
+    }
+}
+
+fn blob_get(req: &Request, _name: &str, reference: &str, state: &State) -> Action {
+    let digest = match parse_digest(reference) {
+        Ok(d) => d,
+        Err(a) => return a,
+    };
+    // Clone the Bytes handle out and release the lock before hashing.
+    let blob = {
+        let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        reg.store().get(&digest)
+    };
+    let Some(blob) = blob else { return not_found() };
+    // Server-side verification before serving: a corrupt store must never
+    // satisfy a read.
+    let obs = comt_observe::global();
+    {
+        let _span = obs.span("dist.server.verify");
+        if Digest::of(&blob) != digest {
+            obs.count("dist.server.verify_failures", 1);
+            return Action::Respond(
+                Response::new(500).with_body(format!("stored blob corrupt: {reference}")),
+            );
+        }
+    }
+    let total = blob.len() as u64;
+    let range_header = req.header("range");
+    let (start, end, status) = match wire::parse_range(range_header, total) {
+        Some((s, e)) => (s, e, 206),
+        None if range_header.is_some() => {
+            return Action::Respond(
+                Response::new(416).with_header("Content-Range", format!("bytes */{total}")),
+            );
+        }
+        None => (0, total, 200),
+    };
+    let mut resp = Response::new(status)
+        .with_header("Docker-Content-Digest", reference)
+        .with_body(blob.slice(start as usize..end as usize).to_vec());
+    if status == 206 {
+        resp = resp.with_header(
+            "Content-Range",
+            format!("bytes {}-{}/{}", start, end - 1, total),
+        );
+    }
+    // Chaos: pretend to serve the full range, cut the body short, hang up.
+    if state.chaos_after > 0 && resp.body.len() > state.chaos_after {
+        let budget = state.chaos_budget.load(Ordering::SeqCst);
+        if budget > 0
+            && state
+                .chaos_budget
+                .compare_exchange(budget, budget - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            let after = state.chaos_after;
+            return Action::RespondTruncated(resp, after);
+        }
+    }
+    Action::Respond(resp)
+}
+
+fn blob_put(req: &Request, _name: &str, reference: &str, state: &State) -> Action {
+    let digest = match parse_digest(reference) {
+        Ok(d) => d,
+        Err(a) => return a,
+    };
+    // The staged body (req.body) is verified before anything becomes
+    // visible; on mismatch the stage is simply dropped.
+    let obs = comt_observe::global();
+    let actual = {
+        let _span = obs.span("dist.server.verify");
+        Digest::of(&req.body)
+    };
+    if actual != digest {
+        obs.count("dist.server.rejected_uploads", 1);
+        return bad_request(format!(
+            "upload does not match its address: got {actual}, want {reference}"
+        ));
+    }
+    {
+        let mut reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        reg.store_mut()
+            .put_prehashed(digest, bytes::Bytes::from(req.body.clone()));
+    }
+    Action::Respond(Response::new(201).with_header("Docker-Content-Digest", reference))
+}
+
+fn manifest_get(name: &str, reference: &str, state: &State) -> Action {
+    let key = tag_key(name, reference);
+    let (digest, body) = {
+        let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        match reg.resolve(&key) {
+            Some(d) => match reg.store().get(&d) {
+                Some(b) => (d, b),
+                None => return not_found(),
+            },
+            None => return not_found(),
+        }
+    };
+    Action::Respond(
+        Response::new(200)
+            .with_header("Docker-Content-Digest", digest.to_oci_string())
+            .with_header("Content-Type", MEDIA_TYPE_MANIFEST)
+            .with_body(body.to_vec()),
+    )
+}
+
+fn manifest_put(req: &Request, name: &str, reference: &str, state: &State) -> Action {
+    let digest = Digest::of(&req.body);
+    let key = tag_key(name, reference);
+    let mut reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let manifest_was_present = reg.store().contains(&digest);
+    reg.store_mut()
+        .put_prehashed(digest, bytes::Bytes::from(req.body.clone()));
+    // Closure completeness + content verification gate tag visibility: a
+    // half-pushed image can never be pulled.
+    match reg.tag_verified(&key, digest) {
+        Ok(()) => Action::Respond(
+            Response::new(201).with_header("Docker-Content-Digest", digest.to_oci_string()),
+        ),
+        Err(e) => {
+            if !manifest_was_present {
+                // Unwind the staged manifest blob so nothing of the failed
+                // push is visible.
+                reg.store_mut().retain(|d| d != &digest);
+            }
+            comt_observe::global().count("dist.server.rejected_manifests", 1);
+            bad_request(format!("manifest not taggable: {e}"))
+        }
+    }
+}
+
+/// Closure digests for a tagged manifest on this server — test/CLI helper.
+pub fn registry_closure(reg: &Registry, tag: &str) -> Option<Vec<Digest>> {
+    let md = reg.resolve(tag)?;
+    closure_digests(reg.store(), &md).ok()
+}

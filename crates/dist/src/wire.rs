@@ -1,0 +1,469 @@
+//! A minimal HTTP/1.1 wire codec — exactly the subset the distribution
+//! protocol needs, hand-rolled so the workspace stays hermetic.
+//!
+//! Supported: request/status lines, headers, `Content-Length` and
+//! `Transfer-Encoding: chunked` bodies, `Range: bytes=N-`/`bytes=N-M`
+//! parsing, and keep-alive semantics (`Connection: close` honoured).
+//! Everything is bounded: header blocks are capped at
+//! [`MAX_HEADER_BYTES`], bodies at a caller-supplied limit, so a
+//! misbehaving peer cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request/status line plus all headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Chunk size the client uses for chunked blob uploads.
+pub const UPLOAD_CHUNK: usize = 64 * 1024;
+
+/// A parsed HTTP request (server side of the wire).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+/// A parsed HTTP response (client side of the wire).
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        find_header(&self.headers, name)
+    }
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        find_header(&self.headers, name)
+    }
+
+    /// Does the peer ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Case-insensitive header lookup (first match wins).
+pub fn find_header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Reason phrase for the status codes the protocol emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        206 => "Partial Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        416 => "Range Not Satisfiable",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Read one CRLF-terminated line, enforcing the shared header budget.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> io::Result<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) => return Err(e),
+        }
+        if *budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header block exceeds limit",
+            ));
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 header line"));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Read the header section (after the start line) up to the blank line.
+fn read_headers(r: &mut impl BufRead, budget: &mut usize) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, budget)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("malformed header: {line}"))
+        })?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+}
+
+/// Read a chunked transfer-encoded body.
+fn read_chunked(r: &mut impl BufRead, max_body: usize) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut budget = 128usize; // one size line
+        let size_line = read_line(r, &mut budget)?;
+        let hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(hex, 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        if size == 0 {
+            // Trailer section: read lines until the blank terminator.
+            let mut trailer_budget = 1024usize;
+            loop {
+                if read_line(r, &mut trailer_budget)?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len() + size > max_body {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chunked body exceeds limit",
+            ));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        r.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        r.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "chunk missing CRLF"));
+        }
+    }
+}
+
+/// Read the message body described by `headers`.
+fn read_body(
+    r: &mut impl BufRead,
+    headers: &[(String, String)],
+    max_body: usize,
+) -> io::Result<Vec<u8>> {
+    if find_header(headers, "transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        return read_chunked(r, max_body);
+    }
+    let len = match find_header(headers, "content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?,
+        None => return Ok(Vec::new()),
+    };
+    if len > max_body {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("body of {len} bytes exceeds limit {max_body}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Read one request off the wire. `Ok(None)` means the peer closed the
+/// connection cleanly before sending another request (keep-alive end).
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> io::Result<Option<Request>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let start = match read_line(r, &mut budget) {
+        Ok(line) => line,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut parts = start.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line: {start}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version: {version}"),
+        ));
+    }
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers, max_body)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Serialize a request. A `Some(body)` with `chunked = true` goes out as
+/// chunked transfer-encoding in [`UPLOAD_CHUNK`]-sized pieces; otherwise
+/// `Content-Length` framing is used.
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    path: &str,
+    headers: &[(String, String)],
+    body: Option<&[u8]>,
+    chunked: bool,
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    match body {
+        Some(_) if chunked => head.push_str("Transfer-Encoding: chunked\r\n"),
+        Some(b) => head.push_str(&format!("Content-Length: {}\r\n", b.len())),
+        None => head.push_str("Content-Length: 0\r\n"),
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    if let Some(b) = body {
+        if chunked {
+            for chunk in b.chunks(UPLOAD_CHUNK) {
+                write!(w, "{:x}\r\n", chunk.len())?;
+                w.write_all(chunk)?;
+                w.write_all(b"\r\n")?;
+            }
+            w.write_all(b"0\r\n\r\n")?;
+        } else {
+            w.write_all(b)?;
+        }
+    }
+    w.flush()
+}
+
+/// Serialize a response, always with `Content-Length` framing. When
+/// `truncate_after` is set only that many body bytes go out — the fault
+/// injection used to exercise client resume; callers must then drop the
+/// connection (the advertised length was a lie).
+pub fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    truncate_after: Option<usize>,
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (k, v) in &resp.headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", resp.body.len()));
+    w.write_all(head.as_bytes())?;
+    let cut = truncate_after.unwrap_or(resp.body.len()).min(resp.body.len());
+    w.write_all(&resp.body[..cut])?;
+    w.flush()
+}
+
+/// Read a response status line and headers, then stream the body into
+/// `sink`. On a short read (peer died mid-body) the bytes received so far
+/// stay in `sink` and the error is surfaced — that partial prefix is what
+/// makes `Range` resume possible.
+pub fn read_response_into(
+    r: &mut impl BufRead,
+    sink: &mut Vec<u8>,
+    max_body: usize,
+) -> io::Result<(u16, Vec<(String, String)>)> {
+    let mut budget = MAX_HEADER_BYTES;
+    let start = read_line(r, &mut budget)?;
+    let status: u16 = start
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line: {start}"),
+            )
+        })?;
+    let headers = read_headers(r, &mut budget)?;
+    if find_header(&headers, "transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        let body = read_chunked(r, max_body)?;
+        sink.extend_from_slice(&body);
+        return Ok((status, headers));
+    }
+    let len = match find_header(&headers, "content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?,
+        None => 0,
+    };
+    if len > max_body {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("body of {len} bytes exceeds limit {max_body}"),
+        ));
+    }
+    // Stream in pieces so a truncated transfer leaves its prefix in `sink`.
+    let mut remaining = len;
+    let mut buf = [0u8; 16 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(buf.len());
+        let n = r.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("body truncated: {remaining} of {len} bytes missing"),
+            ));
+        }
+        sink.extend_from_slice(&buf[..n]);
+        remaining -= n;
+    }
+    Ok((status, headers))
+}
+
+/// Parse `Range: bytes=N-` or `bytes=N-M` (inclusive end) against a body
+/// of `total` bytes. Returns the half-open `[start, end)` range, or `None`
+/// if the header is absent/unsatisfiable.
+pub fn parse_range(header: Option<&str>, total: u64) -> Option<(u64, u64)> {
+    let spec = header?.strip_prefix("bytes=")?;
+    let (from, to) = spec.split_once('-')?;
+    let start: u64 = from.trim().parse().ok()?;
+    let end: u64 = match to.trim() {
+        "" => total,
+        t => t.parse::<u64>().ok()?.checked_add(1)?,
+    };
+    if start >= total || end > total || start >= end {
+        return None;
+    }
+    Some((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(body: Option<&[u8]>, chunked: bool) -> Request {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "PUT",
+            "/v2/app/blobs/sha256:abc",
+            &[("Host".into(), "localhost".into())],
+            body,
+            chunked,
+        )
+        .unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        read_request(&mut r, 1 << 20).unwrap().unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip_content_length() {
+        let req = roundtrip_request(Some(b"hello blob"), false);
+        assert_eq!(req.method, "PUT");
+        assert_eq!(req.path, "/v2/app/blobs/sha256:abc");
+        assert_eq!(req.body, b"hello blob");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"));
+    }
+
+    #[test]
+    fn request_roundtrip_chunked() {
+        // Multi-chunk: body larger than one upload chunk.
+        let body: Vec<u8> = (0..UPLOAD_CHUNK + 123).map(|i| (i % 251) as u8).collect();
+        let req = roundtrip_request(Some(&body), true);
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn empty_body_request() {
+        let req = roundtrip_request(None, false);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn response_roundtrip_and_truncation() {
+        let resp = Response::new(200)
+            .with_header("Docker-Content-Digest", "sha256:ff")
+            .with_body(vec![7u8; 1000]);
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, None).unwrap();
+        let mut sink = Vec::new();
+        let (status, headers) =
+            read_response_into(&mut BufReader::new(&wire[..]), &mut sink, 1 << 20).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(find_header(&headers, "docker-content-digest"), Some("sha256:ff"));
+        assert_eq!(sink.len(), 1000);
+
+        // Truncated write: reader keeps the prefix and reports EOF.
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, Some(100)).unwrap();
+        let mut sink = Vec::new();
+        let err = read_response_into(&mut BufReader::new(&wire[..]), &mut sink, 1 << 20)
+            .expect_err("truncated body must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(sink.len(), 100, "partial prefix retained for resume");
+    }
+
+    #[test]
+    fn body_limit_enforced() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "PUT", "/x", &[], Some(&[1u8; 4096]), false).unwrap();
+        let err = read_request(&mut BufReader::new(&wire[..]), 1024).expect_err("over limit");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut wire = Vec::new();
+        write_request(&mut wire, "PUT", "/x", &[], Some(&[1u8; 4096]), true).unwrap();
+        let err = read_request(&mut BufReader::new(&wire[..]), 1024).expect_err("over limit");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(empty), 1024)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(parse_range(Some("bytes=0-"), 10), Some((0, 10)));
+        assert_eq!(parse_range(Some("bytes=4-"), 10), Some((4, 10)));
+        assert_eq!(parse_range(Some("bytes=2-5"), 10), Some((2, 6)));
+        assert_eq!(parse_range(Some("bytes=10-"), 10), None);
+        assert_eq!(parse_range(Some("bytes=5-4"), 10), None);
+        assert_eq!(parse_range(Some("bytes=0-99"), 10), None);
+        assert_eq!(parse_range(None, 10), None);
+        assert_eq!(parse_range(Some("lines=1-"), 10), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Loopback integration: the daemon and the client against each other on
+//! 127.0.0.1, including the failure modes the protocol exists to survive.
+
+use bytes::Bytes;
+use comt_digest::Digest;
+use comt_dist::{
+    serve, split_ref, tag_key, Chaos, DistClient, DistError, RetryPolicy, ServerOptions,
+};
+use comt_oci::store::closure_digests;
+use comt_oci::{BlobStore, ImageBuilder, Registry};
+use comt_vfs::Vfs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn sample_image(store: &mut BlobStore, payload: &[u8]) -> Digest {
+    let mut fs = Vfs::new();
+    fs.write_file_p("/app/bin", Bytes::from(payload.to_vec()), 0o755)
+        .unwrap();
+    fs.write_file_p("/app/data", Bytes::from_static(b"DATA"), 0o644)
+        .unwrap();
+    ImageBuilder::from_scratch("x86_64")
+        .with_layer_from_fs(&Vfs::new(), &fs)
+        .commit(store)
+        .unwrap()
+        .manifest_digest
+}
+
+fn start_server(opts: ServerOptions) -> comt_dist::DistServer {
+    serve(Registry::new(), "127.0.0.1:0", opts).expect("bind loopback")
+}
+
+#[test]
+fn push_pull_roundtrip_bit_identical() {
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"ELF-bits");
+    let server = start_server(ServerOptions::default());
+    let client = DistClient::new(server.addr().to_string());
+
+    let stats = client.push_image("app", "v1", md, &local).unwrap();
+    assert_eq!(stats.blobs_moved, 3); // manifest + config + layer
+    assert_eq!(stats.blobs_skipped, 0);
+
+    let mut pulled = BlobStore::new();
+    let (got_md, pstats) = client.pull_image("app", "v1", &mut pulled).unwrap();
+    assert_eq!(got_md, md);
+    assert_eq!(pstats.blobs_moved, 3);
+
+    // Bit-identical closure.
+    for d in closure_digests(&local, &md).unwrap() {
+        assert_eq!(pulled.get(&d).unwrap(), local.get(&d).unwrap(), "{d}");
+    }
+
+    let reg = server.shutdown();
+    assert_eq!(reg.resolve(&tag_key("app", "v1")), Some(md));
+}
+
+#[test]
+fn second_push_dedupes_via_head() {
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"dedupe-me");
+    let server = start_server(ServerOptions::default());
+    let client = DistClient::new(server.addr().to_string());
+
+    client.push_image("app", "v1", md, &local).unwrap();
+    let again = client.push_image("app", "v2", md, &local).unwrap();
+    // Config + layer already exist remotely; only the manifest re-PUTs.
+    assert_eq!(again.blobs_skipped, 2);
+    assert_eq!(again.blobs_moved, 1);
+    drop(server);
+}
+
+#[test]
+fn chaos_truncation_resumes_and_verifies() {
+    let mut local = BlobStore::new();
+    // A payload big enough that truncation at 256 bytes hits mid-layer.
+    let payload = vec![0xA5u8; 64 * 1024];
+    let md = sample_image(&mut local, &payload);
+    let server = start_server(ServerOptions {
+        chaos: Some(Chaos {
+            truncate_blob_gets: 3,
+            truncate_after: 256,
+        }),
+        ..Default::default()
+    });
+    let client = DistClient::new(server.addr().to_string());
+    client.push_image("app", "v1", md, &local).unwrap();
+
+    comt_observe::global().reset();
+    let mut pulled = BlobStore::new();
+    let (got, _) = client.pull_image("app", "v1", &mut pulled).unwrap();
+    assert_eq!(got, md);
+    for d in closure_digests(&local, &md).unwrap() {
+        assert_eq!(pulled.get(&d).unwrap(), local.get(&d).unwrap());
+    }
+    // The client really did resume (not just restart).
+    assert!(
+        comt_observe::global().counter("dist.client.resumes") >= 1,
+        "expected at least one Range resume"
+    );
+    drop(server);
+}
+
+#[test]
+fn truncated_upload_never_becomes_visible() {
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"truncated-upload");
+    let closure = closure_digests(&local, &md).unwrap();
+    let layer = closure[2];
+    let blob = local.get(&layer).unwrap();
+
+    let server = start_server(ServerOptions::default());
+
+    // Hand-rolled PUT that lies about Content-Length and dies mid-body.
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let head = format!(
+            "PUT /v2/app/blobs/{} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            layer.to_oci_string(),
+            blob.len()
+        );
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(&blob[..blob.len() / 2]).unwrap();
+        s.flush().unwrap();
+        // Drop the connection with half the body outstanding.
+    }
+
+    // And one that sends a full body under the wrong address.
+    {
+        let bogus = Digest::of(b"not the blob");
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let head = format!(
+            "PUT /v2/app/blobs/{} HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            bogus.to_oci_string(),
+            blob.len()
+        );
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(&blob).unwrap();
+        s.flush().unwrap();
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    let client = DistClient::with_policy(server.addr().to_string(), RetryPolicy::no_retries());
+    assert_eq!(client.head_blob("app", &layer).unwrap(), None);
+    assert_eq!(client.head_blob("app", &Digest::of(b"not the blob")).unwrap(), None);
+
+    let reg = server.shutdown();
+    assert!(!reg.store().contains(&layer), "staged upload leaked");
+    assert_eq!(reg.store().len(), 0);
+}
+
+#[test]
+fn manifest_put_without_closure_is_rejected_and_invisible() {
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"no-closure");
+    let manifest = local.get(&md).unwrap();
+
+    let server = start_server(ServerOptions::default());
+    let client = DistClient::with_policy(server.addr().to_string(), RetryPolicy::no_retries());
+
+    // PUT the manifest without any of its blobs: 400, and neither the tag
+    // nor the manifest blob survive.
+    let err = client.put_manifest("app", "v1", &manifest).unwrap_err();
+    match err {
+        DistError::Status { status, .. } => assert_eq!(status, 400),
+        other => panic!("expected Status(400), got {other}"),
+    }
+    let mut dst = BlobStore::new();
+    let err = client.pull_image("app", "v1", &mut dst).unwrap_err();
+    assert!(matches!(err, DistError::Status { status: 404, .. }), "{err}");
+
+    let reg = server.shutdown();
+    assert!(reg.resolve(&tag_key("app", "v1")).is_none());
+    assert!(!reg.store().contains(&md), "failed manifest PUT leaked");
+}
+
+#[test]
+fn poisoned_server_blob_never_served() {
+    // A corrupt blob in the server store must yield a 500, and the client
+    // must not admit it.
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"poison-me");
+    let closure = closure_digests(&local, &md).unwrap();
+    let layer = closure[2];
+
+    let server = start_server(ServerOptions::default());
+    let client = DistClient::with_policy(
+        server.addr().to_string(),
+        RetryPolicy {
+            max_attempts: 2,
+            ..Default::default()
+        },
+    );
+    client.push_image("app", "v1", md, &local).unwrap();
+
+    // Poison the layer behind the server's back.
+    let mut reg = server.shutdown();
+    reg.store_mut()
+        .insert_raw_for_tests(layer, Bytes::from_static(b"bitrot"));
+    let server = serve(reg, "127.0.0.1:0", ServerOptions::default()).unwrap();
+    let client = DistClient::with_policy(
+        server.addr().to_string(),
+        RetryPolicy {
+            max_attempts: 2,
+            ..Default::default()
+        },
+    );
+
+    let mut dst = BlobStore::new();
+    let err = client.pull_image("app", "v1", &mut dst).unwrap_err();
+    // Retried (500 is transient in general) and then gave up.
+    assert!(matches!(err, DistError::RetriesExhausted { .. }), "{err}");
+    assert!(!dst.contains(&layer), "corrupt blob admitted");
+    drop(server);
+}
+
+#[test]
+fn concurrent_pullers_all_verify() {
+    let mut local = BlobStore::new();
+    let payload = vec![0x5Au8; 32 * 1024];
+    let md = sample_image(&mut local, &payload);
+    let server = start_server(ServerOptions::default());
+    let addr = server.addr().to_string();
+    let client = DistClient::new(addr.clone());
+    client.push_image("app", "v1", md, &local).unwrap();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let c = DistClient::new(addr);
+                    let mut dst = BlobStore::new();
+                    let (got, stats) = c.pull_image("app", "v1", &mut dst).unwrap();
+                    (got, stats.blobs_moved, dst.total_size())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (got, moved, _) = h.join().unwrap();
+            assert_eq!(got, md);
+            assert_eq!(moved, 3);
+        }
+    });
+    drop(server);
+}
+
+#[test]
+fn split_ref_matches_wire_addressing() {
+    // The CLI's ref → (name, reference) mapping and the server's tag key
+    // agree, so `comt push` and `comt pull` of the same ref round-trip.
+    let (n, t) = split_ref("hpccg.dist+coM");
+    assert_eq!(tag_key(n, t), "hpccg.dist+coM:latest");
+    let (n, t) = split_ref("app:1.0");
+    assert_eq!(tag_key(n, t), "app:1.0");
+}

@@ -28,6 +28,11 @@ use std::time::{Duration, Instant};
 /// noticeably slowing the merge at snapshot time.
 const SHARDS: usize = 8;
 
+/// Per-shard, per-name cap on retained value samples. Past the cap new
+/// samples overwrite a rotating slot, so memory stays bounded while the
+/// retained set keeps drawing from the whole stream.
+const VALUE_SAMPLE_CAP: usize = 2048;
+
 /// Aggregated timing for one span name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStats {
@@ -37,10 +42,46 @@ pub struct SpanStats {
     pub total: Duration,
 }
 
+/// Sampled distribution of a recorded value (latencies, sizes). Samples
+/// are kept raw so a [`Report`] can answer arbitrary quantiles; the vector
+/// is bounded by [`VALUE_SAMPLE_CAP`] per shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValueStats {
+    /// Number of values ever recorded (may exceed `samples.len()`).
+    pub count: u64,
+    /// Retained samples, sorted ascending in a [`Report`] snapshot.
+    pub samples: Vec<u64>,
+}
+
+impl ValueStats {
+    /// Quantile over the retained samples (`q` in `0.0..=1.0`); zero when
+    /// nothing was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.samples[idx]
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+}
+
 #[derive(Debug, Default)]
 struct State {
     counters: BTreeMap<String, u64>,
     spans: BTreeMap<String, SpanStats>,
+    values: BTreeMap<String, ValueStats>,
 }
 
 /// Collects counters and spans from one engine run (or globally, via
@@ -102,6 +143,24 @@ impl Recorder {
         }
     }
 
+    /// Record one observation of a named value distribution — request
+    /// latencies in microseconds, transfer sizes in bytes; the name carries
+    /// the unit by convention (`….latency_us`, `….bytes`). Reports expose
+    /// p50/p99/max over the retained samples.
+    pub fn record_value(&self, name: &str, value: u64) {
+        let mut st = self.my_shard().lock().unwrap_or_else(|e| e.into_inner());
+        let v = st.values.entry(name.to_string()).or_default();
+        v.count += 1;
+        if v.samples.len() < VALUE_SAMPLE_CAP {
+            v.samples.push(value);
+        } else {
+            // Rotating overwrite keeps the buffer bounded while still
+            // admitting late samples.
+            let slot = (v.count as usize) % VALUE_SAMPLE_CAP;
+            v.samples[slot] = value;
+        }
+    }
+
     /// Record an externally measured interval under a span name. Used when
     /// the duration is simulated rather than wall-clock (perfsim).
     pub fn record_span(&self, name: &str, elapsed: Duration) {
@@ -140,6 +199,14 @@ impl Recorder {
                 s.count += v.count;
                 s.total += v.total;
             }
+            for (k, v) in &st.values {
+                let s = report.values.entry(k.clone()).or_default();
+                s.count += v.count;
+                s.samples.extend_from_slice(&v.samples);
+            }
+        }
+        for v in report.values.values_mut() {
+            v.samples.sort_unstable();
         }
         report
     }
@@ -150,6 +217,7 @@ impl Recorder {
             let mut st = sh.lock().unwrap_or_else(|e| e.into_inner());
             st.counters.clear();
             st.spans.clear();
+            st.values.clear();
         }
     }
 }
@@ -172,11 +240,12 @@ impl Drop for SpanGuard<'_> {
 pub struct Report {
     pub counters: BTreeMap<String, u64>,
     pub spans: BTreeMap<String, SpanStats>,
+    pub values: BTreeMap<String, ValueStats>,
 }
 
 impl Report {
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.spans.is_empty()
+        self.counters.is_empty() && self.spans.is_empty() && self.values.is_empty()
     }
 
     pub fn counter(&self, name: &str) -> u64 {
@@ -187,7 +256,14 @@ impl Report {
         self.spans.get(name).copied().unwrap_or_default()
     }
 
-    /// Merge another report into this one (summing counters and spans).
+    /// Distribution snapshot for a name recorded via
+    /// [`Recorder::record_value`] (empty stats if never touched).
+    pub fn value(&self, name: &str) -> ValueStats {
+        self.values.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Merge another report into this one (summing counters and spans,
+    /// pooling value samples).
     pub fn absorb(&mut self, other: &Report) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -196,6 +272,12 @@ impl Report {
             let s = self.spans.entry(k.clone()).or_default();
             s.count += v.count;
             s.total += v.total;
+        }
+        for (k, v) in &other.values {
+            let s = self.values.entry(k.clone()).or_default();
+            s.count += v.count;
+            s.samples.extend_from_slice(&v.samples);
+            s.samples.sort_unstable();
         }
     }
 
@@ -214,6 +296,7 @@ impl fmt::Display for Report {
             .counters
             .keys()
             .chain(self.spans.keys())
+            .chain(self.values.keys())
             .map(|k| k.len())
             .max()
             .unwrap_or(0);
@@ -231,6 +314,19 @@ impl fmt::Display for Report {
                     "  {name:<width$}  {:>10}  x{}",
                     fmt_duration(s.total),
                     s.count
+                )?;
+            }
+        }
+        if !self.values.is_empty() {
+            writeln!(f, "values:")?;
+            for (name, v) in &self.values {
+                writeln!(
+                    f,
+                    "  {name:<width$}  n={} p50={} p99={} max={}",
+                    v.count,
+                    v.p50(),
+                    v.p99(),
+                    v.max()
                 )?;
             }
         }
@@ -332,6 +428,55 @@ mod tests {
             }
         });
         assert_eq!(r.counter("hits"), 400);
+    }
+
+    #[test]
+    fn values_report_quantiles() {
+        let r = Recorder::new();
+        for v in 1..=100u64 {
+            r.record_value("dist.server.latency_us", v);
+        }
+        let rep = r.report();
+        let v = rep.value("dist.server.latency_us");
+        assert_eq!(v.count, 100);
+        // Nearest-rank on 100 samples: the median index rounds to 50.
+        assert_eq!(v.p50(), 51);
+        assert_eq!(v.p99(), 99);
+        assert_eq!(v.max(), 100);
+        assert_eq!(rep.value("absent").count, 0);
+        assert_eq!(rep.value("absent").p99(), 0);
+        let text = rep.render();
+        assert!(text.contains("values:"), "{text}");
+        assert!(text.contains("p99=99"), "{text}");
+    }
+
+    #[test]
+    fn values_cap_is_bounded_but_count_exact() {
+        let r = Recorder::new();
+        // All from one thread → one shard → cap applies.
+        for v in 0..(VALUE_SAMPLE_CAP as u64 * 3) {
+            r.record_value("big", v);
+        }
+        let rep = r.report();
+        let v = rep.value("big");
+        assert_eq!(v.count, VALUE_SAMPLE_CAP as u64 * 3);
+        assert_eq!(v.samples.len(), VALUE_SAMPLE_CAP);
+        // Samples stay sorted and in range.
+        assert!(v.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert!(v.max() < VALUE_SAMPLE_CAP as u64 * 3);
+    }
+
+    #[test]
+    fn absorb_pools_value_samples() {
+        let r1 = Recorder::new();
+        r1.record_value("lat", 10);
+        let r2 = Recorder::new();
+        r2.record_value("lat", 30);
+        let mut rep = r1.report();
+        rep.absorb(&r2.report());
+        let v = rep.value("lat");
+        assert_eq!(v.count, 2);
+        assert_eq!(v.samples, vec![10, 30]);
     }
 
     #[test]

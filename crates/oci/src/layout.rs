@@ -123,10 +123,10 @@ impl OciDir {
         crate::Image::load(&self.blobs, d).map_err(|e| LayoutError::BadJson(e.to_string()))
     }
 
-    /// Garbage-collect blobs unreachable from any indexed manifest —
-    /// repeated rebuild/redirect rounds replace `+coMre`/`+opt` manifests
-    /// and orphan their old layers. Returns the number of blobs dropped.
-    pub fn gc(&mut self) -> usize {
+    /// Digests reachable from any indexed manifest (the union of every
+    /// tagged closure). A blob referenced by two tags is naturally kept
+    /// alive by either — reachability is the refcount.
+    fn live_set(&self) -> std::collections::BTreeSet<comt_digest::Digest> {
         let mut live: std::collections::BTreeSet<comt_digest::Digest> =
             std::collections::BTreeSet::new();
         for desc in &self.index.manifests {
@@ -145,6 +145,30 @@ impl OciDir {
                 }
             }
         }
+        live
+    }
+
+    /// What a garbage collection would delete: the unreachable digests (in
+    /// digest order) and their total byte count. `comt gc` prints this as
+    /// its dry run; [`OciDir::gc`] is the `--apply` path over the same set.
+    pub fn gc_plan(&self) -> (Vec<comt_digest::Digest>, u64) {
+        let live = self.live_set();
+        let mut dead = Vec::new();
+        let mut bytes = 0u64;
+        for (d, b) in self.blobs.iter() {
+            if !live.contains(d) {
+                dead.push(*d);
+                bytes += b.len() as u64;
+            }
+        }
+        (dead, bytes)
+    }
+
+    /// Garbage-collect blobs unreachable from any indexed manifest —
+    /// repeated rebuild/redirect rounds replace `+coMre`/`+opt` manifests
+    /// and orphan their old layers. Returns the number of blobs dropped.
+    pub fn gc(&mut self) -> usize {
+        let live = self.live_set();
         self.blobs.retain(|d| live.contains(d))
     }
 
@@ -291,6 +315,61 @@ mod tests {
         assert!(crate::flatten(&dir.blobs, &img).is_ok());
         // Idempotent.
         assert_eq!(dir.gc(), 0);
+    }
+
+    #[test]
+    fn gc_refcounts_shared_layers_across_two_tags() {
+        // Two tags sharing a base layer: dropping one tag must prune only
+        // the blobs unique to it; the shared layer survives because the
+        // other tag still reaches it (reachability is the refcount).
+        let mut store = BlobStore::new();
+        let mut base_fs = Vfs::new();
+        base_fs
+            .write_file_p("/lib/libm.so", Bytes::from_static(b"MATH"), 0o644)
+            .unwrap();
+        let base = ImageBuilder::from_scratch("x86_64")
+            .with_layer_from_fs(&Vfs::new(), &base_fs)
+            .commit(&mut store)
+            .unwrap();
+        let mut app_fs = base_fs.clone();
+        app_fs
+            .write_file_p("/app/run", Bytes::from_static(b"ELF"), 0o755)
+            .unwrap();
+        let app = ImageBuilder::from_base(&store, &base)
+            .unwrap()
+            .with_layer_from_fs(&base_fs, &app_fs)
+            .commit(&mut store)
+            .unwrap();
+
+        let shared_layer = base.manifest.layers[0].parsed_digest().unwrap();
+        let app_only_layer = app.manifest.layers[1].parsed_digest().unwrap();
+
+        let mut dir = OciDir::new();
+        dir.export("base:1", base.manifest_digest, &store).unwrap();
+        dir.export("app:1", app.manifest_digest, &store).unwrap();
+
+        // Both tags present: nothing is collectable.
+        let (dead, bytes) = dir.gc_plan();
+        assert!(dead.is_empty(), "{dead:?}");
+        assert_eq!(bytes, 0);
+
+        // Drop the app tag: exactly its manifest, config and unique layer
+        // become unreachable; the shared base layer must NOT be listed.
+        assert!(dir.index.remove_ref("app:1"));
+        let (dead, bytes) = dir.gc_plan();
+        assert_eq!(dead.len(), 3, "{dead:?}");
+        assert!(dead.contains(&app.manifest_digest));
+        assert!(dead.contains(&app_only_layer));
+        assert!(!dead.contains(&shared_layer));
+        assert!(bytes > 0);
+
+        // Apply: the plan and the deletion agree, and the surviving tag
+        // still loads and flattens.
+        assert_eq!(dir.gc(), 3);
+        assert!(dir.blobs.contains(&shared_layer));
+        assert!(!dir.blobs.contains(&app_only_layer));
+        let img = dir.load_image("base:1").unwrap();
+        assert_eq!(crate::flatten(&dir.blobs, &img).unwrap(), base_fs);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use image::{flatten, layer_tar, Image, ImageBuilder, ImageError};
 pub use spec::{
     Descriptor, ImageConfig, ImageIndex, ImageManifest, MediaType, Platform, RuntimeConfig,
 };
-pub use store::{BlobStore, Registry};
+pub use store::{closure_digests, BlobStore, Registry, RegistryError};
 
 /// Serialize a manifest to its canonical JSON bytes (exposed for tests and
 /// tools that need to hand-craft manifests).

@@ -192,6 +192,15 @@ impl ImageIndex {
         self.manifests.push(desc.with_ref_name(name));
     }
 
+    /// Remove the manifest entry for `name`; returns whether it existed.
+    /// Blobs are untouched — run [`crate::layout::OciDir::gc`] afterwards
+    /// to drop whatever the remaining refs no longer reach.
+    pub fn remove_ref(&mut self, name: &str) -> bool {
+        let before = self.manifests.len();
+        self.manifests.retain(|d| d.ref_name() != Some(name));
+        self.manifests.len() != before
+    }
+
     /// All ref names present in the index, sorted.
     pub fn ref_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self

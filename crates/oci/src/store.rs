@@ -70,10 +70,17 @@ impl BlobStore {
     }
 
     /// Insert a blob under an arbitrary digest, bypassing hashing — only
-    /// for corruption tests.
+    /// for corruption/fault-injection tests (hence the name and the
+    /// `#[doc(hidden)]`; production paths go through [`BlobStore::put`] or
+    /// [`BlobStore::put_prehashed`]).
+    #[doc(hidden)]
+    pub fn insert_raw_for_tests(&mut self, digest: Digest, data: Bytes) {
+        self.blobs.insert(digest, data);
+    }
+
     #[cfg(test)]
     pub(crate) fn insert_raw(&mut self, digest: Digest, data: Bytes) {
-        self.blobs.insert(digest, data);
+        self.insert_raw_for_tests(digest, data);
     }
 
     /// Copy a blob from another store if missing here.
@@ -153,6 +160,35 @@ fn verify_blobs(src: &BlobStore, digests: &[Digest]) -> Result<(), RegistryError
 
 impl std::error::Error for RegistryError {}
 
+/// Recursively collect the digests reachable from a manifest in `src`: the
+/// manifest itself first, then its config, then every layer in order. This
+/// is the transfer unit of both the in-process [`Registry`] and the wire
+/// protocol (`comt-dist`): a push/pull moves exactly this closure.
+pub fn closure_digests(
+    src: &BlobStore,
+    manifest_digest: &Digest,
+) -> Result<Vec<Digest>, RegistryError> {
+    let raw = src
+        .get(manifest_digest)
+        .ok_or_else(|| RegistryError::MissingBlob(manifest_digest.to_string()))?;
+    let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw)
+        .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
+    let mut out = vec![*manifest_digest];
+    let cfg = manifest
+        .config
+        .parsed_digest()
+        .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
+    out.push(cfg);
+    for layer in &manifest.layers {
+        out.push(
+            layer
+                .parsed_digest()
+                .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?,
+        );
+    }
+    Ok(out)
+}
+
 /// A simulated OCI registry: tag → manifest digest, backed by a blob store.
 ///
 /// `push`/`pull` between registries transfer only missing blobs, mirroring
@@ -193,25 +229,7 @@ impl Registry {
         src: &BlobStore,
         manifest_digest: &Digest,
     ) -> Result<Vec<Digest>, RegistryError> {
-        let raw = src
-            .get(manifest_digest)
-            .ok_or_else(|| RegistryError::MissingBlob(manifest_digest.to_string()))?;
-        let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw)
-            .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
-        let mut out = vec![*manifest_digest];
-        let cfg = manifest
-            .config
-            .parsed_digest()
-            .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
-        out.push(cfg);
-        for layer in &manifest.layers {
-            out.push(
-                layer
-                    .parsed_digest()
-                    .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?,
-            );
-        }
-        Ok(out)
+        closure_digests(src, manifest_digest)
     }
 
     /// Push a manifest (and its blob closure) from a local store under `tag`.
@@ -225,6 +243,15 @@ impl Registry {
         // Verify content-addressing before admitting blobs (concurrently —
         // layers are independent).
         verify_blobs(src, &closure)?;
+        // Blobs the remote already holds are re-verified too: deduplication
+        // must not mask a poisoned or truncated pre-existing blob — that is
+        // a `DigestMismatch`, not a free skip.
+        let present: Vec<Digest> = closure
+            .iter()
+            .filter(|d| self.store.contains(d))
+            .copied()
+            .collect();
+        verify_blobs(&self.store, &present)?;
         let mut transferred = 0usize;
         for d in closure {
             if !self.store.contains(&d) {
@@ -236,6 +263,22 @@ impl Registry {
         }
         self.tags.insert(tag.to_string(), manifest_digest);
         Ok(transferred)
+    }
+
+    /// Tag a manifest whose closure already lives in this registry's own
+    /// store, verifying every blob's bytes first. This is the manifest-PUT
+    /// path of the wire protocol: blobs arrive one at a time over
+    /// connections, and the tag only becomes visible once the whole closure
+    /// is present and content-addressed correctly.
+    pub fn tag_verified(
+        &mut self,
+        tag: &str,
+        manifest_digest: Digest,
+    ) -> Result<(), RegistryError> {
+        let closure = Self::closure(&self.store, &manifest_digest)?;
+        verify_blobs(&self.store, &closure)?;
+        self.tags.insert(tag.to_string(), manifest_digest);
+        Ok(())
     }
 
     /// Pull a tag's manifest closure into a local store; returns the
@@ -353,6 +396,89 @@ mod tests {
             reg.push("bad:1", md, &local),
             Err(RegistryError::DigestMismatch(_))
         ));
+    }
+
+    #[test]
+    fn push_detects_poisoned_preexisting_remote_blob() {
+        // Regression: a blob that already exists on the remote used to be
+        // deduplicated away without ever re-hashing the remote's bytes, so
+        // a poisoned/truncated remote copy silently survived. The second
+        // push must now surface it as DigestMismatch.
+        let mut local = BlobStore::new();
+        let md = tiny_image(&mut local);
+        let mut reg = Registry::new();
+        reg.push("app:1", md, &local).unwrap();
+
+        let layer_digest = {
+            let raw = local.get(&md).unwrap();
+            let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw).unwrap();
+            manifest.layers[0].parsed_digest().unwrap()
+        };
+        // Poison the REMOTE copy; the local source stays pristine.
+        reg.store_mut()
+            .insert_raw(layer_digest, Bytes::from_static(b"truncated"));
+
+        assert!(matches!(
+            reg.push("app:2", md, &local),
+            Err(RegistryError::DigestMismatch(_))
+        ));
+        // The poisoned blob was not re-tagged as a fresh ref either.
+        assert!(reg.resolve("app:2").is_none());
+    }
+
+    #[test]
+    fn tag_verified_requires_complete_valid_closure() {
+        let mut local = BlobStore::new();
+        let md = tiny_image(&mut local);
+
+        // Closure complete and valid → tag appears.
+        let mut reg = Registry::new();
+        for (d, b) in local.iter() {
+            reg.store_mut().put_prehashed(*d, b.clone());
+        }
+        reg.tag_verified("ok:1", md).unwrap();
+        assert_eq!(reg.resolve("ok:1"), Some(md));
+
+        // Missing layer blob → no tag.
+        let mut partial = Registry::new();
+        partial.store_mut().put(local.get(&md).unwrap());
+        assert!(matches!(
+            partial.tag_verified("bad:1", md),
+            Err(RegistryError::MissingBlob(_))
+        ));
+        assert!(partial.resolve("bad:1").is_none());
+
+        // Corrupt layer blob → no tag.
+        let layer_digest = {
+            let raw = local.get(&md).unwrap();
+            let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw).unwrap();
+            manifest.layers[0].parsed_digest().unwrap()
+        };
+        let mut poisoned = Registry::new();
+        for (d, b) in local.iter() {
+            poisoned.store_mut().put_prehashed(*d, b.clone());
+        }
+        poisoned
+            .store_mut()
+            .insert_raw(layer_digest, Bytes::from_static(b"garbage"));
+        assert!(matches!(
+            poisoned.tag_verified("bad:2", md),
+            Err(RegistryError::DigestMismatch(_))
+        ));
+        assert!(poisoned.resolve("bad:2").is_none());
+    }
+
+    #[test]
+    fn closure_digests_orders_manifest_config_layers() {
+        let mut local = BlobStore::new();
+        let md = tiny_image(&mut local);
+        let closure = closure_digests(&local, &md).unwrap();
+        assert_eq!(closure.len(), 3);
+        assert_eq!(closure[0], md);
+        let raw = local.get(&md).unwrap();
+        let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw).unwrap();
+        assert_eq!(closure[1], manifest.config.parsed_digest().unwrap());
+        assert_eq!(closure[2], manifest.layers[0].parsed_digest().unwrap());
     }
 
     #[test]
