@@ -4,7 +4,9 @@
 //! Codes are stable: `COMT-Exxx` are error-severity (they gate
 //! `comt rebuild --check`), `COMT-Wxxx` are warnings. The hundreds digit
 //! groups by pass: 0xx hazards/lints on the build model, 1xx layer stack,
-//! 2xx adapter chain.
+//! 2xx adapter chain. `COMT-Fxxx` codes are emitted by `comt fsck` (the
+//! on-disk layout checker in `comt-oci`); their severity is per-code, not
+//! prefix-derived, and mirrors [`comt_oci::fsck::FSCK_CODES`].
 
 use crate::diag::Severity;
 
@@ -148,6 +150,66 @@ pub const REGISTRY: &[CodeInfo] = &[
                       rebuilt step silently loses behavior the original build requested.",
         hint: "check the adapter pipeline order, or add an adapter that maps the flag",
     },
+    CodeInfo {
+        code: "COMT-F001",
+        severity: Severity::Error,
+        title: "blob content does not hash to its name",
+        explanation: "A file under blobs/sha256/ no longer hashes to the digest in its file \
+                      name: it was truncated by a crash mid-write (outside the store's \
+                      tmp+rename commit protocol) or corrupted at rest. Every ref whose \
+                      closure includes the blob serves wrong bytes.",
+        hint: "run `comt fsck --repair` to quarantine the blob, then re-push or re-pull the \
+               affected refs to restore the content",
+    },
+    CodeInfo {
+        code: "COMT-F002",
+        severity: Severity::Error,
+        title: "ref whose manifest closure is missing or corrupt",
+        explanation: "An index.json ref points at a manifest that is absent, unparseable, or \
+                      references config/layer blobs that are missing or corrupt. Pulling the \
+                      ref would fail partway through.",
+        hint: "run `comt fsck --repair` to drop the broken ref from the index (valid blobs \
+               are kept), then re-publish the image",
+    },
+    CodeInfo {
+        code: "COMT-F003",
+        severity: Severity::Warning,
+        title: "orphan temp file from an interrupted commit",
+        explanation: "A `.tmp.*` staging file was left in the blob directory by a process \
+                      that died between writing and renaming. The committed data is \
+                      unaffected — renames are atomic — but the orphan wastes space and \
+                      makes `OciDir::load` refuse the layout until it is removed.",
+        hint: "run `comt fsck --repair` to delete it; this loses nothing that was committed",
+    },
+    CodeInfo {
+        code: "COMT-F004",
+        severity: Severity::Error,
+        title: "index.json missing or unparseable",
+        explanation: "The layout has blobs but its index.json is absent or not valid JSON, \
+                      so no ref can be resolved. Because the index is committed atomically, \
+                      this indicates external damage rather than a crashed `comt` process.",
+        hint: "run `comt fsck --repair` to write an empty index (blobs are preserved), then \
+               re-tag or re-push the images to restore the refs",
+    },
+    CodeInfo {
+        code: "COMT-F005",
+        severity: Severity::Warning,
+        title: "foreign file in the blob directory",
+        explanation: "blobs/sha256/ contains a file whose name is not a 64-hex-digit digest \
+                      and not a recognized staging file. The store never creates such names; \
+                      something else wrote into the layout.",
+        hint: "run `comt fsck --repair` to delete it, or move the file out by hand if it is \
+               yours",
+    },
+    CodeInfo {
+        code: "COMT-F006",
+        severity: Severity::Warning,
+        title: "oci-layout version marker missing or invalid",
+        explanation: "The `oci-layout` marker file that identifies the directory as an OCI \
+                      image layout is missing or does not carry an imageLayoutVersion. \
+                      External tools may refuse the directory.",
+        hint: "run `comt fsck --repair` to rewrite the standard marker",
+    },
 ];
 
 /// Look up a code (exact match).
@@ -174,12 +236,32 @@ mod tests {
             for b in &REGISTRY[i + 1..] {
                 assert_ne!(a.code, b.code, "duplicate code");
             }
+            // F-series severity is per-code (checked against the fsck table
+            // below); E/W severity follows the prefix.
+            if a.code.starts_with("COMT-F") {
+                continue;
+            }
             let expect = if a.code.starts_with("COMT-E") {
                 Severity::Error
             } else {
                 Severity::Warning
             };
             assert_eq!(a.severity, expect, "{}", a.code);
+        }
+    }
+
+    #[test]
+    fn fsck_codes_mirror_the_fsck_table() {
+        // Every code `comt fsck` can emit must be explainable, with the
+        // severity the fsck module declares.
+        for (code, severity, _title) in comt_oci::fsck::FSCK_CODES {
+            let info = lookup(code).unwrap_or_else(|| panic!("{code} not in REGISTRY"));
+            let expect = match *severity {
+                "error" => Severity::Error,
+                "warning" => Severity::Warning,
+                other => panic!("unknown fsck severity {other}"),
+            };
+            assert_eq!(info.severity, expect, "{code}");
         }
     }
 

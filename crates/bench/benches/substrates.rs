@@ -21,11 +21,11 @@ fn bench_tar_roundtrip(c: &mut Criterion) {
     let entries: Vec<comt_tar::Entry> = (0..256)
         .map(|i| comt_tar::Entry::file(format!("dir{}/file{}", i % 16, i), vec![7u8; 1000], 0o644))
         .collect();
-    let archive = comt_tar::write_archive(&entries);
+    let archive = comt_tar::write_archive(&entries).expect("bench entries are representable");
     let mut g = c.benchmark_group("tar");
     g.throughput(Throughput::Bytes(archive.len() as u64));
     g.bench_function("write_256_files", |b| {
-        b.iter(|| comt_tar::write_archive(&entries));
+        b.iter(|| comt_tar::write_archive(&entries).expect("bench entries are representable"));
     });
     g.bench_function("read_256_files", |b| {
         b.iter(|| comt_tar::read_archive(&archive).unwrap());
@@ -85,7 +85,7 @@ fn bench_flate(c: &mut Criterion) {
                 )
             })
             .collect();
-        comt_tar::write_archive(&entries)
+        comt_tar::write_archive(&entries).expect("bench entries are representable")
     };
     let gz = comt_flate::gzip(&tar);
     let mut g = c.benchmark_group("flate");

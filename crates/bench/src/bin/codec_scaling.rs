@@ -28,7 +28,7 @@ const KIB: usize = 1024;
 fn layer_tar(app: &str) -> Vec<u8> {
     let tree = source_tree(app, "x86_64", catalog::MINI_SCALE).expect("workload tree");
     let entries = diff_layers(&Vfs::new(), &tree);
-    comt_tar::write_archive(&entries)
+    comt_tar::write_archive(&entries).expect("bench entries are representable")
 }
 
 fn encode(data: &[u8], workers: usize, block: usize) -> Vec<u8> {

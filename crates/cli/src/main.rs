@@ -15,6 +15,7 @@
 //! comt push        <layout-dir> <ref> --remote HOST:PORT [--stats]
 //! comt pull        <layout-dir> <ref> --remote HOST:PORT [--stats]
 //! comt gc          <layout-dir> [--apply]
+//! comt fsck        <layout-dir> [--repair] [--format json]
 //! ```
 //!
 //! The system side (`--isa`) is synthesized with
@@ -27,17 +28,17 @@ use comtainer::{
     comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache, ComtError,
     LtoAdapter, NativeToolchainAdapter, Phase, RebuildOptions, SystemAdapter, SystemSide,
 };
-use comt_dist::{serve, split_ref, tag_key, DistClient, DistError, ServerOptions};
+use comt_dist::{serve, split_ref, DistClient, DistError, ServerOptions};
 use comt_oci::layout::OciDir;
 use comt_oci::spec::{Descriptor, MediaType};
-use comt_oci::Registry;
+use comt_oci::DiskRegistry;
 use comt_toolchain::Toolchain;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply]"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply]\n  comt fsck <layout-dir> [--repair] [--format json]"
     );
     ExitCode::from(2)
 }
@@ -286,30 +287,20 @@ fn remote_addr(args: &[String]) -> Result<String, String> {
     Ok(addr)
 }
 
-/// Load a layout into a serving [`Registry`]: every blob, then every index
-/// ref as a verified tag under the wire's `name:reference` key.
-fn registry_from_layout(oci: &OciDir) -> Result<Registry, String> {
-    let mut reg = Registry::new();
-    for (d, bytes) in oci.blobs.iter() {
-        reg.store_mut().put_prehashed(*d, bytes.clone());
-    }
-    for name in oci.index.ref_names() {
-        let desc = oci.index.find_ref(&name).expect("ref listed by index");
-        let digest = desc
-            .parsed_digest()
-            .map_err(|e| format!("ref {name}: bad digest: {e}"))?;
-        let (n, t) = split_ref(&name);
-        reg.tag_verified(&tag_key(n, t), digest)
-            .map_err(|e| format!("ref {name}: {e}"))?;
-    }
-    Ok(reg)
-}
-
 fn cmd_serve(dir: &str, args: &[String]) -> Result<(), String> {
-    let oci = load_layout(dir)?;
-    let nrefs = oci.index.ref_names().len();
-    let nblobs = oci.blobs.len();
-    let reg = registry_from_layout(&oci)?;
+    // Disk-backed daemon: holds the layout lock for its lifetime and
+    // serves lazily — blobs stream from disk on demand (digest-verified),
+    // uploads commit durably before their tag becomes visible. Nothing is
+    // slurped into memory at startup, and a `kill -9` at any instant
+    // loses at most the in-flight publish.
+    let reg =
+        DiskRegistry::open(Path::new(dir)).map_err(|e| format!("open layout {dir}: {e}"))?;
+    let nrefs = reg.tags().len();
+    let nblobs = reg
+        .store()
+        .digests()
+        .map_err(|e| format!("scan layout {dir}: {e}"))?
+        .len();
     let addr = opt_value(args, "--addr", "127.0.0.1:7070");
     let mut opts = ServerOptions::default();
     if let Ok(n) = opt_value(args, "--threads", "").parse::<usize>() {
@@ -320,7 +311,8 @@ fn cmd_serve(dir: &str, args: &[String]) -> Result<(), String> {
         "serving {dir} on {} ({nrefs} refs, {nblobs} blobs)",
         server.addr()
     );
-    // Serve until killed; the daemon threads own the registry.
+    // Serve until killed; the daemon threads own the registry and the
+    // layout lock dies with the process.
     loop {
         std::thread::park();
     }
@@ -376,28 +368,61 @@ fn cmd_pull(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_gc(dir: &str, args: &[String]) -> Result<(), String> {
-    let mut oci = load_layout(dir)?;
-    let (dead, bytes) = oci.gc_plan();
+    if !Path::new(dir).exists() {
+        return Err(format!("no such layout: {dir}"));
+    }
+    // Disk-aware sweep under the layout lock: the closure walk reads only
+    // manifest blobs, and dead blob *files* are actually deleted (the old
+    // in-memory gc dropped them from a copy that was then re-saved whole).
+    let mut reg =
+        DiskRegistry::open(Path::new(dir)).map_err(|e| format!("open layout {dir}: {e}"))?;
+    let (dead, bytes) = reg.gc_plan().map_err(|e| format!("gc {dir}: {e}"))?;
     let mib = bytes as f64 / (1024.0 * 1024.0);
     if dead.is_empty() {
-        println!(
-            "{dir}: nothing to collect ({} blobs, all reachable)",
-            oci.blobs.len()
-        );
+        let total = reg
+            .store()
+            .digests()
+            .map_err(|e| format!("scan layout {dir}: {e}"))?
+            .len();
+        println!("{dir}: nothing to collect ({total} blobs, all reachable)");
         return Ok(());
     }
     for d in &dead {
         println!("unreachable {d}");
     }
     if flag(args, "--apply") {
-        let n = oci.gc();
-        save_layout(&oci, dir)?;
-        println!("removed {n} blob(s), reclaimed {mib:.2} MiB");
+        let (n, reclaimed) = reg.gc_apply().map_err(|e| format!("gc {dir}: {e}"))?;
+        println!(
+            "removed {n} blob(s), reclaimed {:.2} MiB",
+            reclaimed as f64 / (1024.0 * 1024.0)
+        );
     } else {
         println!(
             "{} unreachable blob(s), {mib:.2} MiB reclaimable (dry run; pass --apply to delete)",
             dead.len()
         );
+    }
+    Ok(())
+}
+
+fn cmd_fsck(dir: &str, args: &[String]) -> Result<(), String> {
+    let opts = comt_oci::FsckOptions {
+        repair: flag(args, "--repair"),
+    };
+    let report =
+        comt_oci::fsck(Path::new(dir), &opts).map_err(|e| format!("fsck {dir}: {e}"))?;
+    if opt_value(args, "--format", "human") == "json" {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    let errors = report.unrepaired_errors();
+    if errors > 0 {
+        return Err(if opts.repair {
+            format!("{errors} error(s) could not be repaired")
+        } else {
+            format!("{errors} error(s); run `comt fsck {dir} --repair` to recover")
+        });
     }
     Ok(())
 }
@@ -446,6 +471,7 @@ fn main() -> ExitCode {
         [cmd, dir, r, rest @ ..] if cmd == "push" => cmd_push(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "pull" => cmd_pull(dir, r, rest),
         [cmd, dir, rest @ ..] if cmd == "gc" => cmd_gc(dir, rest),
+        [cmd, dir, rest @ ..] if cmd == "fsck" => cmd_fsck(dir, rest),
         _ => return usage(),
     };
     match result {
@@ -480,7 +506,11 @@ mod tests {
     }
 
     #[test]
-    fn registry_from_layout_tags_every_ref() {
+    fn disk_registry_serves_saved_layout_refs() {
+        // A layout written by `OciDir::save` must answer wire tag keys
+        // (`name:latest`) when opened as the serving disk registry.
+        let dir = std::env::temp_dir().join(format!("comt-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         let mut oci = OciDir::new();
         let image = comt_oci::ImageBuilder::from_scratch("x86_64")
             .with_layer_tar(bytes::Bytes::from_static(b"tarbits"), "test layer")
@@ -494,11 +524,17 @@ mod tests {
                 oci.blobs.get(&image.manifest_digest).unwrap().len() as u64,
             ),
         );
-        let reg = registry_from_layout(&oci).unwrap();
+        oci.save(&dir).unwrap();
+        let reg = DiskRegistry::open(&dir).unwrap();
         assert_eq!(
-            reg.resolve(&tag_key("app.dist+coM", "latest")),
+            reg.resolve(&comt_dist::tag_key("app.dist+coM", "latest")),
             Some(image.manifest_digest)
         );
-        assert_eq!(reg.store().len(), oci.blobs.len());
+        assert_eq!(
+            reg.store().digests().unwrap().len(),
+            oci.blobs.len()
+        );
+        drop(reg);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

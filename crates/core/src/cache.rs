@@ -79,7 +79,8 @@ pub fn write_cache(
             0o644,
         ));
     }
-    let layer_tar = comt_tar::write_archive(&entries);
+    let layer_tar =
+        comt_tar::write_archive(&entries).map_err(|e| ComtError::cache(e.to_string()))?;
 
     let new_ref = format!("{dist_ref}+coM");
     append_layer(oci, &image, layer_tar, &new_ref, "coMtainer-build cache layer")?;
@@ -104,7 +105,8 @@ pub fn write_rebuild(
             0o755,
         ));
     }
-    let layer_tar = comt_tar::write_archive(&entries);
+    let layer_tar =
+        comt_tar::write_archive(&entries).map_err(|e| ComtError::cache(e.to_string()))?;
     let base = extended_ref.trim_end_matches("+coM");
     let new_ref = format!("{base}+coMre");
     append_layer(oci, &image, layer_tar, &new_ref, "coMtainer-rebuild layer")?;

@@ -1,5 +1,5 @@
 //! The registry daemon: a TCP server speaking the distribution protocol,
-//! backed by the in-process [`Registry`].
+//! generic over its storage backend.
 //!
 //! ## Shape
 //!
@@ -7,16 +7,23 @@
 //! threads over a bounded queue; each worker runs a keep-alive loop with
 //! per-connection read/write deadlines, so a stalled peer can never pin a
 //! worker forever. All state lives behind one mutex, but workers hold it
-//! only long enough to clone cheap [`bytes::Bytes`] handles in or out —
-//! digest hashing and socket I/O happen outside the lock, which is what
-//! lets concurrent pullers scale.
+//! only long enough to move cheap [`comt_oci::BlobHandle`]s in or out —
+//! digest hashing, file reads and socket I/O happen outside the lock,
+//! which is what lets concurrent pullers scale.
+//!
+//! ## Backends
+//!
+//! The daemon is generic over [`RegistryBackend`]: the in-memory
+//! [`Registry`] (tests, benches) and the crash-safe [`comt_oci::DiskRegistry`]
+//! (`comt serve` on a real layout, each blob and tag committed durably at
+//! publish time) serve through identical protocol code.
 //!
 //! ## Atomicity
 //!
 //! Uploads are **staged**: the body accumulates in a per-request buffer,
 //! its digest is verified against the address in the URL, and only then is
-//! the blob published into the content-addressed store (the in-memory
-//! equivalent of write-to-temp → fsync → rename). A connection killed
+//! the blob published into the content-addressed store (for the disk
+//! backend: write-to-temp → fsync → atomic rename). A connection killed
 //! mid-upload discards the stage; a digest mismatch is a 400 and nothing
 //! becomes visible. Manifest PUTs verify the *entire closure* (bytes, not
 //! just presence) before the tag appears, so a pull can never observe a
@@ -25,7 +32,8 @@
 use crate::wire::{self, Request, Response};
 use crate::{tag_key, MEDIA_TYPE_MANIFEST};
 use comt_digest::Digest;
-use comt_oci::store::{closure_digests, Registry};
+use comt_oci::store::{closure_digests, Registry, RegistryError};
+use comt_oci::RegistryBackend;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -73,8 +81,8 @@ impl Default for ServerOptions {
     }
 }
 
-struct State {
-    registry: Mutex<Registry>,
+struct State<R: RegistryBackend> {
+    registry: Mutex<R>,
     max_body: usize,
     chaos_budget: AtomicU32,
     chaos_after: usize,
@@ -82,16 +90,17 @@ struct State {
 
 /// A running daemon. Dropping it without [`DistServer::shutdown`] stops
 /// accepting but does not join workers; call `shutdown` for a clean stop
-/// that hands the registry (with everything pushed to it) back.
-pub struct DistServer {
+/// that hands the backend (with everything pushed to it) back. The type
+/// parameter defaults to the in-memory [`Registry`].
+pub struct DistServer<R: RegistryBackend = Registry> {
     addr: SocketAddr,
-    state: Arc<State>,
+    state: Arc<State<R>>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for DistServer {
+impl<R: RegistryBackend> std::fmt::Debug for DistServer<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DistServer").field("addr", &self.addr).finish()
     }
@@ -99,7 +108,11 @@ impl std::fmt::Debug for DistServer {
 
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
 /// `registry` until shutdown.
-pub fn serve(registry: Registry, addr: &str, opts: ServerOptions) -> io::Result<DistServer> {
+pub fn serve<R: RegistryBackend>(
+    registry: R,
+    addr: &str,
+    opts: ServerOptions,
+) -> io::Result<DistServer<R>> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let state = Arc::new(State {
@@ -163,15 +176,15 @@ pub fn serve(registry: Registry, addr: &str, opts: ServerOptions) -> io::Result<
     })
 }
 
-impl DistServer {
+impl<R: RegistryBackend> DistServer<R> {
     /// The bound address (resolves `:0` to the real port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stop accepting, join all threads and hand back the registry with
+    /// Stop accepting, join all threads and hand back the backend with
     /// every successfully pushed image in it.
-    pub fn shutdown(mut self) -> Registry {
+    pub fn shutdown(mut self) -> R {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor's blocking accept().
         let _ = TcpStream::connect(self.addr);
@@ -183,25 +196,26 @@ impl DistServer {
         }
         let state = Arc::clone(&self.state);
         drop(self); // release the server's own strong ref
+        // Every thread that could hold a strong ref has been joined, so the
+        // unwrap succeeds; backends are not required to be Clone (a disk
+        // backend holds the layout lock), so there is no fallback.
         match Arc::try_unwrap(state) {
             Ok(st) => st.registry.into_inner().unwrap_or_else(|e| e.into_inner()),
-            // All workers joined, so this shouldn't happen; fall back to a
-            // clone rather than panic.
-            Err(arc) => arc.registry.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            Err(_) => unreachable!("server threads joined but state still shared"),
         }
     }
 }
 
-impl Drop for DistServer {
+impl<R: RegistryBackend> Drop for DistServer<R> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
     }
 }
 
-fn handle_connection(
+fn handle_connection<R: RegistryBackend>(
     stream: TcpStream,
-    state: &State,
+    state: &State<R>,
     read_timeout: Duration,
     write_timeout: Duration,
 ) {
@@ -279,7 +293,7 @@ fn parse_path(path: &str) -> Option<(&str, &str, &str)> {
 
 /// Route one request. Returns the endpoint label (for counters) plus the
 /// action to take on the socket.
-fn dispatch(req: &Request, state: &State) -> (&'static str, Action) {
+fn dispatch<R: RegistryBackend>(req: &Request, state: &State<R>) -> (&'static str, Action) {
     if req.path == "/v2/" || req.path == "/v2" {
         return (
             "version",
@@ -306,14 +320,14 @@ fn parse_digest(reference: &str) -> Result<Digest, Action> {
         .map_err(|e| bad_request(format!("bad digest {reference}: {e}")))
 }
 
-fn blob_head(_name: &str, reference: &str, state: &State) -> Action {
+fn blob_head<R: RegistryBackend>(_name: &str, reference: &str, state: &State<R>) -> Action {
     let digest = match parse_digest(reference) {
         Ok(d) => d,
         Err(a) => return a,
     };
     let len = {
         let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
-        reg.store().get(&digest).map(|b| b.len())
+        reg.blob_handle(&digest).map(|h| h.len())
     };
     match len {
         Some(len) => Action::Respond(
@@ -325,29 +339,38 @@ fn blob_head(_name: &str, reference: &str, state: &State) -> Action {
     }
 }
 
-fn blob_get(req: &Request, _name: &str, reference: &str, state: &State) -> Action {
+fn blob_get<R: RegistryBackend>(
+    req: &Request,
+    _name: &str,
+    reference: &str,
+    state: &State<R>,
+) -> Action {
     let digest = match parse_digest(reference) {
         Ok(d) => d,
         Err(a) => return a,
     };
-    // Clone the Bytes handle out and release the lock before hashing.
-    let blob = {
+    // Move a cheap handle out and release the lock before the expensive
+    // part (file read for disk backends, re-hash for all of them).
+    let handle = {
         let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
-        reg.store().get(&digest)
+        reg.blob_handle(&digest)
     };
-    let Some(blob) = blob else { return not_found() };
+    let Some(handle) = handle else { return not_found() };
     // Server-side verification before serving: a corrupt store must never
     // satisfy a read.
     let obs = comt_observe::global();
-    {
+    let blob = {
         let _span = obs.span("dist.server.verify");
-        if Digest::of(&blob) != digest {
-            obs.count("dist.server.verify_failures", 1);
-            return Action::Respond(
-                Response::new(500).with_body(format!("stored blob corrupt: {reference}")),
-            );
+        match handle.read_verified(&digest) {
+            Ok(b) => b,
+            Err(e) => {
+                obs.count("dist.server.verify_failures", 1);
+                return Action::Respond(
+                    Response::new(500).with_body(format!("stored blob unservable: {e}")),
+                );
+            }
         }
-    }
+    };
     let total = blob.len() as u64;
     let range_header = req.header("range");
     let (start, end, status) = match wire::parse_range(range_header, total) {
@@ -384,13 +407,20 @@ fn blob_get(req: &Request, _name: &str, reference: &str, state: &State) -> Actio
     Action::Respond(resp)
 }
 
-fn blob_put(req: &Request, _name: &str, reference: &str, state: &State) -> Action {
+fn blob_put<R: RegistryBackend>(
+    req: &Request,
+    _name: &str,
+    reference: &str,
+    state: &State<R>,
+) -> Action {
     let digest = match parse_digest(reference) {
         Ok(d) => d,
         Err(a) => return a,
     };
     // The staged body (req.body) is verified before anything becomes
-    // visible; on mismatch the stage is simply dropped.
+    // visible; on mismatch the stage is simply dropped. The backend
+    // re-verifies inside put_blob (its own trust boundary), but hashing
+    // here first keeps the rejection off the registry lock.
     let obs = comt_observe::global();
     let actual = {
         let _span = obs.span("dist.server.verify");
@@ -402,24 +432,35 @@ fn blob_put(req: &Request, _name: &str, reference: &str, state: &State) -> Actio
             "upload does not match its address: got {actual}, want {reference}"
         ));
     }
-    {
+    let put = {
         let mut reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
-        reg.store_mut()
-            .put_prehashed(digest, bytes::Bytes::from(req.body.clone()));
+        reg.put_blob(digest, bytes::Bytes::from(req.body.clone()))
+    };
+    match put {
+        Ok(_) => Action::Respond(Response::new(201).with_header("Docker-Content-Digest", reference)),
+        Err(e) => registry_failure("store blob", e),
     }
-    Action::Respond(Response::new(201).with_header("Docker-Content-Digest", reference))
 }
 
-fn manifest_get(name: &str, reference: &str, state: &State) -> Action {
+fn manifest_get<R: RegistryBackend>(name: &str, reference: &str, state: &State<R>) -> Action {
     let key = tag_key(name, reference);
-    let (digest, body) = {
+    let (digest, handle) = {
         let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
         match reg.resolve(&key) {
-            Some(d) => match reg.store().get(&d) {
-                Some(b) => (d, b),
+            Some(d) => match reg.blob_handle(&d) {
+                Some(h) => (d, h),
                 None => return not_found(),
             },
             None => return not_found(),
+        }
+    };
+    let body = match handle.read_verified(&digest) {
+        Ok(b) => b,
+        Err(e) => {
+            comt_observe::global().count("dist.server.verify_failures", 1);
+            return Action::Respond(
+                Response::new(500).with_body(format!("stored manifest unservable: {e}")),
+            );
         }
     };
     Action::Respond(
@@ -430,28 +471,40 @@ fn manifest_get(name: &str, reference: &str, state: &State) -> Action {
     )
 }
 
-fn manifest_put(req: &Request, name: &str, reference: &str, state: &State) -> Action {
-    let digest = Digest::of(&req.body);
+fn manifest_put<R: RegistryBackend>(
+    req: &Request,
+    name: &str,
+    reference: &str,
+    state: &State<R>,
+) -> Action {
     let key = tag_key(name, reference);
-    let mut reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
-    let manifest_was_present = reg.store().contains(&digest);
-    reg.store_mut()
-        .put_prehashed(digest, bytes::Bytes::from(req.body.clone()));
-    // Closure completeness + content verification gate tag visibility: a
-    // half-pushed image can never be pulled.
-    match reg.tag_verified(&key, digest) {
-        Ok(()) => Action::Respond(
+    // Staged publish: the backend verifies closure completeness + content
+    // before the tag appears (and, for disk backends, commits the manifest
+    // blob and the new tag table durably). A half-pushed image can never
+    // be pulled, and a rejected publish leaves no trace.
+    let put = {
+        let mut reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        reg.put_manifest(&key, bytes::Bytes::from(req.body.clone()))
+    };
+    match put {
+        Ok(digest) => Action::Respond(
             Response::new(201).with_header("Docker-Content-Digest", digest.to_oci_string()),
         ),
         Err(e) => {
-            if !manifest_was_present {
-                // Unwind the staged manifest blob so nothing of the failed
-                // push is visible.
-                reg.store_mut().retain(|d| d != &digest);
-            }
             comt_observe::global().count("dist.server.rejected_manifests", 1);
-            bad_request(format!("manifest not taggable: {e}"))
+            registry_failure("tag manifest", e)
         }
+    }
+}
+
+/// Map a backend failure onto the wire: the caller's fault (corrupt or
+/// incomplete push) is a 400, the store's own fault is a 500.
+fn registry_failure(op: &str, e: RegistryError) -> Action {
+    match e {
+        RegistryError::Storage(_) => {
+            Action::Respond(Response::new(500).with_body(format!("{op}: {e}")))
+        }
+        other => bad_request(format!("{op}: {other}")),
     }
 }
 

@@ -349,12 +349,23 @@ pub fn read_response_into(
     Ok((status, headers))
 }
 
-/// Parse `Range: bytes=N-` or `bytes=N-M` (inclusive end) against a body
-/// of `total` bytes. Returns the half-open `[start, end)` range, or `None`
-/// if the header is absent/unsatisfiable.
+/// Parse an RFC 7233 byte range against a body of `total` bytes:
+/// `bytes=N-` (open end), `bytes=N-M` (inclusive end), or the suffix form
+/// `bytes=-N` (the final N bytes). Returns the half-open `[start, end)`
+/// range, or `None` if the header is absent or unsatisfiable (the caller
+/// answers a present-but-unsatisfiable header with 416).
 pub fn parse_range(header: Option<&str>, total: u64) -> Option<(u64, u64)> {
     let spec = header?.strip_prefix("bytes=")?;
     let (from, to) = spec.split_once('-')?;
+    if from.trim().is_empty() {
+        // Suffix form: the last N bytes. N = 0 is unsatisfiable per RFC
+        // 7233 §2.1, as is a suffix on an empty body.
+        let n: u64 = to.trim().parse().ok()?;
+        if n == 0 || total == 0 {
+            return None;
+        }
+        return Some((total.saturating_sub(n), total));
+    }
     let start: u64 = from.trim().parse().ok()?;
     let end: u64 = match to.trim() {
         "" => total,
@@ -465,5 +476,36 @@ mod tests {
         assert_eq!(parse_range(Some("bytes=0-99"), 10), None);
         assert_eq!(parse_range(None, 10), None);
         assert_eq!(parse_range(Some("lines=1-"), 10), None);
+    }
+
+    #[test]
+    fn parse_range_suffix_form() {
+        // RFC 7233 suffix form: the final N bytes.
+        assert_eq!(parse_range(Some("bytes=-4"), 10), Some((6, 10)));
+        assert_eq!(parse_range(Some("bytes=-10"), 10), Some((0, 10)));
+        // A suffix longer than the body means the whole body (§2.1).
+        assert_eq!(parse_range(Some("bytes=-99"), 10), Some((0, 10)));
+        // Unsatisfiable suffixes → None → the server answers 416.
+        assert_eq!(parse_range(Some("bytes=-0"), 10), None);
+        assert_eq!(parse_range(Some("bytes=-4"), 0), None);
+        // Empty spec (`bytes=-`) and garbage never panic.
+        assert_eq!(parse_range(Some("bytes=-"), 10), None);
+        assert_eq!(parse_range(Some("bytes="), 10), None);
+        assert_eq!(parse_range(Some("bytes=-abc"), 10), None);
+    }
+
+    #[test]
+    fn parse_range_overflow_inputs() {
+        // u64::MAX end + 1 must not wrap; checked_add rejects it.
+        let max = u64::MAX.to_string();
+        assert_eq!(parse_range(Some(&format!("bytes=0-{max}")), 10), None);
+        // Oversized-but-parseable start is simply out of range.
+        assert_eq!(parse_range(Some(&format!("bytes={max}-")), 10), None);
+        // A suffix of u64::MAX saturates to the whole body, no wrap.
+        assert_eq!(parse_range(Some(&format!("bytes=-{max}")), 10), Some((0, 10)));
+        // Numbers beyond u64 fail to parse → None, not panic.
+        let huge = "184467440737095516160"; // u64::MAX * 10
+        assert_eq!(parse_range(Some(&format!("bytes={huge}-")), 10), None);
+        assert_eq!(parse_range(Some(&format!("bytes=-{huge}")), 10), None);
     }
 }

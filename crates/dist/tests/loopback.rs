@@ -246,6 +246,93 @@ fn concurrent_pullers_all_verify() {
     drop(server);
 }
 
+fn disk_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("comt-loopback-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disk_backed_daemon_round_trips_and_survives_restart() {
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"durable-bits");
+    let dir = disk_dir("restart");
+
+    // First daemon lifetime: push, then shut down (releases the lock).
+    {
+        let reg = comt_oci::DiskRegistry::open(&dir).unwrap();
+        let server = serve(reg, "127.0.0.1:0", ServerOptions::default()).unwrap();
+        let client = DistClient::new(server.addr().to_string());
+        let stats = client.push_image("app", "v1", md, &local).unwrap();
+        assert_eq!(stats.blobs_moved, 3);
+        drop(server.shutdown());
+    }
+
+    // The layout on disk is fsck-clean between daemon lifetimes.
+    let report =
+        comt_oci::fsck(&dir, &comt_oci::FsckOptions { repair: false }).unwrap();
+    assert!(report.is_clean(), "{}", report.render_human());
+
+    // Second daemon lifetime: everything pulls bit-identically.
+    {
+        let reg = comt_oci::DiskRegistry::open(&dir).unwrap();
+        assert_eq!(reg.resolve(&tag_key("app", "v1")), Some(md));
+        let server = serve(reg, "127.0.0.1:0", ServerOptions::default()).unwrap();
+        let client = DistClient::new(server.addr().to_string());
+        let mut pulled = BlobStore::new();
+        let (got, stats) = client.pull_image("app", "v1", &mut pulled).unwrap();
+        assert_eq!(got, md);
+        assert_eq!(stats.blobs_moved, 3);
+        for d in closure_digests(&local, &md).unwrap() {
+            assert_eq!(pulled.get(&d).unwrap(), local.get(&d).unwrap(), "{d}");
+        }
+        drop(server);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn disk_backed_interrupted_push_is_fsck_clean_and_invisible() {
+    // A push that dies after some blob PUTs but before the manifest PUT
+    // models `kill -9` mid-publish: the layout keeps the durable blobs,
+    // stays fsck-clean (unreachable-but-valid blobs are gc's job, not
+    // damage), and the tag never becomes visible.
+    let mut local = BlobStore::new();
+    let md = sample_image(&mut local, b"interrupted-push");
+    let closure = closure_digests(&local, &md).unwrap();
+    let dir = disk_dir("interrupted");
+
+    {
+        let reg = comt_oci::DiskRegistry::open(&dir).unwrap();
+        let server = serve(reg, "127.0.0.1:0", ServerOptions::default()).unwrap();
+        let client = DistClient::new(server.addr().to_string());
+        // Upload config + layer, then "die" before the manifest PUT.
+        for d in closure.iter().skip(1) {
+            client.put_blob("app", d, &local.get(d).unwrap()).unwrap();
+        }
+        drop(server.shutdown());
+    }
+
+    let report =
+        comt_oci::fsck(&dir, &comt_oci::FsckOptions { repair: false }).unwrap();
+    assert!(report.is_clean(), "{}", report.render_human());
+
+    // Restart: the tag was never committed, the blobs dedupe, and a full
+    // re-push completes the publish.
+    let reg = comt_oci::DiskRegistry::open(&dir).unwrap();
+    assert_eq!(reg.resolve(&tag_key("app", "v1")), None);
+    let server = serve(reg, "127.0.0.1:0", ServerOptions::default()).unwrap();
+    let client = DistClient::new(server.addr().to_string());
+    let stats = client.push_image("app", "v1", md, &local).unwrap();
+    assert_eq!(stats.blobs_skipped, 2, "durable blobs re-uploaded");
+    assert_eq!(stats.blobs_moved, 1);
+    let mut pulled = BlobStore::new();
+    let (got, _) = client.pull_image("app", "v1", &mut pulled).unwrap();
+    assert_eq!(got, md);
+    drop(server);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn split_ref_matches_wire_addressing() {
     // The CLI's ref → (name, reference) mapping and the server's tag key

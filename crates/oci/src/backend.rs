@@ -1,0 +1,199 @@
+//! The registry backend abstraction: one wire daemon, two stores.
+//!
+//! `comt-dist`'s server is generic over [`RegistryBackend`], so the same
+//! protocol code serves the in-memory [`Registry`] (engine/VFS tests,
+//! benches) and the crash-safe [`DiskRegistry`] (`comt serve` on a real
+//! layout). The trait's contract encodes the durability story:
+//!
+//! * [`RegistryBackend::put_blob`] verifies the claimed digest against the
+//!   bytes **in every build profile** and, for disk backends, makes the
+//!   blob durable before returning — a killed daemon never forgets an
+//!   acknowledged blob.
+//! * [`RegistryBackend::put_manifest`] is staged: the tag becomes visible
+//!   only after the whole closure is present and bit-verified, and a
+//!   rejected publish leaves no trace.
+//! * [`RegistryBackend::blob_handle`] returns a cheap handle so the server
+//!   can drop its lock before the expensive part (file read + re-hash)
+//!   happens in [`BlobHandle::read_verified`].
+
+use crate::disk::DiskRegistry;
+use crate::store::{Registry, RegistryError};
+use bytes::Bytes;
+use comt_digest::Digest;
+use std::path::PathBuf;
+
+/// A cheap reference to a stored blob, resolvable to verified bytes
+/// outside any registry lock.
+#[derive(Debug, Clone)]
+pub enum BlobHandle {
+    /// The blob lives in memory; cloning `Bytes` is refcount-cheap.
+    Resident(Bytes),
+    /// The blob lives on disk; reading is deferred to the caller.
+    File { path: PathBuf, len: u64 },
+}
+
+impl BlobHandle {
+    pub fn len(&self) -> u64 {
+        match self {
+            BlobHandle::Resident(b) => b.len() as u64,
+            BlobHandle::File { len, .. } => *len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the blob and verify its content against `want`. This is
+    /// where the re-hash (and for disk handles, the file read) happens —
+    /// call it after releasing the registry lock.
+    pub fn read_verified(&self, want: &Digest) -> Result<Bytes, RegistryError> {
+        let data = match self {
+            BlobHandle::Resident(b) => b.clone(),
+            BlobHandle::File { path, .. } => std::fs::read(path)
+                .map(Bytes::from)
+                .map_err(|e| RegistryError::Storage(format!("{}: {e}", path.display())))?,
+        };
+        if Digest::of(&data) != *want {
+            return Err(RegistryError::DigestMismatch(want.to_string()));
+        }
+        Ok(data)
+    }
+}
+
+/// Storage behind the wire-protocol daemon.
+pub trait RegistryBackend: Send + 'static {
+    /// Manifest digest for a wire tag key (`name:reference`).
+    fn resolve(&self, key: &str) -> Option<Digest>;
+
+    /// Whether a blob is already committed (HEAD dedupe probe).
+    fn contains_blob(&self, digest: &Digest) -> bool;
+
+    /// Cheap handle to a committed blob, if present.
+    fn blob_handle(&self, digest: &Digest) -> Option<BlobHandle>;
+
+    /// Verify `data` against the claimed `digest` and commit it (durably,
+    /// for persistent backends). Returns `true` if newly stored.
+    fn put_blob(&mut self, digest: Digest, data: Bytes) -> Result<bool, RegistryError>;
+
+    /// Staged manifest publish: verify the closure, commit, expose the tag.
+    fn put_manifest(&mut self, key: &str, manifest: Bytes) -> Result<Digest, RegistryError>;
+
+    /// Committed blob count (startup banner / stats).
+    fn blob_count(&self) -> usize;
+
+    /// Visible tag count (startup banner / stats).
+    fn tag_count(&self) -> usize;
+}
+
+impl RegistryBackend for Registry {
+    fn resolve(&self, key: &str) -> Option<Digest> {
+        Registry::resolve(self, key)
+    }
+
+    fn contains_blob(&self, digest: &Digest) -> bool {
+        self.store().contains(digest)
+    }
+
+    fn blob_handle(&self, digest: &Digest) -> Option<BlobHandle> {
+        self.store().get(digest).map(BlobHandle::Resident)
+    }
+
+    fn put_blob(&mut self, digest: Digest, data: Bytes) -> Result<bool, RegistryError> {
+        let fresh = !self.store().contains(&digest);
+        self.store_mut().put_verified(digest, data)?;
+        Ok(fresh)
+    }
+
+    fn put_manifest(&mut self, key: &str, manifest: Bytes) -> Result<Digest, RegistryError> {
+        self.publish_manifest(key, manifest)
+    }
+
+    fn blob_count(&self) -> usize {
+        self.store().len()
+    }
+
+    fn tag_count(&self) -> usize {
+        self.tags().len()
+    }
+}
+
+impl RegistryBackend for DiskRegistry {
+    fn resolve(&self, key: &str) -> Option<Digest> {
+        DiskRegistry::resolve(self, key)
+    }
+
+    fn contains_blob(&self, digest: &Digest) -> bool {
+        self.store().contains(digest)
+    }
+
+    fn blob_handle(&self, digest: &Digest) -> Option<BlobHandle> {
+        let path = self.store().blob_path(digest);
+        let len = self.store().blob_len(digest)?;
+        Some(BlobHandle::File { path, len })
+    }
+
+    fn put_blob(&mut self, digest: Digest, data: Bytes) -> Result<bool, RegistryError> {
+        self.store().put_blob(&digest, &data).map_err(|e| match e {
+            crate::layout::LayoutError::DigestMismatch { .. } => {
+                RegistryError::DigestMismatch(digest.to_string())
+            }
+            other => RegistryError::Storage(other.to_string()),
+        })
+    }
+
+    fn put_manifest(&mut self, key: &str, manifest: Bytes) -> Result<Digest, RegistryError> {
+        self.publish_manifest(key, manifest)
+    }
+
+    fn blob_count(&self) -> usize {
+        self.store().digests().map(|v| v.len()).unwrap_or(0)
+    }
+
+    fn tag_count(&self) -> usize {
+        self.tags().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::BlobStore;
+
+    #[test]
+    fn resident_handle_verifies() {
+        let data = Bytes::from_static(b"payload");
+        let d = Digest::of(&data);
+        let h = BlobHandle::Resident(data.clone());
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.read_verified(&d).unwrap(), data);
+        assert!(matches!(
+            h.read_verified(&Digest::of(b"other")),
+            Err(RegistryError::DigestMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn mem_backend_put_blob_rejects_poison_in_release_too() {
+        // Regression for the put_prehashed debug_assert hole: the backend
+        // trust boundary must verify in every build profile. This test is
+        // meaningful precisely when run with --release.
+        let mut reg = Registry::new();
+        let claimed = Digest::of(b"what the client promised");
+        let err = RegistryBackend::put_blob(&mut reg, claimed, Bytes::from_static(b"poison"))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::DigestMismatch(_)));
+        assert!(!reg.store().contains(&claimed));
+
+        // put_verified is the same boundary on the raw store.
+        let mut store = BlobStore::new();
+        assert!(store
+            .put_verified(claimed, Bytes::from_static(b"poison"))
+            .is_err());
+        assert!(store.is_empty());
+        let ok = Bytes::from_static(b"honest bytes");
+        let d = Digest::of(&ok);
+        assert_eq!(store.put_verified(d, ok.clone()).unwrap(), d);
+        assert_eq!(store.get(&d).unwrap(), ok);
+    }
+}

@@ -18,7 +18,7 @@ use crate::spec::MediaType;
 use bytes::Bytes;
 use comt_digest::{Digest, Sha256};
 use comt_flate::GzipEncoder;
-use comt_tar::{Entry, FnSink, Writer};
+use comt_tar::{Entry, FnSink, HeaderError, Writer};
 
 /// A fully encoded layer: the blob to store plus every identity the
 /// manifest/config needs, computed in the same pass that produced it.
@@ -64,7 +64,10 @@ impl LayerCodec {
     }
 
     /// Encode a layer changeset: serialize, hash and compress in one pass.
-    pub fn encode_entries(&self, entries: &[Entry]) -> EncodedLayer {
+    ///
+    /// Fails when an entry cannot be represented in a tar header (path or
+    /// link target too long, payload ≥ 8 GiB) — see [`HeaderError`].
+    pub fn encode_entries(&self, entries: &[Entry]) -> Result<EncodedLayer, HeaderError> {
         let obs = comt_observe::global();
         let _span = obs.span("codec.encode");
 
@@ -78,19 +81,19 @@ impl LayerCodec {
                 out.extend_from_slice(chunk);
             }));
             for e in entries {
-                w.append(e);
+                w.append(e)?;
             }
             w.finish();
             let diff_id = Digest::from_raw(hasher.finalize());
             let len = out.len() as u64;
             obs.count("codec.layers.encoded", 1);
-            return EncodedLayer {
+            return Ok(EncodedLayer {
                 blob: Bytes::from(out),
                 blob_digest: diff_id,
                 diff_id,
                 media_type: MediaType::LayerTar,
                 uncompressed_len: len,
-            };
+            });
         }
 
         let mut hasher = Sha256::new();
@@ -100,11 +103,11 @@ impl LayerCodec {
             enc.write(chunk);
         }));
         for e in entries {
-            w.append(e);
+            w.append(e)?;
         }
         w.finish();
         let diff_id = Digest::from_raw(hasher.finalize());
-        self.finish_compressed(enc, diff_id)
+        Ok(self.finish_compressed(enc, diff_id))
     }
 
     /// Encode an already-serialized tar (the `with_layer_tar` path): hashing
@@ -188,9 +191,9 @@ mod tests {
     #[test]
     fn fused_encode_matches_separate_passes() {
         let entries = sample_entries();
-        let tar = comt_tar::write_archive(&entries);
+        let tar = comt_tar::write_archive(&entries).unwrap();
         for compress in [false, true] {
-            let enc = LayerCodec::with_workers(compress, 2).encode_entries(&entries);
+            let enc = LayerCodec::with_workers(compress, 2).encode_entries(&entries).unwrap();
             assert_eq!(enc.diff_id, Digest::of(&tar), "compress={compress}");
             assert_eq!(enc.uncompressed_len, tar.len() as u64);
             assert_eq!(enc.blob_digest, Digest::of(&enc.blob));
@@ -202,8 +205,8 @@ mod tests {
     #[test]
     fn encode_tar_matches_encode_entries() {
         let entries = sample_entries();
-        let tar = comt_tar::write_archive(&entries);
-        let a = LayerCodec::with_workers(true, 2).encode_entries(&entries);
+        let tar = comt_tar::write_archive(&entries).unwrap();
+        let a = LayerCodec::with_workers(true, 2).encode_entries(&entries).unwrap();
         let b = LayerCodec::with_workers(true, 2).encode_tar(tar);
         assert_eq!(a.blob, b.blob);
         assert_eq!(a.diff_id, b.diff_id);
@@ -213,8 +216,8 @@ mod tests {
     #[test]
     fn worker_count_never_changes_blob_bytes() {
         let entries = sample_entries();
-        let one = LayerCodec::with_workers(true, 1).encode_entries(&entries);
-        let four = LayerCodec::with_workers(true, 4).encode_entries(&entries);
+        let one = LayerCodec::with_workers(true, 1).encode_entries(&entries).unwrap();
+        let four = LayerCodec::with_workers(true, 4).encode_entries(&entries).unwrap();
         assert_eq!(one.blob, four.blob);
         assert_eq!(one.blob_digest, four.blob_digest);
     }
@@ -224,8 +227,8 @@ mod tests {
         // The parallel codec is a different encoder than `comt_flate::gzip`
         // (block joins), so bytes differ — but the decoded content must not.
         let entries = sample_entries();
-        let tar = comt_tar::write_archive(&entries);
-        let enc = LayerCodec::new(true).encode_entries(&entries);
+        let tar = comt_tar::write_archive(&entries).unwrap();
+        let enc = LayerCodec::new(true).encode_entries(&entries).unwrap();
         assert_eq!(comt_flate::gunzip(&enc.blob).unwrap(), tar);
     }
 }

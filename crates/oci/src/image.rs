@@ -86,10 +86,12 @@ enum PendingLayer {
 }
 
 impl PendingLayer {
-    fn encode(&self, codec: &LayerCodec) -> EncodedLayer {
+    fn encode(&self, codec: &LayerCodec) -> Result<EncodedLayer, ImageError> {
         match self {
-            PendingLayer::Tar(tar) => codec.encode_tar(tar.clone()),
-            PendingLayer::Entries(entries) => codec.encode_entries(entries),
+            PendingLayer::Tar(tar) => Ok(codec.encode_tar(tar.clone())),
+            PendingLayer::Entries(entries) => codec
+                .encode_entries(entries)
+                .map_err(|e| ImageError::BadLayer(e.to_string())),
         }
     }
 }
@@ -229,15 +231,15 @@ impl ImageBuilder {
                     .into_iter()
                     .zip(pending.iter())
                     .map(|(h, (_, created_by))| {
-                        (h.join().expect("layer encode panicked"), created_by.clone())
+                        Ok((h.join().expect("layer encode panicked")?, created_by.clone()))
                     })
-                    .collect()
-            })
+                    .collect::<Result<Vec<_>, ImageError>>()
+            })?
         } else {
             pending
                 .iter()
-                .map(|(layer, created_by)| (layer.encode(&codec), created_by.clone()))
-                .collect()
+                .map(|(layer, created_by)| Ok((layer.encode(&codec)?, created_by.clone())))
+                .collect::<Result<Vec<_>, ImageError>>()?
         };
 
         for (enc, created_by) in encoded {

@@ -37,6 +37,15 @@ pub enum LayoutError {
     /// A blob file's name does not match its content digest.
     DigestMismatch { path: String },
     UnknownRef(String),
+    /// Another live process holds the layout's advisory lock.
+    Locked {
+        path: String,
+        /// Pid recorded by the holder, when readable (diagnostic only).
+        holder: Option<String>,
+    },
+    /// The on-disk layout is torn (interrupted commit: orphan tmp file,
+    /// truncated `index.json`, foreign file in the blob directory).
+    Torn { path: String, detail: String },
 }
 
 impl fmt::Display for LayoutError {
@@ -49,6 +58,19 @@ impl fmt::Display for LayoutError {
                 write!(f, "blob content does not match its digest: {path}")
             }
             LayoutError::UnknownRef(r) => write!(f, "unknown ref: {r}"),
+            LayoutError::Locked { path, holder } => {
+                write!(f, "layout is locked by another process ({path}")?;
+                if let Some(pid) = holder {
+                    write!(f, ", held by pid {pid}")?;
+                }
+                write!(f, ")")
+            }
+            LayoutError::Torn { path, detail } => {
+                write!(
+                    f,
+                    "torn layout: {detail} ({path}); run `comt fsck` to diagnose and `comt fsck --repair` to recover"
+                )
+            }
         }
     }
 }
@@ -172,42 +194,52 @@ impl OciDir {
         self.blobs.retain(|d| live.contains(d))
     }
 
-    /// Persist to a real directory in standard OCI layout form.
+    /// Persist to a real directory in standard OCI layout form, under the
+    /// layout lock and with the crash-safe commit protocol: blobs are
+    /// committed incrementally (only the missing ones are written, each
+    /// via tmp → fsync → atomic rename), and `index.json` is replaced
+    /// atomically last, so a kill mid-save leaves either the old or the
+    /// new tag table — never a torn one.
     pub fn save(&self, dir: &Path) -> Result<(), LayoutError> {
-        let blobs_dir = dir.join("blobs").join("sha256");
-        std::fs::create_dir_all(&blobs_dir)?;
-        std::fs::write(
-            dir.join("oci-layout"),
-            b"{\"imageLayoutVersion\": \"1.0.0\"}",
-        )?;
-        let index_json = serde_json::to_vec_pretty(&self.index)
-            .map_err(|e| LayoutError::BadJson(e.to_string()))?;
-        std::fs::write(dir.join("index.json"), index_json)?;
+        let _lock = crate::disk::LayoutLock::acquire(dir)?;
+        let store = crate::disk::DiskStore::init(dir)?;
         for (digest, blob) in self.blobs.iter() {
-            let path = blobs_dir.join(digest.hex());
-            if !path.exists() {
-                std::fs::write(path, blob)?;
-            }
+            store.put_blob(digest, blob)?;
         }
-        Ok(())
+        store.commit_index(&self.index)
     }
 
-    /// Load from a real directory, verifying every blob against its name.
+    /// Load from a real directory, verifying every blob against its name
+    /// and refusing torn state: an orphan tmp file, a foreign file in the
+    /// blob directory, or an unparseable `index.json` all fail with an
+    /// error pointing at `comt fsck` instead of being silently skipped.
     pub fn load(dir: &Path) -> Result<Self, LayoutError> {
-        let index_raw = std::fs::read(dir.join("index.json"))?;
-        let index: ImageIndex =
-            serde_json::from_slice(&index_raw).map_err(|e| LayoutError::BadJson(e.to_string()))?;
+        let store = crate::disk::DiskStore::open(dir)?;
+        let index = store.read_index()?;
         let mut blobs = BlobStore::new();
         let blobs_dir = dir.join("blobs").join("sha256");
         if blobs_dir.is_dir() {
             for entry in std::fs::read_dir(&blobs_dir)? {
                 let entry = entry?;
-                let data = std::fs::read(entry.path())?;
+                let path = entry.path();
                 let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with(crate::disk::TMP_PREFIX) {
+                    return Err(LayoutError::Torn {
+                        path: path.display().to_string(),
+                        detail: "orphan temp file from an interrupted commit".into(),
+                    });
+                }
+                if format!("sha256:{name}").parse::<Digest>().is_err() {
+                    return Err(LayoutError::Torn {
+                        path: path.display().to_string(),
+                        detail: "foreign file in the blob directory".into(),
+                    });
+                }
+                let data = std::fs::read(&path)?;
                 let stored = blobs.put(Bytes::from(data));
                 if stored.hex() != name {
                     return Err(LayoutError::DigestMismatch {
-                        path: entry.path().display().to_string(),
+                        path: path.display().to_string(),
                     });
                 }
             }

@@ -14,20 +14,32 @@
 //!   flattening an image to a filesystem ([`flatten`]),
 //! * [`Registry`] — named repositories with push/pull blob transfer,
 //! * [`layout`] — on-disk OCI image layout (`oci-layout`, `index.json`,
-//!   `blobs/sha256/…`).
+//!   `blobs/sha256/…`),
+//! * [`disk`] — the crash-safe persistent store ([`DiskStore`],
+//!   [`DiskRegistry`], [`LayoutLock`]): tmp → fsync → atomic-rename
+//!   commits, lazy digest-verified reads, advisory layout locking,
+//! * [`backend`] — the [`RegistryBackend`] trait the wire daemon is
+//!   generic over (in-memory or disk-backed),
+//! * [`fsck`] — torn-layout diagnosis and repair (`comt fsck`).
 
+pub mod backend;
 pub mod codec;
+pub mod disk;
+pub mod fsck;
 pub mod image;
 pub mod layout;
 pub mod spec;
 pub mod store;
 
+pub use backend::{BlobHandle, RegistryBackend};
 pub use codec::{EncodedLayer, LayerCodec};
+pub use disk::{DiskRegistry, DiskStore, LayoutLock};
+pub use fsck::{fsck, FsckFinding, FsckOptions, FsckReport};
 pub use image::{flatten, layer_tar, Image, ImageBuilder, ImageError};
 pub use spec::{
     Descriptor, ImageConfig, ImageIndex, ImageManifest, MediaType, Platform, RuntimeConfig,
 };
-pub use store::{closure_digests, BlobStore, Registry, RegistryError};
+pub use store::{closure_digests, closure_of_manifest, BlobStore, Registry, RegistryError};
 
 /// Serialize a manifest to its canonical JSON bytes (exposed for tests and
 /// tools that need to hand-craft manifests).

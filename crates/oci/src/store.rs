@@ -24,13 +24,42 @@ impl BlobStore {
         d
     }
 
-    /// Store a blob whose digest the caller already computed (the fused
-    /// layer codec hashes while compressing), skipping the re-hash.
+    /// Store a blob whose digest the caller already computed **in the same
+    /// process from the same bytes** (the fused layer codec hashes while
+    /// compressing), skipping the re-hash.
+    ///
+    /// This is a *trusted* fast path: the digest check is a `debug_assert`
+    /// only, so a wrong digest poisons the store in release builds. Never
+    /// call it with a digest that arrived from outside the process (wire
+    /// uploads, files on disk) — that is what [`BlobStore::put_verified`]
+    /// is for.
     pub fn put_prehashed(&mut self, digest: Digest, data: impl Into<Bytes>) -> Digest {
         let data = data.into();
         debug_assert_eq!(digest, Digest::of(&data), "put_prehashed digest mismatch");
         self.blobs.entry(digest).or_insert(data);
         digest
+    }
+
+    /// Store a blob under a caller-claimed digest, re-hashing the content
+    /// first and rejecting a mismatch — in every build profile.
+    ///
+    /// This is the trust boundary for bytes whose address was claimed by
+    /// someone else: registry pushes, wire uploads, files read back from
+    /// disk. Unlike [`BlobStore::put_prehashed`] the verification here is
+    /// real code, not a `debug_assert`, so a poisoned upload can never
+    /// enter the store in a release build.
+    pub fn put_verified(
+        &mut self,
+        digest: Digest,
+        data: impl Into<Bytes>,
+    ) -> Result<Digest, RegistryError> {
+        let data = data.into();
+        let actual = Digest::of(&data);
+        if actual != digest {
+            return Err(RegistryError::DigestMismatch(digest.to_string()));
+        }
+        self.blobs.entry(digest).or_insert(data);
+        Ok(digest)
     }
 
     /// Fetch a blob by digest.
@@ -109,6 +138,10 @@ pub enum RegistryError {
     CorruptManifest(String),
     /// A blob's content does not hash to its digest.
     DigestMismatch(String),
+    /// The backing storage failed (disk I/O, torn layout). Unlike the
+    /// other variants this is the *store's* fault, not the caller's: the
+    /// wire surface maps it to a 5xx, never a 4xx.
+    Storage(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -120,6 +153,7 @@ impl std::fmt::Display for RegistryError {
             RegistryError::DigestMismatch(d) => {
                 write!(f, "blob content does not match digest {d}")
             }
+            RegistryError::Storage(e) => write!(f, "storage failure: {e}"),
         }
     }
 }
@@ -171,7 +205,18 @@ pub fn closure_digests(
     let raw = src
         .get(manifest_digest)
         .ok_or_else(|| RegistryError::MissingBlob(manifest_digest.to_string()))?;
-    let manifest: crate::spec::ImageManifest = serde_json::from_slice(&raw)
+    closure_of_manifest(&raw, manifest_digest)
+}
+
+/// Collect the closure digests from already-fetched manifest bytes: the
+/// manifest itself first, then its config, then every layer in order.
+/// Store-agnostic so that lazy disk-backed stores can walk closures
+/// without materializing anything else.
+pub fn closure_of_manifest(
+    raw: &[u8],
+    manifest_digest: &Digest,
+) -> Result<Vec<Digest>, RegistryError> {
+    let manifest: crate::spec::ImageManifest = serde_json::from_slice(raw)
         .map_err(|e| RegistryError::CorruptManifest(e.to_string()))?;
     let mut out = vec![*manifest_digest];
     let cfg = manifest
@@ -279,6 +324,29 @@ impl Registry {
         verify_blobs(&self.store, &closure)?;
         self.tags.insert(tag.to_string(), manifest_digest);
         Ok(())
+    }
+
+    /// Publish manifest bytes under `tag`: stage the manifest blob, verify
+    /// the full closure is present and bit-correct, and only then make the
+    /// tag visible. On failure a freshly staged manifest blob is unwound so
+    /// a rejected publish leaves no trace. This is the manifest-PUT path of
+    /// the wire protocol.
+    pub fn publish_manifest(
+        &mut self,
+        tag: &str,
+        manifest: Bytes,
+    ) -> Result<Digest, RegistryError> {
+        let fresh = !self.store.contains(&Digest::of(&manifest));
+        let digest = self.store.put(manifest);
+        match self.tag_verified(tag, digest) {
+            Ok(()) => Ok(digest),
+            Err(e) => {
+                if fresh {
+                    self.store.retain(|d| *d != digest);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Pull a tag's manifest closure into a local store; returns the

@@ -43,21 +43,82 @@ impl RawHeader {
     }
 }
 
+/// A value that cannot be represented in its USTAR header field. These
+/// used to be `debug_assert`s, which meant a release build silently
+/// truncated the field and produced a corrupt archive; they are hard
+/// errors at every profile now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// A string field does not fit (name > 100, prefix > 155,
+    /// linkname > 100 bytes) and no fallback representation exists.
+    FieldOverflow {
+        field: &'static str,
+        len: usize,
+        max: usize,
+    },
+    /// A numeric value does not fit its octal field — most notably a file
+    /// of 8 GiB or more overflowing the 12-byte size field.
+    OctalOverflow {
+        field: &'static str,
+        value: u64,
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::FieldOverflow { field, len, max } => write!(
+                f,
+                "tar header field `{field}` overflows: {len} bytes into a {max}-byte field"
+            ),
+            HeaderError::OctalOverflow { field, value, max } => write!(
+                f,
+                "tar header field `{field}` overflows: {value} exceeds the octal maximum {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
 /// Write a NUL-terminated string field.
-fn put_str(block: &mut [u8; BLOCK], off: usize, len: usize, s: &str) {
+fn put_str(
+    block: &mut [u8; BLOCK],
+    off: usize,
+    len: usize,
+    s: &str,
+    field: &'static str,
+) -> Result<(), HeaderError> {
     let bytes = s.as_bytes();
-    debug_assert!(bytes.len() <= len, "field overflow: {s:?} into {len}");
-    let n = bytes.len().min(len);
-    block[off..off + n].copy_from_slice(&bytes[..n]);
+    if bytes.len() > len {
+        return Err(HeaderError::FieldOverflow {
+            field,
+            len: bytes.len(),
+            max: len,
+        });
+    }
+    block[off..off + bytes.len()].copy_from_slice(bytes);
+    Ok(())
 }
 
 /// Write an octal numeric field (NUL-terminated, zero-padded).
-fn put_octal(block: &mut [u8; BLOCK], off: usize, len: usize, value: u64) {
+fn put_octal(
+    block: &mut [u8; BLOCK],
+    off: usize,
+    len: usize,
+    value: u64,
+    field: &'static str,
+) -> Result<(), HeaderError> {
     // len-1 digits + NUL terminator.
+    let max = 8u64.pow(len as u32 - 1) - 1;
+    if value > max {
+        return Err(HeaderError::OctalOverflow { field, value, max });
+    }
     let s = format!("{:0width$o}", value, width = len - 1);
-    debug_assert!(s.len() == len - 1, "octal overflow: {value} into {len}");
     block[off..off + len - 1].copy_from_slice(s.as_bytes());
     block[off + len - 1] = 0;
+    Ok(())
 }
 
 fn read_str(block: &[u8], off: usize, len: usize) -> String {
@@ -104,7 +165,7 @@ pub fn split_path(path: &str) -> Option<(String, String)> {
     None
 }
 
-/// Encode one header block. `name`/`prefix` must already fit their fields.
+/// Encode one header block, rejecting any field that does not fit.
 #[allow(clippy::too_many_arguments)] // mirrors the USTAR field list
 pub fn encode(
     name: &str,
@@ -116,25 +177,25 @@ pub fn encode(
     mtime: u64,
     typeflag: u8,
     linkname: &str,
-) -> [u8; BLOCK] {
+) -> Result<[u8; BLOCK], HeaderError> {
     let mut b = [0u8; BLOCK];
-    put_str(&mut b, 0, 100, name);
-    put_octal(&mut b, 100, 8, mode as u64);
-    put_octal(&mut b, 108, 8, uid as u64);
-    put_octal(&mut b, 116, 8, gid as u64);
-    put_octal(&mut b, 124, 12, size);
-    put_octal(&mut b, 136, 12, mtime);
+    put_str(&mut b, 0, 100, name, "name")?;
+    put_octal(&mut b, 100, 8, mode as u64, "mode")?;
+    put_octal(&mut b, 108, 8, uid as u64, "uid")?;
+    put_octal(&mut b, 116, 8, gid as u64, "gid")?;
+    put_octal(&mut b, 124, 12, size, "size")?;
+    put_octal(&mut b, 136, 12, mtime, "mtime")?;
     // chksum at 148..156 computed below; spec says treat as spaces first.
     b[148..156].copy_from_slice(b"        ");
     b[156] = typeflag;
-    put_str(&mut b, 157, 100, linkname);
+    put_str(&mut b, 157, 100, linkname, "linkname")?;
     b[257..263].copy_from_slice(b"ustar\0");
     b[263..265].copy_from_slice(b"00");
-    put_str(&mut b, 265, 32, "root");
-    put_str(&mut b, 297, 32, "root");
-    put_octal(&mut b, 329, 8, 0);
-    put_octal(&mut b, 337, 8, 0);
-    put_str(&mut b, 345, 155, prefix);
+    put_str(&mut b, 265, 32, "root", "uname")?;
+    put_str(&mut b, 297, 32, "root", "gname")?;
+    put_octal(&mut b, 329, 8, 0, "devmajor")?;
+    put_octal(&mut b, 337, 8, 0, "devminor")?;
+    put_str(&mut b, 345, 155, prefix, "prefix")?;
 
     let sum: u64 = b.iter().map(|&x| x as u64).sum();
     // Checksum field: 6 octal digits, NUL, space.
@@ -142,7 +203,7 @@ pub fn encode(
     b[148..154].copy_from_slice(s.as_bytes());
     b[154] = 0;
     b[155] = b' ';
-    b
+    Ok(b)
 }
 
 /// Validate the checksum of a header block.
@@ -185,7 +246,7 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let b = encode("file.txt", "", 0o644, 10, 20, 1234, 999, TYPE_FILE, "");
+        let b = encode("file.txt", "", 0o644, 10, 20, 1234, 999, TYPE_FILE, "").unwrap();
         assert!(checksum_ok(&b));
         let h = decode(&b);
         assert_eq!(h.name, "file.txt");
@@ -225,7 +286,7 @@ mod tests {
 
     #[test]
     fn checksum_detects_corruption() {
-        let mut b = encode("f", "", 0o644, 0, 0, 0, 0, TYPE_FILE, "");
+        let mut b = encode("f", "", 0o644, 0, 0, 0, 0, TYPE_FILE, "").unwrap();
         b[5] = 0xff;
         assert!(!checksum_ok(&b));
     }
@@ -233,8 +294,44 @@ mod tests {
     #[test]
     fn zero_block_detection() {
         assert!(is_zero_block(&[0u8; BLOCK]));
-        let b = encode("f", "", 0o644, 0, 0, 0, 0, TYPE_FILE, "");
+        let b = encode("f", "", 0o644, 0, 0, 0, 0, TYPE_FILE, "").unwrap();
         assert!(!is_zero_block(&b));
+    }
+
+    #[test]
+    fn size_octal_overflow_is_a_hard_error() {
+        // The 12-byte size field tops out at 8 GiB - 1. This used to be a
+        // debug_assert, so a release build silently wrote a corrupt header
+        // for any file >= 8 GiB; no allocation needed to prove the check.
+        let max = 8u64.pow(11) - 1;
+        assert!(encode("big", "", 0o644, 0, 0, max, 0, TYPE_FILE, "").is_ok());
+        let err = encode("big", "", 0o644, 0, 0, max + 1, 0, TYPE_FILE, "").unwrap_err();
+        assert_eq!(
+            err,
+            HeaderError::OctalOverflow {
+                field: "size",
+                value: max + 1,
+                max,
+            }
+        );
+        assert!(err.to_string().contains("size"));
+    }
+
+    #[test]
+    fn name_field_overflow_is_a_hard_error() {
+        let long = "x".repeat(101);
+        let err = encode(&long, "", 0o644, 0, 0, 0, 0, TYPE_FILE, "").unwrap_err();
+        assert!(matches!(
+            err,
+            HeaderError::FieldOverflow {
+                field: "name",
+                len: 101,
+                max: 100,
+            }
+        ));
+        // Linkname has the same 100-byte limit and no fallback record.
+        let err = encode("l", "", 0o777, 0, 0, 0, 0, TYPE_SYMLINK, &long).unwrap_err();
+        assert!(matches!(err, HeaderError::FieldOverflow { field: "linkname", .. }));
     }
 
     #[test]

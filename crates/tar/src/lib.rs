@@ -22,6 +22,7 @@ mod reader;
 mod writer;
 
 pub use bytes::Bytes;
+pub use header::HeaderError;
 pub use reader::{read_archive, ReadError};
 pub use writer::{FnSink, TarSink, Writer};
 
@@ -102,12 +103,13 @@ impl Entry {
 }
 
 /// Serialize entries into a complete archive (convenience over [`Writer`]).
-pub fn write_archive(entries: &[Entry]) -> Vec<u8> {
+/// Fails if any entry cannot be represented (see [`Writer::append`]).
+pub fn write_archive(entries: &[Entry]) -> Result<Vec<u8>, HeaderError> {
     let mut w = Writer::new();
     for e in entries {
-        w.append(e);
+        w.append(e)?;
     }
-    w.finish()
+    Ok(w.finish())
 }
 
 #[cfg(test)]
@@ -115,7 +117,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(entries: Vec<Entry>) -> Vec<Entry> {
-        read_archive(&write_archive(&entries)).expect("roundtrip read")
+        read_archive(&write_archive(&entries).expect("writable entries")).expect("roundtrip read")
     }
 
     #[test]
@@ -182,20 +184,28 @@ mod tests {
 
     #[test]
     fn empty_archive() {
-        let bytes = write_archive(&[]);
+        let bytes = write_archive(&[]).unwrap();
         assert_eq!(bytes.len(), 1024); // two zero end blocks
         assert!(read_archive(&bytes).unwrap().is_empty());
     }
 
     #[test]
     fn archive_is_block_aligned() {
-        let bytes = write_archive(&[Entry::file("a", vec![9u8; 700], 0o644)]);
+        let bytes = write_archive(&[Entry::file("a", vec![9u8; 700], 0o644)]).unwrap();
         assert_eq!(bytes.len() % 512, 0);
     }
 
     #[test]
+    fn unrepresentable_entry_fails_whole_archive() {
+        // >100-byte symlink target: hard error in every build profile
+        // (used to be a debug_assert + silent truncation in release).
+        let err = write_archive(&[Entry::symlink("l", "t".repeat(200))]).unwrap_err();
+        assert!(matches!(err, HeaderError::FieldOverflow { field: "linkname", .. }));
+    }
+
+    #[test]
     fn corrupt_checksum_rejected() {
-        let mut bytes = write_archive(&[Entry::file("a", b"z".to_vec(), 0o644)]);
+        let mut bytes = write_archive(&[Entry::file("a", b"z".to_vec(), 0o644)]).unwrap();
         bytes[0] ^= 0xff; // clobber first name byte
         assert!(matches!(
             read_archive(&bytes),
@@ -205,7 +215,7 @@ mod tests {
 
     #[test]
     fn truncated_archive_rejected() {
-        let bytes = write_archive(&[Entry::file("a", vec![1u8; 600], 0o644)]);
+        let bytes = write_archive(&[Entry::file("a", vec![1u8; 600], 0o644)]).unwrap();
         assert!(matches!(
             read_archive(&bytes[..700]),
             Err(ReadError::UnexpectedEof)

@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn missing_terminator_tolerated() {
-        let bytes = write_archive(&[Entry::file("a", b"x".to_vec(), 0o644)]);
+        let bytes = write_archive(&[Entry::file("a", b"x".to_vec(), 0o644)]).unwrap();
         // Strip the two terminator blocks.
         let stripped = &bytes[..bytes.len() - 1024];
         let entries = read_archive(stripped).unwrap();
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn unsupported_type_reported_with_path() {
-        let hdr = crate::header::encode("dev", "", 0o644, 0, 0, 0, 0, b'3', "");
+        let hdr = crate::header::encode("dev", "", 0o644, 0, 0, 0, 0, b'3', "").unwrap();
         let mut bytes = hdr.to_vec();
         bytes.extend_from_slice(&[0u8; 1024]);
         match read_archive(&bytes) {

@@ -39,7 +39,7 @@ proptest! {
 
     #[test]
     fn roundtrip_entries(entries in prop::collection::vec(arb_entry(), 0..12)) {
-        let bytes = write_archive(&entries);
+        let bytes = write_archive(&entries).unwrap();
         prop_assert_eq!(bytes.len() % 512, 0);
         let back = read_archive(&bytes).unwrap();
         prop_assert_eq!(back, entries);
@@ -49,7 +49,7 @@ proptest! {
     fn roundtrip_long_paths(depth in 10usize..40, name in "[a-z]{1,20}") {
         let path = format!("{}{}", "segment-dir/".repeat(depth), name);
         let entries = vec![Entry::file(path, b"content".to_vec(), 0o644)];
-        let back = read_archive(&write_archive(&entries)).unwrap();
+        let back = read_archive(&write_archive(&entries).unwrap()).unwrap();
         prop_assert_eq!(back, entries);
     }
 }

@@ -184,7 +184,8 @@ fn whiteout_shadowing_replay_input_is_flagged() {
         "src/.wh.main.c".to_string(),
         Vec::new(),
         0o644,
-    )]);
+    )])
+    .unwrap();
     let diff_id = comt_digest::Digest::of(&tar).to_oci_string();
     let size = tar.len() as u64;
     let digest = oci.blobs.put(Bytes::from(tar));

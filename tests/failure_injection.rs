@@ -26,7 +26,7 @@ fn tamper_cache_layer(
     let tar = oci.blobs.get(&digest).unwrap();
     let mut entries = comt_tar::read_archive(&tar).unwrap();
     edit(&mut entries);
-    let new_tar = comt_tar::write_archive(&entries);
+    let new_tar = comt_tar::write_archive(&entries).unwrap();
 
     // Rebuild the manifest with the tampered layer.
     let mut out = oci.clone();
