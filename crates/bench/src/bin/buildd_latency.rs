@@ -1,0 +1,135 @@
+//! Extension experiment — buildd job latency, cold vs warm cache (not a
+//! paper figure).
+//!
+//! Starts a loopback `comt buildd` daemon over a real extended image and
+//! measures end-to-end job latency as seen by a remote submitter: submit
+//! over the wire, wait for the terminal state, fetch the streamed observe
+//! report. The first job runs against a cold shared artifact cache and
+//! pays every compile; repeat jobs from other tenants must be satisfied
+//! entirely from the cache (zero compile execs). Emits the results as
+//! `BENCH_buildd_latency.json` so the perf trajectory is machine-diffable
+//! across runs.
+//!
+//! ```text
+//! buildd_latency [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the app set and iteration count (the CI
+//! configuration); the zero-compile warm-cache invariant is asserted in
+//! both modes.
+
+use comt_bench::report::{json_report, json_row, table};
+use comt_bench::Lab;
+use comt_dist::{serve_buildd, BuilddClient, HttpOptions, JobRequest};
+use comt_pkg::catalog;
+use comtainer::{BuildService, ServiceOptions};
+use serde::Value;
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(300);
+
+/// Submit one job and block to its terminal state; returns the wire
+/// latency and the engine's compile-exec count from the streamed report.
+fn run_job(client: &BuilddClient, tenant: &str, ext_ref: &str) -> (f64, u64) {
+    let t = Instant::now();
+    let status = client
+        .submit(&JobRequest::new(tenant, ext_ref))
+        .expect("submit");
+    let fin = client.wait(status.id, DEADLINE).expect("wait");
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(fin.state, "done", "job failed: {:?}", fin.error);
+    let report = client
+        .report(status.id)
+        .expect("fetch report")
+        .expect("done job has a report");
+    (wall, report.counter("exec.compile"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_buildd_latency.json".to_string());
+    let apps: &[&'static str] = if smoke {
+        &["hpccg"]
+    } else {
+        &["hpccg", "lulesh", "minimd"]
+    };
+    let warm_iters = if smoke { 2 } else { 5 };
+
+    println!("== Extension: buildd job latency, cold vs warm shared cache ==\n");
+
+    let mut lab = Lab::new("x86_64", catalog::MINI_SCALE);
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<Value> = Vec::new();
+
+    for app in apps {
+        let art = lab.prepare_app(app);
+        let ext_ref = format!("{app}.dist+coM");
+
+        // Fresh daemon per app: the first wire job sees a cold artifact
+        // cache, everything after it a fully warm one.
+        let svc = BuildService::start(
+            art.oci,
+            ServiceOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let server =
+            serve_buildd(svc, "127.0.0.1:0", HttpOptions::default()).expect("bind loopback buildd");
+        let mut client = BuilddClient::new(server.addr().to_string());
+        client.poll_interval = Duration::from_millis(2);
+
+        let (cold_s, cold_compiles) = run_job(&client, "cold-tenant", &ext_ref);
+        assert!(
+            cold_compiles > 0,
+            "{app}: cold job should pay its compiles"
+        );
+
+        let mut warm_best = f64::INFINITY;
+        for i in 0..warm_iters {
+            let (warm_s, warm_compiles) = run_job(&client, &format!("tenant-{i}"), &ext_ref);
+            assert_eq!(
+                warm_compiles, 0,
+                "{app}: warm repeat workload must compile nothing"
+            );
+            warm_best = warm_best.min(warm_s);
+        }
+        let speedup = cold_s / warm_best.max(1e-9);
+
+        rows.push(vec![
+            app.to_string(),
+            format!("{:.1}", cold_s * 1e3),
+            format!("{:.1}", warm_best * 1e3),
+            format!("{speedup:.2}"),
+            cold_compiles.to_string(),
+        ]);
+        json_rows.push(json_row(vec![
+            ("app", Value::Str(app.to_string())),
+            ("cold_ms", Value::Float(cold_s * 1e3)),
+            ("warm_ms", Value::Float(warm_best * 1e3)),
+            ("warm_speedup", Value::Float(speedup)),
+            ("cold_compile_execs", Value::Int(cold_compiles as i64)),
+            ("warm_compile_execs", Value::Int(0)),
+            ("warm_iters", Value::Int(warm_iters as i64)),
+        ]));
+        server.shutdown();
+    }
+
+    println!(
+        "{}",
+        table(
+            &["app", "cold ms", "warm ms", "speedup", "cold compiles"],
+            &rows
+        )
+    );
+
+    let json = json_report("buildd_latency", json_rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

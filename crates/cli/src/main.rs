@@ -12,9 +12,12 @@
 //! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--stats]
 //! comt cross-check <layout-dir> <ext-ref>  <target-isa>
 //! comt serve       <layout-dir> [--addr HOST:PORT] [--threads N]
+//! comt buildd      <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]
+//! comt submit      <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--priority N] [--wait] [--stats]
+//! comt jobs        --remote HOST:PORT [--tenant NAME] [--cancel ID]
 //! comt push        <layout-dir> <ref> --remote HOST:PORT [--stats]
 //! comt pull        <layout-dir> <ref> --remote HOST:PORT [--stats]
-//! comt gc          <layout-dir> [--apply]
+//! comt gc          <layout-dir> [--apply] [--format json]
 //! comt fsck        <layout-dir> [--repair] [--format json]
 //! ```
 //!
@@ -25,10 +28,14 @@
 
 use comtainer::crossisa::analyze_cross;
 use comtainer::{
-    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache, ComtError,
-    LtoAdapter, NativeToolchainAdapter, Phase, RebuildOptions, SystemAdapter, SystemSide,
+    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache,
+    BuildService, ComtError, LtoAdapter, NativeToolchainAdapter, Phase, RebuildOptions,
+    ServiceOptions, SystemAdapter, SystemSide,
 };
-use comt_dist::{serve, split_ref, DistClient, DistError, ServerOptions};
+use comt_dist::{
+    serve, serve_buildd, split_ref, BuilddClient, DistClient, DistError, HttpOptions,
+    JobRequest, JobStatusWire, ServerOptions,
+};
 use comt_oci::layout::OciDir;
 use comt_oci::spec::{Descriptor, MediaType};
 use comt_oci::DiskRegistry;
@@ -38,7 +45,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply]\n  comt fsck <layout-dir> [--repair] [--format json]"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
     );
     ExitCode::from(2)
 }
@@ -318,6 +325,161 @@ fn cmd_serve(dir: &str, args: &[String]) -> Result<(), String> {
     }
 }
 
+fn cmd_buildd(dir: &str, args: &[String]) -> Result<(), String> {
+    // Multi-tenant rebuild daemon: one shared engine and artifact cache
+    // behind the wire. Results persist back into the layout crash-safely
+    // after every job, so a restarted daemon picks up where it left off.
+    let oci = load_layout(dir)?;
+    let mut opts = ServiceOptions {
+        persist: Some(Path::new(dir).to_path_buf()),
+        ..Default::default()
+    };
+    if let Ok(n) = opt_value(args, "--workers", "").parse::<usize>() {
+        opts.workers = n.max(1);
+    }
+    if let Ok(n) = opt_value(args, "--quota", "").parse::<usize>() {
+        opts.default_quota = n;
+    }
+    let nrefs = oci.index.ref_names().len();
+    let addr = opt_value(args, "--addr", "127.0.0.1:7071");
+    let svc = BuildService::start(oci, opts.clone());
+    let server = serve_buildd(svc, addr.as_str(), HttpOptions::default())
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "buildd serving {dir} on {} ({nrefs} refs, {} workers, quota {}/tenant)",
+        server.addr(),
+        opts.workers,
+        opts.default_quota
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Wrap a buildd transport failure into the pipeline's error convention.
+fn buildd_failure(op: &str, e: DistError) -> String {
+    let err = ComtError::oci(format!("{op} failed"))
+        .with_phase(Phase::Distribute)
+        .with_source(e);
+    render_error_chain(&err)
+}
+
+fn render_job(s: &JobStatusWire) -> String {
+    let mut line = format!("job {} [{}] {} state={}", s.id, s.tenant, s.extended_ref, s.state);
+    if let Some(r) = &s.result_ref {
+        line.push_str(&format!(" result={r}"));
+    }
+    if let Some(e) = &s.error {
+        line.push_str(&format!(" error={e}"));
+    }
+    line
+}
+
+fn cmd_submit(r: &str, args: &[String]) -> Result<(), String> {
+    let addr = remote_addr(args)?;
+    let tenant = opt_value(args, "--tenant", "");
+    if tenant.is_empty() {
+        return Err("missing --tenant NAME".into());
+    }
+    let mut jr = JobRequest::new(&tenant, r);
+    jr.isa = opt_value(args, "--isa", "x86_64");
+    jr.lto = flag(args, "--lto");
+    jr.parallel = flag(args, "--parallel");
+    let prio = opt_value(args, "--priority", "0");
+    jr.priority = prio
+        .parse::<u8>()
+        .map_err(|_| format!("bad --priority {prio}: expected 0-255"))?;
+
+    let client = BuilddClient::new(addr.clone());
+    let status = client
+        .submit(&jr)
+        .map_err(|e| buildd_failure(&format!("submit of {r}"), e))?;
+    let id = status.id;
+    println!("submitted to {addr}: {}", render_job(&status));
+    if !flag(args, "--wait") && !flag(args, "--stats") {
+        return Ok(());
+    }
+
+    // Follow the job to completion, relaying its log lines as they land.
+    // `--stats` additionally fetches the per-job observe report the daemon
+    // captured — the same output a local `comt rebuild --stats` prints.
+    let mut at_line_start = true;
+    let fin = client
+        .stream_logs(id, |chunk| {
+            for line in chunk.split_inclusive('\n') {
+                if at_line_start {
+                    print!("job {id} | ");
+                }
+                print!("{line}");
+                at_line_start = line.ends_with('\n');
+            }
+        })
+        .map_err(|e| buildd_failure(&format!("wait for job {id}"), e))?;
+    if !at_line_start {
+        println!();
+    }
+    println!("{}", render_job(&fin));
+    if flag(args, "--stats") {
+        match client
+            .report(id)
+            .map_err(|e| buildd_failure(&format!("report for job {id}"), e))?
+        {
+            Some(report) => print!("{}", report.render()),
+            None => println!("(no report: job did not complete a rebuild)"),
+        }
+    }
+    if fin.state == "done" {
+        Ok(())
+    } else {
+        Err(format!(
+            "job {id} {}: {}",
+            fin.state,
+            fin.error.as_deref().unwrap_or("(no error detail)")
+        ))
+    }
+}
+
+fn cmd_jobs(args: &[String]) -> Result<(), String> {
+    let addr = remote_addr(args)?;
+    let client = BuilddClient::new(addr);
+    let cancel = opt_value(args, "--cancel", "");
+    if !cancel.is_empty() {
+        let id = cancel
+            .parse::<u64>()
+            .map_err(|_| format!("bad --cancel {cancel}: expected a job id"))?;
+        let status = client
+            .cancel(id)
+            .map_err(|e| buildd_failure(&format!("cancel of job {id}"), e))?;
+        println!("{}", render_job(&status));
+        return Ok(());
+    }
+    let tenant = opt_value(args, "--tenant", "");
+    let tenant = (!tenant.is_empty()).then_some(tenant);
+    let jobs = client
+        .list(tenant.as_deref())
+        .map_err(|e| buildd_failure("job listing", e))?;
+    if jobs.is_empty() {
+        println!("no jobs");
+        return Ok(());
+    }
+    println!(
+        "{:>4}  {:12}  {:9}  {:4}  {:28}  RESULT",
+        "ID", "TENANT", "STATE", "PRIO", "REF"
+    );
+    for j in &jobs {
+        println!(
+            "{:>4}  {:12}  {:9}  {:4}  {:28}  {}",
+            j.id,
+            j.tenant,
+            j.state,
+            j.priority,
+            j.extended_ref,
+            j.result_ref.as_deref().unwrap_or("-")
+        );
+    }
+    Ok(())
+}
+
 fn cmd_push(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     let oci = load_layout(dir)?;
     let addr = remote_addr(args)?;
@@ -367,16 +529,57 @@ fn cmd_pull(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Minimal JSON string escape for the hand-built `gc --format json` body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn cmd_gc(dir: &str, args: &[String]) -> Result<(), String> {
     if !Path::new(dir).exists() {
         return Err(format!("no such layout: {dir}"));
     }
+    let json = opt_value(args, "--format", "human") == "json";
     // Disk-aware sweep under the layout lock: the closure walk reads only
     // manifest blobs, and dead blob *files* are actually deleted (the old
     // in-memory gc dropped them from a copy that was then re-saved whole).
     let mut reg =
         DiskRegistry::open(Path::new(dir)).map_err(|e| format!("open layout {dir}: {e}"))?;
     let (dead, bytes) = reg.gc_plan().map_err(|e| format!("gc {dir}: {e}"))?;
+    let apply = flag(args, "--apply");
+    let applied = if apply && !dead.is_empty() {
+        Some(reg.gc_apply().map_err(|e| format!("gc {dir}: {e}"))?)
+    } else {
+        None
+    };
+
+    if json {
+        // Machine-consumable sweep summary, mirroring `fsck --format json`.
+        let digests: Vec<String> = dead.iter().map(|d| format!("\"{d}\"")).collect();
+        let mut body = format!(
+            "{{\"layout\":\"{}\",\"unreachable\":[{}],\"reclaimable_bytes\":{bytes},\"applied\":{apply}",
+            json_escape(dir),
+            digests.join(",")
+        );
+        if let Some((n, reclaimed)) = applied {
+            body.push_str(&format!(",\"removed\":{n},\"reclaimed_bytes\":{reclaimed}"));
+        }
+        body.push('}');
+        println!("{body}");
+        return Ok(());
+    }
+
     let mib = bytes as f64 / (1024.0 * 1024.0);
     if dead.is_empty() {
         let total = reg
@@ -390,17 +593,15 @@ fn cmd_gc(dir: &str, args: &[String]) -> Result<(), String> {
     for d in &dead {
         println!("unreachable {d}");
     }
-    if flag(args, "--apply") {
-        let (n, reclaimed) = reg.gc_apply().map_err(|e| format!("gc {dir}: {e}"))?;
-        println!(
+    match applied {
+        Some((n, reclaimed)) => println!(
             "removed {n} blob(s), reclaimed {:.2} MiB",
             reclaimed as f64 / (1024.0 * 1024.0)
-        );
-    } else {
-        println!(
+        ),
+        None => println!(
             "{} unreachable blob(s), {mib:.2} MiB reclaimable (dry run; pass --apply to delete)",
             dead.len()
-        );
+        ),
     }
     Ok(())
 }
@@ -468,6 +669,9 @@ fn main() -> ExitCode {
         [cmd, dir, r, rest @ ..] if cmd == "adapt" => cmd_adapt(dir, r, rest),
         [cmd, dir, r, isa] if cmd == "cross-check" => cmd_cross_check(dir, r, isa),
         [cmd, dir, rest @ ..] if cmd == "serve" => cmd_serve(dir, rest),
+        [cmd, dir, rest @ ..] if cmd == "buildd" => cmd_buildd(dir, rest),
+        [cmd, r, rest @ ..] if cmd == "submit" => cmd_submit(r, rest),
+        [cmd, rest @ ..] if cmd == "jobs" => cmd_jobs(rest),
         [cmd, dir, r, rest @ ..] if cmd == "push" => cmd_push(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "pull" => cmd_pull(dir, r, rest),
         [cmd, dir, rest @ ..] if cmd == "gc" => cmd_gc(dir, rest),
@@ -495,6 +699,35 @@ mod tests {
         assert!(rendered.contains("pull of app.dist+coM failed"), "{rendered}");
         assert!(rendered.contains("caused by: read response"), "{rendered}");
         assert!(rendered.contains("caused by: peer reset"), "{rendered}");
+    }
+
+    #[test]
+    fn gc_json_escape_covers_quotes_and_controls() {
+        assert_eq!(json_escape("plain/path.oci"), "plain/path.oci");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+    }
+
+    #[test]
+    fn render_job_shows_result_and_error() {
+        let mut s = JobStatusWire {
+            id: 7,
+            tenant: "alice".into(),
+            extended_ref: "app.dist+coM".into(),
+            state: "done".into(),
+            priority: 0,
+            result_ref: Some("app.dist+coMre".into()),
+            error: None,
+            started_seq: Some(1),
+        };
+        let line = render_job(&s);
+        assert!(line.contains("job 7 [alice]"), "{line}");
+        assert!(line.contains("result=app.dist+coMre"), "{line}");
+        s.state = "failed".into();
+        s.result_ref = None;
+        s.error = Some("boom".into());
+        let line = render_job(&s);
+        assert!(line.contains("error=boom"), "{line}");
     }
 
     #[test]

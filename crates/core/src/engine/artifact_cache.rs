@@ -72,30 +72,79 @@ pub fn step_key(inputs: &StepKeyInputs<'_>, files: &[(String, Digest)]) -> Diges
     comt_digest::fingerprint(&refs)
 }
 
+/// Shard count. Keys are content digests, so any byte is uniformly
+/// distributed; the first byte picks the shard.
+const CACHE_SHARDS: usize = 16;
+
+/// One independently locked slice of the cache. Entries carry an insertion
+/// stamp so capacity eviction can approximate FIFO within the shard.
+#[derive(Debug, Default)]
+struct CacheShard {
+    map: HashMap<Digest, (u64, Arc<StepOutputs>)>,
+    stamp: u64,
+}
+
 /// Thread-safe content-addressed store of compile-step outputs. Cheap to
 /// clone through an [`Arc`]; shared across engine runs via
-/// [`crate::RebuildOptions::artifact_cache`].
-#[derive(Debug, Default)]
+/// [`crate::RebuildOptions::artifact_cache`] — and, in `comt buildd`,
+/// across every tenant's jobs for the lifetime of the daemon.
+///
+/// Internally the map is split into [`CACHE_SHARDS`] independently locked
+/// shards selected by the first key byte, so concurrent jobs probing and
+/// filling the cache from scheduler worker threads don't serialize on one
+/// mutex. An optional per-shard capacity bounds residency for long-lived
+/// services; eviction is oldest-first within the overfull shard and counted
+/// in [`ArtifactCache::evictions`].
+#[derive(Debug)]
 pub struct ArtifactCache {
-    map: Mutex<HashMap<Digest, Arc<StepOutputs>>>,
+    shards: Vec<Mutex<CacheShard>>,
+    /// Max entries per shard (`None` = unbounded, the one-shot CLI shape).
+    shard_capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            shard_capacity: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ArtifactCache {
-    /// A fresh shared cache.
+    /// A fresh shared cache with unbounded residency.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// A fresh shared cache holding at most `max_entries` steps (rounded up
+    /// to a multiple of the shard count). For long-lived services.
+    pub fn with_capacity(max_entries: usize) -> Arc<Self> {
+        Arc::new(ArtifactCache {
+            shard_capacity: Some(max_entries.div_ceil(CACHE_SHARDS).max(1)),
+            ..Self::default()
+        })
+    }
+
+    fn shard(&self, key: &Digest) -> &Mutex<CacheShard> {
+        &self.shards[key.raw()[0] as usize % CACHE_SHARDS]
     }
 
     /// Look up a step key, counting the probe as a hit or miss.
     pub fn get(&self, key: &Digest) -> Option<Arc<StepOutputs>> {
         let found = self
-            .map
+            .shard(key)
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .map
             .get(key)
-            .cloned();
+            .map(|(_, v)| Arc::clone(v));
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -103,17 +152,33 @@ impl ArtifactCache {
         found
     }
 
-    /// Store the outputs for a step key.
+    /// Store the outputs for a step key, evicting the oldest entries in the
+    /// shard if it is at capacity.
     pub fn put(&self, key: Digest, outputs: StepOutputs) {
-        self.map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, Arc::new(outputs));
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.stamp += 1;
+        let stamp = shard.stamp;
+        shard.map.insert(key, (stamp, Arc::new(outputs)));
+        if let Some(cap) = self.shard_capacity {
+            while shard.map.len() > cap {
+                let oldest = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(k, _)| *k)
+                    .expect("overfull shard is non-empty");
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// Number of cached steps.
+    /// Number of cached steps across all shards.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -128,6 +193,11 @@ impl ArtifactCache {
     /// Lifetime miss count.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of entries dropped by capacity eviction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -184,6 +254,41 @@ mod tests {
             ..base
         };
         assert_ne!(step_key(&base, &files), step_key(&triple_only, &files));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_within_shard() {
+        // Per-shard capacity of 1: a second insert landing in the same
+        // shard must evict the first and count it.
+        let cache = ArtifactCache::with_capacity(1);
+        let mut keys: Vec<Digest> = (0..64u32)
+            .map(|i| comt_digest::fingerprint(&[i.to_le_bytes().as_slice()]))
+            .collect();
+        // Find two keys that share a shard.
+        keys.sort_by_key(|k| k.raw()[0] as usize % CACHE_SHARDS);
+        let (a, b) = {
+            let pair = keys
+                .windows(2)
+                .find(|w| w[0].raw()[0] as usize % CACHE_SHARDS == w[1].raw()[0] as usize % CACHE_SHARDS)
+                .expect("64 keys over 16 shards must collide");
+            (pair[0], pair[1])
+        };
+        cache.put(a, vec![("a".into(), vec![1])]);
+        cache.put(b, vec![("b".into(), vec![2])]);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&a).is_none(), "oldest entry evicted");
+        assert!(cache.get(&b).is_some(), "newest entry retained");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ArtifactCache::new();
+        for i in 0..256u32 {
+            let key = comt_digest::fingerprint(&[i.to_le_bytes().as_slice()]);
+            cache.put(key, vec![]);
+        }
+        assert_eq!(cache.len(), 256);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 
 pub mod artifact_cache;
 pub mod scheduler;
+pub mod service;
 
 pub use artifact_cache::{step_key, ArtifactCache, StepKeyInputs, StepOutputs};
+pub use service::{BuildService, JobSpec, JobState, JobStatus, ServiceOptions};
 
 use crate::adapters::chain_fingerprint;
 use crate::backend::RebuildOptions;

@@ -61,7 +61,10 @@ pub use backend::{
     rebuild, rebuild_artifacts, rebuild_artifacts_with_report, RebuildOptions,
 };
 pub use cache::{load_cache, CacheContents};
-pub use engine::{ArtifactCache, EngineCtx, RebuildEngine};
+pub use engine::{
+    ArtifactCache, BuildService, EngineCtx, JobSpec, JobState, JobStatus, RebuildEngine,
+    ServiceOptions,
+};
 pub use frontend::analyze;
 pub use images::StockImages;
 pub use models::{

@@ -1,0 +1,669 @@
+//! `comt buildd` on the wire: job endpoints over the shared HTTP core,
+//! plus the resumable client.
+//!
+//! The daemon side ([`serve_buildd`]) is a thin routing layer over
+//! [`comtainer::BuildService`] — the multi-tenant scheduler, quota
+//! accounting and shared artifact cache all live in the core engine; this
+//! module only translates jobs to and from JSON. The wire surface:
+//!
+//! ```text
+//! POST /buildd/jobs                    submit {tenant, ref, isa, lto,
+//!                                      parallel, priority} → 202 + status
+//! GET  /buildd/jobs[?tenant=T]         list job statuses
+//! GET  /buildd/jobs/<id>               one job status
+//! POST /buildd/jobs/<id>/cancel        cancel (idempotent)
+//! GET  /buildd/jobs/<id>/report        the job's observe report (JSON,
+//!                                      404 until the job is done)
+//! GET  /buildd/jobs/<id>/log?offset=N  log suffix from byte N + done flag
+//! GET  /buildd/stats                   service-level observe report
+//! ```
+//!
+//! [`BuilddClient`] rides [`DistClient`]'s transport — the same bounded
+//! retry loop, per-attempt deadlines and jittered backoff the registry
+//! client uses — so a flaky network between submitter and build farm is
+//! survived, not surfaced. Log streaming is **resumable by construction**:
+//! the client tracks its byte offset and re-requests the suffix, so a
+//! dropped poll never loses or duplicates log lines. Completed jobs stream
+//! their engine [`Report`] back, letting a remote submitter print exactly
+//! what a local `--stats` run would.
+
+use crate::http::{serve_http, HttpAction, HttpHandler, HttpOptions, HttpServer};
+use crate::wire::{Request, Response};
+use crate::DistClient;
+use crate::DistError;
+use comt_observe::Report;
+use comtainer::{BuildService, JobSpec, JobStatus};
+use serde::Value;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serialize a hand-built [`Value`] tree to compact JSON (the vendored
+/// `Serialize` trait converts *to* `Value`, so an identity wrapper passes
+/// one through).
+fn to_json_text(v: &Value) -> String {
+    struct Raw<'a>(&'a Value);
+    impl serde::Serialize for Raw<'_> {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string(&Raw(v)).expect("literal value serializes")
+}
+
+/// A job submission as it travels over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    pub tenant: String,
+    pub extended_ref: String,
+    pub isa: String,
+    pub lto: bool,
+    pub parallel: bool,
+    pub priority: u8,
+}
+
+impl JobRequest {
+    /// Default-shaped request: native x86-64, serial replay, priority 0.
+    pub fn new(tenant: &str, extended_ref: &str) -> Self {
+        JobRequest {
+            tenant: tenant.to_string(),
+            extended_ref: extended_ref.to_string(),
+            isa: "x86_64".to_string(),
+            lto: false,
+            parallel: false,
+            priority: 0,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let v = Value::Object(vec![
+            ("tenant".into(), Value::Str(self.tenant.clone())),
+            ("ref".into(), Value::Str(self.extended_ref.clone())),
+            ("isa".into(), Value::Str(self.isa.clone())),
+            ("lto".into(), Value::Bool(self.lto)),
+            ("parallel".into(), Value::Bool(self.parallel)),
+            ("priority".into(), Value::Int(self.priority as i64)),
+        ]);
+        to_json_text(&v)
+    }
+
+    fn from_json(body: &[u8]) -> Result<JobRequest, String> {
+        let text = std::str::from_utf8(body).map_err(|e| format!("body not UTF-8: {e}"))?;
+        let v = serde_json::parse_value(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let obj = v.as_object().ok_or("job must be a JSON object")?;
+        let string = |key: &str| -> Result<String, String> {
+            Value::field(obj, key)
+                .and_then(|v| v.as_str())
+                .map(String::from)
+                .ok_or(format!("missing or non-string field {key:?}"))
+        };
+        let boolean = |key: &str| match Value::field(obj, key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            None => Ok(false),
+            Some(other) => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        };
+        let tenant = string("tenant")?;
+        if tenant.is_empty() {
+            return Err("tenant must be non-empty".into());
+        }
+        Ok(JobRequest {
+            tenant,
+            extended_ref: string("ref")?,
+            isa: string("isa").unwrap_or_else(|_| "x86_64".into()),
+            lto: boolean("lto")?,
+            parallel: boolean("parallel")?,
+            priority: match Value::field(obj, "priority") {
+                Some(Value::Int(n)) if (0..=255).contains(n) => *n as u8,
+                None => 0,
+                Some(other) => return Err(format!("bad priority: {other:?}")),
+            },
+        })
+    }
+
+    fn into_spec(self) -> JobSpec {
+        JobSpec {
+            tenant: self.tenant,
+            extended_ref: self.extended_ref,
+            isa: self.isa,
+            lto: self.lto,
+            parallel: self.parallel,
+            priority: self.priority,
+        }
+    }
+}
+
+/// A job status snapshot as it travels over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatusWire {
+    pub id: u64,
+    pub tenant: String,
+    pub extended_ref: String,
+    /// `queued | running | done | failed | cancelled`.
+    pub state: String,
+    pub priority: u8,
+    pub result_ref: Option<String>,
+    pub error: Option<String>,
+    pub started_seq: Option<u64>,
+}
+
+impl JobStatusWire {
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state.as_str(), "done" | "failed" | "cancelled")
+    }
+
+    fn value(&self) -> Value {
+        let opt = |s: &Option<String>| match s {
+            Some(s) => Value::Str(s.clone()),
+            None => Value::Null,
+        };
+        let seq = match self.started_seq {
+            Some(n) => Value::Int(n as i64),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("id".into(), Value::Int(self.id as i64)),
+            ("tenant".into(), Value::Str(self.tenant.clone())),
+            ("ref".into(), Value::Str(self.extended_ref.clone())),
+            ("state".into(), Value::Str(self.state.clone())),
+            ("priority".into(), Value::Int(self.priority as i64)),
+            ("result_ref".into(), opt(&self.result_ref)),
+            ("error".into(), opt(&self.error)),
+            ("started_seq".into(), seq),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<JobStatusWire, DistError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DistError::protocol("job status must be an object"))?;
+        let string = |key: &str| -> Result<String, DistError> {
+            Value::field(obj, key)
+                .and_then(|v| v.as_str())
+                .map(String::from)
+                .ok_or_else(|| DistError::protocol(format!("job status missing {key:?}")))
+        };
+        let opt_string = |key: &str| match Value::field(obj, key) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let int = |key: &str| match Value::field(obj, key) {
+            Some(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+            other => Err(DistError::protocol(format!("bad field {key:?}: {other:?}"))),
+        };
+        Ok(JobStatusWire {
+            id: int("id")?,
+            tenant: string("tenant")?,
+            extended_ref: string("ref")?,
+            state: string("state")?,
+            priority: int("priority")? as u8,
+            result_ref: opt_string("result_ref"),
+            error: opt_string("error"),
+            started_seq: match Value::field(obj, "started_seq") {
+                Some(Value::Int(n)) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            },
+        })
+    }
+
+    fn from_status(s: &JobStatus) -> JobStatusWire {
+        JobStatusWire {
+            id: s.id,
+            tenant: s.spec.tenant.clone(),
+            extended_ref: s.spec.extended_ref.clone(),
+            state: s.state.as_str().to_string(),
+            priority: s.spec.priority,
+            result_ref: s.result_ref.clone(),
+            error: s.error.clone(),
+            started_seq: s.started_seq,
+        }
+    }
+}
+
+/// The buildd routing layer over the shared HTTP core.
+struct BuilddHandler {
+    svc: Arc<BuildService>,
+}
+
+impl HttpHandler for BuilddHandler {
+    fn metrics_prefix(&self) -> &'static str {
+        "buildd.server"
+    }
+
+    fn handle(&self, req: &Request) -> (&'static str, HttpAction) {
+        dispatch(req, &self.svc)
+    }
+}
+
+fn json_response(status: u16, v: &Value) -> HttpAction {
+    HttpAction::Respond(
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(to_json_text(v)),
+    )
+}
+
+fn json_error(status: u16, detail: impl Into<String>) -> HttpAction {
+    json_response(
+        status,
+        &Value::Object(vec![("error".into(), Value::Str(detail.into()))]),
+    )
+}
+
+fn report_response(report: &Report) -> HttpAction {
+    HttpAction::Respond(
+        Response::new(200)
+            .with_header("Content-Type", "application/json")
+            .with_body(report.to_json()),
+    )
+}
+
+/// Route one buildd request.
+fn dispatch(req: &Request, svc: &BuildService) -> (&'static str, HttpAction) {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    match (req.method.as_str(), path) {
+        ("POST", "/buildd/jobs") => ("job_submit", job_submit(req, svc)),
+        ("GET", "/buildd/jobs") => ("job_list", job_list(query, svc)),
+        ("GET", "/buildd/stats") => ("stats", report_response(&svc.stats())),
+        (method, path) => {
+            let Some(rest) = path.strip_prefix("/buildd/jobs/") else {
+                return ("unroutable", json_error(404, format!("no route {path}")));
+            };
+            let (id_part, action) = match rest.split_once('/') {
+                Some((id, action)) => (id, Some(action)),
+                None => (rest, None),
+            };
+            let Ok(id) = id_part.parse::<u64>() else {
+                return ("unroutable", json_error(400, format!("bad job id {id_part:?}")));
+            };
+            match (method, action) {
+                ("GET", None) => ("job_status", job_status(id, svc)),
+                ("POST", Some("cancel")) => ("job_cancel", job_cancel(id, svc)),
+                ("GET", Some("report")) => ("job_report", job_report(id, svc)),
+                ("GET", Some("log")) => ("job_log", job_log(id, query, svc)),
+                _ => ("unroutable", json_error(404, format!("no route {path}"))),
+            }
+        }
+    }
+}
+
+fn job_submit(req: &Request, svc: &BuildService) -> HttpAction {
+    let jr = match JobRequest::from_json(&req.body) {
+        Ok(jr) => jr,
+        Err(e) => return json_error(400, e),
+    };
+    match svc.submit(jr.into_spec()) {
+        Ok(id) => {
+            let status = svc.status(id).expect("submitted job exists");
+            json_response(202, &JobStatusWire::from_status(&status).value())
+        }
+        Err(e) => json_error(400, e.to_string()),
+    }
+}
+
+fn job_list(query: Option<&str>, svc: &BuildService) -> HttpAction {
+    let tenant = query.and_then(|q| {
+        q.split('&')
+            .find_map(|kv| kv.strip_prefix("tenant=").map(String::from))
+    });
+    let jobs: Vec<Value> = svc
+        .list(tenant.as_deref())
+        .iter()
+        .map(|s| JobStatusWire::from_status(s).value())
+        .collect();
+    json_response(200, &Value::Array(jobs))
+}
+
+fn job_status(id: u64, svc: &BuildService) -> HttpAction {
+    match svc.status(id) {
+        Some(s) => json_response(200, &JobStatusWire::from_status(&s).value()),
+        None => json_error(404, format!("no job {id}")),
+    }
+}
+
+fn job_cancel(id: u64, svc: &BuildService) -> HttpAction {
+    match svc.cancel(id) {
+        Some(s) => json_response(200, &JobStatusWire::from_status(&s).value()),
+        None => json_error(404, format!("no job {id}")),
+    }
+}
+
+fn job_report(id: u64, svc: &BuildService) -> HttpAction {
+    if svc.status(id).is_none() {
+        return json_error(404, format!("no job {id}"));
+    }
+    match svc.report(id) {
+        Some(report) => report_response(&report),
+        None => json_error(404, format!("job {id} has no report yet")),
+    }
+}
+
+fn job_log(id: u64, query: Option<&str>, svc: &BuildService) -> HttpAction {
+    let offset = query
+        .and_then(|q| {
+            q.split('&')
+                .find_map(|kv| kv.strip_prefix("offset="))
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(0);
+    match svc.log(id, offset) {
+        Some((chunk, done)) => json_response(
+            200,
+            &Value::Object(vec![
+                ("offset".into(), Value::Int(offset as i64)),
+                ("next".into(), Value::Int((offset + chunk.len()) as i64)),
+                ("data".into(), Value::Str(chunk)),
+                ("done".into(), Value::Bool(done)),
+            ]),
+        ),
+        None => json_error(404, format!("no job {id}")),
+    }
+}
+
+/// A running buildd daemon. [`shutdown`](BuilddServer::shutdown) joins the
+/// HTTP threads and hands the service back (running jobs keep running
+/// until [`BuildService::stop`]).
+pub struct BuilddServer {
+    http: HttpServer,
+    svc: Arc<BuildService>,
+}
+
+impl BuilddServer {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// Stop serving the wire and hand the service back.
+    pub fn shutdown(self) -> Arc<BuildService> {
+        let BuilddServer { http, svc } = self;
+        http.shutdown();
+        svc
+    }
+}
+
+/// Serve `svc` on `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+pub fn serve_buildd(
+    svc: Arc<BuildService>,
+    addr: &str,
+    opts: HttpOptions,
+) -> io::Result<BuilddServer> {
+    let handler = Arc::new(BuilddHandler {
+        svc: Arc::clone(&svc),
+    });
+    let http = serve_http(handler, addr, opts)?;
+    Ok(BuilddServer { http, svc })
+}
+
+/// Client for a remote buildd, in [`DistClient`] style: every call runs
+/// under the bounded retry loop, and log streaming resumes from the last
+/// received byte across dropped connections.
+#[derive(Debug, Clone)]
+pub struct BuilddClient {
+    http: DistClient,
+    /// Poll cadence for [`wait`](Self::wait) / [`stream_logs`](Self::stream_logs).
+    pub poll_interval: Duration,
+}
+
+impl BuilddClient {
+    pub fn new(addr: impl Into<String>) -> Self {
+        BuilddClient {
+            http: DistClient::new(addr),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+
+    pub fn with_transport(http: DistClient) -> Self {
+        BuilddClient {
+            http,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+
+    pub fn addr(&self) -> &str {
+        self.http.addr()
+    }
+
+    /// One JSON exchange under the retry loop; parses the response body.
+    fn exchange_json(
+        &self,
+        op: &'static str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Value), DistError> {
+        self.http.retrying(op, || {
+            let headers = [("Content-Type".to_string(), "application/json".to_string())];
+            let (status, _, resp) =
+                self.http
+                    .raw_exchange(method, path, &headers, body.map(str::as_bytes))?;
+            if status >= 500 {
+                return Err(DistError::status(op, status, &resp));
+            }
+            let text = std::str::from_utf8(&resp)
+                .map_err(|e| DistError::protocol(format!("{op}: body not UTF-8: {e}")))?;
+            let v = serde_json::parse_value(text)
+                .map_err(|e| DistError::protocol(format!("{op}: bad JSON: {e}")))?;
+            Ok((status, v))
+        })
+    }
+
+    fn expect_status(op: &'static str, status: u16, v: &Value) -> Result<(), DistError> {
+        if (200..300).contains(&status) {
+            return Ok(());
+        }
+        let detail = v
+            .as_object()
+            .and_then(|o| Value::field(o, "error"))
+            .and_then(|e| e.as_str())
+            .unwrap_or("unknown error");
+        Err(DistError::status(op, status, detail.as_bytes()))
+    }
+
+    /// Submit a job; returns its status snapshot (with the assigned id).
+    pub fn submit(&self, jr: &JobRequest) -> Result<JobStatusWire, DistError> {
+        let (status, v) =
+            self.exchange_json("submit job", "POST", "/buildd/jobs", Some(&jr.to_json()))?;
+        Self::expect_status("submit job", status, &v)?;
+        JobStatusWire::from_value(&v)
+    }
+
+    /// One job's status.
+    pub fn status(&self, id: u64) -> Result<JobStatusWire, DistError> {
+        let (status, v) =
+            self.exchange_json("job status", "GET", &format!("/buildd/jobs/{id}"), None)?;
+        Self::expect_status("job status", status, &v)?;
+        JobStatusWire::from_value(&v)
+    }
+
+    /// All jobs, optionally filtered by tenant.
+    pub fn list(&self, tenant: Option<&str>) -> Result<Vec<JobStatusWire>, DistError> {
+        let path = match tenant {
+            Some(t) => format!("/buildd/jobs?tenant={t}"),
+            None => "/buildd/jobs".to_string(),
+        };
+        let (status, v) = self.exchange_json("list jobs", "GET", &path, None)?;
+        Self::expect_status("list jobs", status, &v)?;
+        match v {
+            Value::Array(items) => items.iter().map(JobStatusWire::from_value).collect(),
+            other => Err(DistError::protocol(format!(
+                "job list must be an array, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancel a job (idempotent); returns its post-cancel status.
+    pub fn cancel(&self, id: u64) -> Result<JobStatusWire, DistError> {
+        let (status, v) = self.exchange_json(
+            "cancel job",
+            "POST",
+            &format!("/buildd/jobs/{id}/cancel"),
+            None,
+        )?;
+        Self::expect_status("cancel job", status, &v)?;
+        JobStatusWire::from_value(&v)
+    }
+
+    /// The engine report for a completed job — `Ok(None)` while the job
+    /// has not produced one yet.
+    pub fn report(&self, id: u64) -> Result<Option<Report>, DistError> {
+        self.http.retrying("job report", || {
+            let (status, _, body) =
+                self.http
+                    .raw_exchange("GET", &format!("/buildd/jobs/{id}/report"), &[], None)?;
+            match status {
+                200 => {
+                    let text = std::str::from_utf8(&body).map_err(|e| {
+                        DistError::protocol(format!("report body not UTF-8: {e}"))
+                    })?;
+                    Report::from_json(text)
+                        .map(Some)
+                        .map_err(|e| DistError::protocol(format!("bad report JSON: {e}")))
+                }
+                404 => Ok(None),
+                s => Err(DistError::status("job report", s, &body)),
+            }
+        })
+    }
+
+    /// Fetch the log suffix starting at byte `offset`. Returns the chunk,
+    /// the next offset, and whether the job is terminal.
+    pub fn log(&self, id: u64, offset: usize) -> Result<(String, usize, bool), DistError> {
+        let (status, v) = self.exchange_json(
+            "job log",
+            "GET",
+            &format!("/buildd/jobs/{id}/log?offset={offset}"),
+            None,
+        )?;
+        Self::expect_status("job log", status, &v)?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DistError::protocol("log response must be an object"))?;
+        let data = Value::field(obj, "data")
+            .and_then(|d| d.as_str())
+            .ok_or_else(|| DistError::protocol("log response missing data"))?
+            .to_string();
+        let next = match Value::field(obj, "next") {
+            Some(Value::Int(n)) if *n >= 0 => *n as usize,
+            _ => offset + data.len(),
+        };
+        let done = matches!(Value::field(obj, "done"), Some(Value::Bool(true)));
+        Ok((data, next, done))
+    }
+
+    /// Stream the job log into `sink` until the job is terminal, resuming
+    /// from the last received byte on every poll (and therefore across
+    /// retried connections). Returns the terminal status.
+    pub fn stream_logs(
+        &self,
+        id: u64,
+        mut sink: impl FnMut(&str),
+    ) -> Result<JobStatusWire, DistError> {
+        let mut offset = 0usize;
+        loop {
+            let (chunk, next, done) = self.log(id, offset)?;
+            if !chunk.is_empty() {
+                sink(&chunk);
+            }
+            offset = next;
+            if done {
+                return self.status(id);
+            }
+            std::thread::sleep(self.poll_interval);
+        }
+    }
+
+    /// Poll until the job is terminal or `deadline` elapses.
+    pub fn wait(&self, id: u64, deadline: Duration) -> Result<JobStatusWire, DistError> {
+        let started = Instant::now();
+        loop {
+            let status = self.status(id)?;
+            if status.is_terminal() {
+                return Ok(status);
+            }
+            if started.elapsed() > deadline {
+                return Err(DistError::protocol(format!(
+                    "job {id} still {} after {deadline:?}",
+                    status.state
+                )));
+            }
+            std::thread::sleep(self.poll_interval);
+        }
+    }
+
+    /// The daemon's service-level stats report.
+    pub fn stats(&self) -> Result<Report, DistError> {
+        self.http.retrying("buildd stats", || {
+            let (status, _, body) = self.http.raw_exchange("GET", "/buildd/stats", &[], None)?;
+            if status != 200 {
+                return Err(DistError::status("buildd stats", status, &body));
+            }
+            let text = std::str::from_utf8(&body)
+                .map_err(|e| DistError::protocol(format!("stats body not UTF-8: {e}")))?;
+            Report::from_json(text)
+                .map_err(|e| DistError::protocol(format!("bad stats JSON: {e}")))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_request_round_trips() {
+        let mut jr = JobRequest::new("alice", "app.dist+coM");
+        jr.lto = true;
+        jr.priority = 7;
+        let back = JobRequest::from_json(jr.to_json().as_bytes()).unwrap();
+        assert_eq!(back, jr);
+    }
+
+    #[test]
+    fn job_request_defaults_and_rejects() {
+        let jr =
+            JobRequest::from_json(br#"{"tenant":"t","ref":"a.dist+coM"}"#.as_ref()).unwrap();
+        assert_eq!(jr.isa, "x86_64");
+        assert!(!jr.lto && !jr.parallel);
+        assert_eq!(jr.priority, 0);
+        assert!(JobRequest::from_json(b"not json").is_err());
+        assert!(JobRequest::from_json(br#"{"ref":"x"}"#.as_ref()).is_err());
+        assert!(
+            JobRequest::from_json(br#"{"tenant":"","ref":"x"}"#.as_ref()).is_err(),
+            "empty tenant rejected"
+        );
+        assert!(JobRequest::from_json(
+            br#"{"tenant":"t","ref":"x","priority":999}"#.as_ref()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn job_status_wire_round_trips() {
+        let s = JobStatusWire {
+            id: 42,
+            tenant: "alice".into(),
+            extended_ref: "app.dist+coM".into(),
+            state: "done".into(),
+            priority: 3,
+            result_ref: Some("app.dist+coMre".into()),
+            error: None,
+            started_seq: Some(7),
+        };
+        let back = JobStatusWire::from_value(&s.value()).unwrap();
+        assert_eq!(back, s);
+        assert!(back.is_terminal());
+        let queued = JobStatusWire {
+            state: "queued".into(),
+            result_ref: None,
+            started_seq: None,
+            ..s
+        };
+        let back = JobStatusWire::from_value(&queued.value()).unwrap();
+        assert!(!back.is_terminal());
+        assert_eq!(back.result_ref, None);
+    }
+}

@@ -18,6 +18,9 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+/// `(status, headers, body)` of one raw HTTP exchange.
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
 /// Bounded exponential backoff with jitter, plus the two deadlines.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
@@ -188,6 +191,32 @@ impl DistClient {
             attempts: self.policy.max_attempts,
             last: Box::new(last.unwrap_or_else(|| DistError::protocol("no attempt ran"))),
         })
+    }
+
+    /// One request/response exchange on a fresh connection, no retries:
+    /// the transport building block for protocol clients layered on this
+    /// one (the buildd job client). Returns status, headers and body.
+    pub fn raw_exchange(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(String, String)],
+        body: Option<&[u8]>,
+    ) -> Result<RawResponse, DistError> {
+        let mut sink = Vec::new();
+        let (status, resp_headers) = self.exchange(method, path, headers, body, false, &mut sink)?;
+        Ok((status, resp_headers, sink))
+    }
+
+    /// Run an operation under this client's bounded retry loop — public
+    /// for layered protocol clients. Transport errors, protocol hiccups
+    /// and 5xx are retried; definitive answers (4xx) are not.
+    pub fn retrying<T>(
+        &self,
+        op: &str,
+        attempt_fn: impl FnMut() -> Result<T, DistError>,
+    ) -> Result<T, DistError> {
+        self.with_retries(op, attempt_fn)
     }
 
     /// Does the remote have this blob? Returns its size if so.

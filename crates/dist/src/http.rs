@@ -1,0 +1,241 @@
+//! The shared HTTP/1.1 service core: one hardened listener/worker/deadline
+//! implementation behind every coMtainer daemon.
+//!
+//! Extracted from the registry server so `comt serve` (the distribution
+//! registry) and `comt buildd` (the multi-tenant rebuild service) run the
+//! same battle-tested plumbing and differ only in routing:
+//!
+//! * one acceptor thread feeds a **bounded pool** of worker threads over a
+//!   bounded queue — a connection flood back-pressures at accept instead of
+//!   spawning unbounded threads;
+//! * every connection gets read/write deadlines, so a stalled peer can
+//!   never pin a worker forever;
+//! * workers run a keep-alive loop over [`crate::wire`], with request
+//!   bodies capped at [`HttpOptions::max_body`];
+//! * per-endpoint request counters, byte counters and latency
+//!   distributions are recorded under the handler's metrics prefix.
+//!
+//! A daemon implements [`HttpHandler`] (pure request → response routing;
+//! the trait never sees a socket) and calls [`serve_http`]. Fault
+//! injection stays available to handlers via
+//! [`HttpAction::RespondTruncated`], which lies about the body length and
+//! drops the line — the chaos hook the registry uses to exercise client
+//! Range-resume.
+
+use crate::wire::{self, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs shared by every daemon built on [`serve_http`].
+#[derive(Debug, Clone)]
+pub struct HttpOptions {
+    /// Worker threads handling connections (the pool bound).
+    pub threads: usize,
+    /// Pending-connection queue depth between acceptor and workers.
+    pub backlog: usize,
+    /// Per-connection socket read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body: usize,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        HttpOptions {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 16)),
+            backlog: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: 1 << 30,
+        }
+    }
+}
+
+/// What a handler wants done with the socket after routing one request.
+pub enum HttpAction {
+    Respond(Response),
+    /// Fault injection: send only the first N body bytes of a response
+    /// that advertises its full length, then close the connection.
+    RespondTruncated(Response, usize),
+}
+
+/// A daemon's routing layer. Implementations are shared across worker
+/// threads, so handlers synchronize their own state.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Namespace for this daemon's observe counters — e.g. `dist.server`
+    /// yields `dist.server.req.<endpoint>`, `dist.server.bytes_in`, …
+    /// Also names the daemon's threads.
+    fn metrics_prefix(&self) -> &'static str;
+
+    /// Route one request: returns the endpoint label (for counters) plus
+    /// the action to take on the socket.
+    fn handle(&self, req: &Request) -> (&'static str, HttpAction);
+}
+
+/// A running daemon. Dropping it without [`HttpServer::shutdown`] stops
+/// accepting but does not join workers; `shutdown` joins everything.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// `handler` until shutdown.
+pub fn serve_http<H: HttpHandler>(
+    handler: Arc<H>,
+    addr: &str,
+    opts: HttpOptions,
+) -> io::Result<HttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let prefix = handler.metrics_prefix();
+
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(opts.backlog);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(opts.threads);
+    for i in 0..opts.threads {
+        let rx = Arc::clone(&rx);
+        let handler = Arc::clone(&handler);
+        let (rt, wt, max_body) = (opts.read_timeout, opts.write_timeout, opts.max_body);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("{prefix}-worker-{i}"))
+                .spawn(move || loop {
+                    let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &*handler, rt, wt, max_body),
+                        Err(_) => break, // acceptor gone, queue drained
+                    }
+                })?,
+        );
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("{prefix}-acceptor"))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        // A full queue back-pressures the acceptor (bounded).
+                        Ok(stream) => {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // tx drops here; workers drain the queue then exit.
+            })?
+    };
+
+    Ok(HttpServer {
+        addr: local,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+impl HttpServer {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join all threads. After this returns, no thread
+    /// holds a reference to the handler.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The keep-alive loop: read requests until close/timeout/error, route
+/// each through the handler, account bytes and latency per endpoint.
+fn handle_connection<H: HttpHandler>(
+    stream: TcpStream,
+    handler: &H,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_body: usize,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let obs = comt_observe::global();
+    let prefix = handler.metrics_prefix();
+    loop {
+        let req = match wire::read_request(&mut reader, max_body) {
+            Ok(Some(req)) => req,
+            // Clean close, timeout, or a killed upload: any staged request
+            // body is discarded with the error — nothing was published.
+            Ok(None) | Err(_) => return,
+        };
+        let close = req.wants_close();
+        obs.count(&format!("{prefix}.bytes_in"), req.body.len() as u64);
+        let started = Instant::now();
+        let (endpoint, action) = handler.handle(&req);
+        obs.count(&format!("{prefix}.req.{endpoint}"), 1);
+        obs.record_value(
+            &format!("{prefix}.{endpoint}.latency_us"),
+            started.elapsed().as_micros() as u64,
+        );
+        match action {
+            HttpAction::Respond(resp) => {
+                obs.count(&format!("{prefix}.bytes_out"), resp.body.len() as u64);
+                if wire::write_response(&mut writer, &resp, None).is_err() {
+                    return;
+                }
+            }
+            HttpAction::RespondTruncated(resp, after) => {
+                obs.count(&format!("{prefix}.chaos_truncations"), 1);
+                obs.count(&format!("{prefix}.bytes_out"), after.min(resp.body.len()) as u64);
+                let _ = wire::write_response(&mut writer, &resp, Some(after));
+                return; // the advertised length was a lie — drop the line
+            }
+        }
+        if close {
+            return;
+        }
+    }
+}

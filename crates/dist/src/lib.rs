@@ -24,11 +24,15 @@
 //! dropped connections and continues with `Range` requests, wrapping every
 //! operation in bounded exponential-backoff retries.
 
+pub mod buildd;
 pub mod client;
+pub mod http;
 pub mod server;
 pub mod wire;
 
+pub use buildd::{serve_buildd, BuilddClient, BuilddServer, JobRequest, JobStatusWire};
 pub use client::{DistClient, RetryPolicy, TransferStats};
+pub use http::{serve_http, HttpAction, HttpHandler, HttpOptions, HttpServer};
 pub use server::{serve, Chaos, DistServer, ServerOptions};
 
 /// Manifest media type advertised on the wire.

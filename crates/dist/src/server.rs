@@ -3,13 +3,13 @@
 //!
 //! ## Shape
 //!
-//! One acceptor thread hands connections to a **bounded pool** of worker
-//! threads over a bounded queue; each worker runs a keep-alive loop with
-//! per-connection read/write deadlines, so a stalled peer can never pin a
-//! worker forever. All state lives behind one mutex, but workers hold it
-//! only long enough to move cheap [`comt_oci::BlobHandle`]s in or out —
-//! digest hashing, file reads and socket I/O happen outside the lock,
-//! which is what lets concurrent pullers scale.
+//! The listener/worker/deadline plumbing lives in the shared
+//! [`crate::http`] core ([`serve_http`]); this module is only the routing:
+//! an [`HttpHandler`] that speaks the OCI distribution subset. All state
+//! lives behind one mutex, but workers hold it only long enough to move
+//! cheap [`comt_oci::BlobHandle`]s in or out — digest hashing, file reads
+//! and socket I/O happen outside the lock, which is what lets concurrent
+//! pullers scale.
 //!
 //! ## Backends
 //!
@@ -29,18 +29,17 @@
 //! just presence) before the tag appears, so a pull can never observe a
 //! half-pushed image.
 
+use crate::http::{serve_http, HttpAction, HttpHandler, HttpOptions, HttpServer};
 use crate::wire::{self, Request, Response};
 use crate::{tag_key, MEDIA_TYPE_MANIFEST};
 use comt_digest::Digest;
 use comt_oci::store::{closure_digests, Registry, RegistryError};
 use comt_oci::RegistryBackend;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::mpsc;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Fault injection: truncate the next `truncate_blob_gets` blob GET
 /// responses after `truncate_after` body bytes and drop the connection.
@@ -51,7 +50,8 @@ pub struct Chaos {
     pub truncate_after: usize,
 }
 
-/// Server tuning knobs.
+/// Server tuning knobs: the shared [`HttpOptions`] plus registry-specific
+/// fault injection.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Worker threads handling connections (the pool bound).
@@ -70,22 +70,46 @@ pub struct ServerOptions {
 
 impl Default for ServerOptions {
     fn default() -> Self {
+        let http = HttpOptions::default();
         ServerOptions {
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 16)),
-            backlog: 64,
-            read_timeout: Duration::from_secs(10),
-            write_timeout: Duration::from_secs(10),
-            max_body: 1 << 30,
+            threads: http.threads,
+            backlog: http.backlog,
+            read_timeout: http.read_timeout,
+            write_timeout: http.write_timeout,
+            max_body: http.max_body,
             chaos: None,
         }
     }
 }
 
-struct State<R: RegistryBackend> {
+impl ServerOptions {
+    fn http(&self) -> HttpOptions {
+        HttpOptions {
+            threads: self.threads,
+            backlog: self.backlog,
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
+            max_body: self.max_body,
+        }
+    }
+}
+
+/// The registry routing layer: backend + chaos budget behind the shared
+/// HTTP core.
+struct RegistryHandler<R: RegistryBackend> {
     registry: Mutex<R>,
-    max_body: usize,
     chaos_budget: AtomicU32,
     chaos_after: usize,
+}
+
+impl<R: RegistryBackend> HttpHandler for RegistryHandler<R> {
+    fn metrics_prefix(&self) -> &'static str {
+        "dist.server"
+    }
+
+    fn handle(&self, req: &Request) -> (&'static str, HttpAction) {
+        dispatch(req, self)
+    }
 }
 
 /// A running daemon. Dropping it without [`DistServer::shutdown`] stops
@@ -93,16 +117,13 @@ struct State<R: RegistryBackend> {
 /// that hands the backend (with everything pushed to it) back. The type
 /// parameter defaults to the in-memory [`Registry`].
 pub struct DistServer<R: RegistryBackend = Registry> {
-    addr: SocketAddr,
-    state: Arc<State<R>>,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    http: HttpServer,
+    state: Arc<RegistryHandler<R>>,
 }
 
 impl<R: RegistryBackend> std::fmt::Debug for DistServer<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DistServer").field("addr", &self.addr).finish()
+        f.debug_struct("DistServer").field("addr", &self.addr()).finish()
     }
 }
 
@@ -113,89 +134,26 @@ pub fn serve<R: RegistryBackend>(
     addr: &str,
     opts: ServerOptions,
 ) -> io::Result<DistServer<R>> {
-    let listener = TcpListener::bind(addr)?;
-    let local = listener.local_addr()?;
-    let state = Arc::new(State {
+    let state = Arc::new(RegistryHandler {
         registry: Mutex::new(registry),
-        max_body: opts.max_body,
         chaos_budget: AtomicU32::new(opts.chaos.map_or(0, |c| c.truncate_blob_gets)),
         chaos_after: opts.chaos.map_or(0, |c| c.truncate_after),
     });
-    let stop = Arc::new(AtomicBool::new(false));
-
-    let (tx, rx) = mpsc::sync_channel::<TcpStream>(opts.backlog);
-    let rx = Arc::new(Mutex::new(rx));
-
-    let mut workers = Vec::with_capacity(opts.threads);
-    for i in 0..opts.threads {
-        let rx = Arc::clone(&rx);
-        let state = Arc::clone(&state);
-        let (rt, wt) = (opts.read_timeout, opts.write_timeout);
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("dist-worker-{i}"))
-                .spawn(move || loop {
-                    let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                    match conn {
-                        Ok(stream) => handle_connection(stream, &state, rt, wt),
-                        Err(_) => break, // acceptor gone, queue drained
-                    }
-                })?,
-        );
-    }
-
-    let acceptor = {
-        let stop = Arc::clone(&stop);
-        std::thread::Builder::new()
-            .name("dist-acceptor".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match conn {
-                        // A full queue back-pressures the acceptor (bounded).
-                        Ok(stream) => {
-                            if tx.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => continue,
-                    }
-                }
-                // tx drops here; workers drain the queue then exit.
-            })?
-    };
-
-    Ok(DistServer {
-        addr: local,
-        state,
-        stop,
-        acceptor: Some(acceptor),
-        workers,
-    })
+    let http = serve_http(Arc::clone(&state), addr, opts.http())?;
+    Ok(DistServer { http, state })
 }
 
 impl<R: RegistryBackend> DistServer<R> {
     /// The bound address (resolves `:0` to the real port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.http.addr()
     }
 
     /// Stop accepting, join all threads and hand back the backend with
     /// every successfully pushed image in it.
-    pub fn shutdown(mut self) -> R {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor's blocking accept().
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        let state = Arc::clone(&self.state);
-        drop(self); // release the server's own strong ref
+    pub fn shutdown(self) -> R {
+        let DistServer { http, state } = self;
+        http.shutdown();
         // Every thread that could hold a strong ref has been joined, so the
         // unwrap succeeds; backends are not required to be Clone (a disk
         // backend holds the layout lock), so there is no fallback.
@@ -206,77 +164,12 @@ impl<R: RegistryBackend> DistServer<R> {
     }
 }
 
-impl<R: RegistryBackend> Drop for DistServer<R> {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-    }
+fn bad_request(detail: impl Into<String>) -> HttpAction {
+    HttpAction::Respond(Response::new(400).with_body(detail.into()))
 }
 
-fn handle_connection<R: RegistryBackend>(
-    stream: TcpStream,
-    state: &State<R>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let obs = comt_observe::global();
-    loop {
-        let req = match wire::read_request(&mut reader, state.max_body) {
-            Ok(Some(req)) => req,
-            // Clean close, timeout, or a killed upload: the stage (the
-            // request body buffer) is discarded with the error — nothing
-            // was published.
-            Ok(None) | Err(_) => return,
-        };
-        let close = req.wants_close();
-        obs.count("dist.server.bytes_in", req.body.len() as u64);
-        let started = Instant::now();
-        let (endpoint, action) = dispatch(&req, state);
-        obs.count(&format!("dist.server.req.{endpoint}"), 1);
-        obs.record_value(
-            &format!("dist.server.{endpoint}.latency_us"),
-            started.elapsed().as_micros() as u64,
-        );
-        match action {
-            Action::Respond(resp) => {
-                obs.count("dist.server.bytes_out", resp.body.len() as u64);
-                if wire::write_response(&mut writer, &resp, None).is_err() {
-                    return;
-                }
-            }
-            Action::RespondTruncated(resp, after) => {
-                obs.count("dist.server.chaos_truncations", 1);
-                obs.count("dist.server.bytes_out", after.min(resp.body.len()) as u64);
-                let _ = wire::write_response(&mut writer, &resp, Some(after));
-                return; // the advertised length was a lie — drop the line
-            }
-        }
-        if close {
-            return;
-        }
-    }
-}
-
-enum Action {
-    Respond(Response),
-    /// Chaos: send only the first N body bytes, then close the connection.
-    RespondTruncated(Response, usize),
-}
-
-fn bad_request(detail: impl Into<String>) -> Action {
-    Action::Respond(Response::new(400).with_body(detail.into()))
-}
-
-fn not_found() -> Action {
-    Action::Respond(Response::new(404))
+fn not_found() -> HttpAction {
+    HttpAction::Respond(Response::new(404))
 }
 
 /// Split `/v2/<name…>/(blobs|manifests)/<ref>`; the repository name may
@@ -293,11 +186,14 @@ fn parse_path(path: &str) -> Option<(&str, &str, &str)> {
 
 /// Route one request. Returns the endpoint label (for counters) plus the
 /// action to take on the socket.
-fn dispatch<R: RegistryBackend>(req: &Request, state: &State<R>) -> (&'static str, Action) {
+fn dispatch<R: RegistryBackend>(
+    req: &Request,
+    state: &RegistryHandler<R>,
+) -> (&'static str, HttpAction) {
     if req.path == "/v2/" || req.path == "/v2" {
         return (
             "version",
-            Action::Respond(Response::new(200).with_body(&b"{}"[..])),
+            HttpAction::Respond(Response::new(200).with_body(&b"{}"[..])),
         );
     }
     let Some((name, kind, reference)) = parse_path(&req.path) else {
@@ -310,17 +206,21 @@ fn dispatch<R: RegistryBackend>(req: &Request, state: &State<R>) -> (&'static st
         ("GET", "manifests") => ("manifest_get", manifest_get(name, reference, state)),
         ("HEAD", "manifests") => ("manifest_head", manifest_get(name, reference, state)),
         ("PUT", "manifests") => ("manifest_put", manifest_put(req, name, reference, state)),
-        _ => ("unroutable", Action::Respond(Response::new(405))),
+        _ => ("unroutable", HttpAction::Respond(Response::new(405))),
     }
 }
 
-fn parse_digest(reference: &str) -> Result<Digest, Action> {
+fn parse_digest(reference: &str) -> Result<Digest, HttpAction> {
     reference
         .parse::<Digest>()
         .map_err(|e| bad_request(format!("bad digest {reference}: {e}")))
 }
 
-fn blob_head<R: RegistryBackend>(_name: &str, reference: &str, state: &State<R>) -> Action {
+fn blob_head<R: RegistryBackend>(
+    _name: &str,
+    reference: &str,
+    state: &RegistryHandler<R>,
+) -> HttpAction {
     let digest = match parse_digest(reference) {
         Ok(d) => d,
         Err(a) => return a,
@@ -330,7 +230,7 @@ fn blob_head<R: RegistryBackend>(_name: &str, reference: &str, state: &State<R>)
         reg.blob_handle(&digest).map(|h| h.len())
     };
     match len {
-        Some(len) => Action::Respond(
+        Some(len) => HttpAction::Respond(
             Response::new(200)
                 .with_header("Docker-Content-Digest", reference)
                 .with_header("X-Content-Length", len.to_string()),
@@ -343,8 +243,8 @@ fn blob_get<R: RegistryBackend>(
     req: &Request,
     _name: &str,
     reference: &str,
-    state: &State<R>,
-) -> Action {
+    state: &RegistryHandler<R>,
+) -> HttpAction {
     let digest = match parse_digest(reference) {
         Ok(d) => d,
         Err(a) => return a,
@@ -365,7 +265,7 @@ fn blob_get<R: RegistryBackend>(
             Ok(b) => b,
             Err(e) => {
                 obs.count("dist.server.verify_failures", 1);
-                return Action::Respond(
+                return HttpAction::Respond(
                     Response::new(500).with_body(format!("stored blob unservable: {e}")),
                 );
             }
@@ -376,7 +276,7 @@ fn blob_get<R: RegistryBackend>(
     let (start, end, status) = match wire::parse_range(range_header, total) {
         Some((s, e)) => (s, e, 206),
         None if range_header.is_some() => {
-            return Action::Respond(
+            return HttpAction::Respond(
                 Response::new(416).with_header("Content-Range", format!("bytes */{total}")),
             );
         }
@@ -401,18 +301,18 @@ fn blob_get<R: RegistryBackend>(
                 .is_ok()
         {
             let after = state.chaos_after;
-            return Action::RespondTruncated(resp, after);
+            return HttpAction::RespondTruncated(resp, after);
         }
     }
-    Action::Respond(resp)
+    HttpAction::Respond(resp)
 }
 
 fn blob_put<R: RegistryBackend>(
     req: &Request,
     _name: &str,
     reference: &str,
-    state: &State<R>,
-) -> Action {
+    state: &RegistryHandler<R>,
+) -> HttpAction {
     let digest = match parse_digest(reference) {
         Ok(d) => d,
         Err(a) => return a,
@@ -437,12 +337,18 @@ fn blob_put<R: RegistryBackend>(
         reg.put_blob(digest, bytes::Bytes::from(req.body.clone()))
     };
     match put {
-        Ok(_) => Action::Respond(Response::new(201).with_header("Docker-Content-Digest", reference)),
+        Ok(_) => HttpAction::Respond(
+            Response::new(201).with_header("Docker-Content-Digest", reference),
+        ),
         Err(e) => registry_failure("store blob", e),
     }
 }
 
-fn manifest_get<R: RegistryBackend>(name: &str, reference: &str, state: &State<R>) -> Action {
+fn manifest_get<R: RegistryBackend>(
+    name: &str,
+    reference: &str,
+    state: &RegistryHandler<R>,
+) -> HttpAction {
     let key = tag_key(name, reference);
     let (digest, handle) = {
         let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
@@ -458,12 +364,12 @@ fn manifest_get<R: RegistryBackend>(name: &str, reference: &str, state: &State<R
         Ok(b) => b,
         Err(e) => {
             comt_observe::global().count("dist.server.verify_failures", 1);
-            return Action::Respond(
+            return HttpAction::Respond(
                 Response::new(500).with_body(format!("stored manifest unservable: {e}")),
             );
         }
     };
-    Action::Respond(
+    HttpAction::Respond(
         Response::new(200)
             .with_header("Docker-Content-Digest", digest.to_oci_string())
             .with_header("Content-Type", MEDIA_TYPE_MANIFEST)
@@ -475,8 +381,8 @@ fn manifest_put<R: RegistryBackend>(
     req: &Request,
     name: &str,
     reference: &str,
-    state: &State<R>,
-) -> Action {
+    state: &RegistryHandler<R>,
+) -> HttpAction {
     let key = tag_key(name, reference);
     // Staged publish: the backend verifies closure completeness + content
     // before the tag appears (and, for disk backends, commits the manifest
@@ -487,7 +393,7 @@ fn manifest_put<R: RegistryBackend>(
         reg.put_manifest(&key, bytes::Bytes::from(req.body.clone()))
     };
     match put {
-        Ok(digest) => Action::Respond(
+        Ok(digest) => HttpAction::Respond(
             Response::new(201).with_header("Docker-Content-Digest", digest.to_oci_string()),
         ),
         Err(e) => {
@@ -499,10 +405,10 @@ fn manifest_put<R: RegistryBackend>(
 
 /// Map a backend failure onto the wire: the caller's fault (corrupt or
 /// incomplete push) is a 400, the store's own fault is a 500.
-fn registry_failure(op: &str, e: RegistryError) -> Action {
+fn registry_failure(op: &str, e: RegistryError) -> HttpAction {
     match e {
         RegistryError::Storage(_) => {
-            Action::Respond(Response::new(500).with_body(format!("{op}: {e}")))
+            HttpAction::Respond(Response::new(500).with_body(format!("{op}: {e}")))
         }
         other => bad_request(format!("{op}: {other}")),
     }
