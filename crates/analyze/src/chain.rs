@@ -14,6 +14,9 @@ use comtainer::{AdapterContext, CacheContents, CompilationModel, SystemAdapter};
 use comt_toolchain::invocation::Arg;
 use comt_toolchain::{CompilerInvocation, OptionCategory, Toolchain};
 
+/// Codes this pass can emit (registry-consistency contract).
+pub const EMITTED: &[&str] = &["COMT-W201", "COMT-W202"];
+
 /// Render one parsed option for matching and display.
 fn render_opt(token: &str, value: &Option<String>) -> String {
     match value {
@@ -151,6 +154,7 @@ mod tests {
                 graph: BuildGraph::new(),
                 isa: "x86_64".into(),
                 cache_mode: Default::default(),
+                targets: vec![],
             },
             trace: BuildTrace {
                 commands: cmds

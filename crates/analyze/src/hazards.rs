@@ -13,6 +13,9 @@ use comt_buildsys::{BuildTrace, StepIo};
 use comtainer::engine::scheduler::StepGraph;
 use comtainer::CompilationModel;
 
+/// Codes this pass can emit (registry-consistency contract).
+pub const EMITTED: &[&str] = &["COMT-E001", "COMT-E002"];
+
 /// Transitive-ancestor sets for every node of a segment graph.
 fn ancestor_sets(graph: &StepGraph) -> Vec<Vec<bool>> {
     let n = graph.len();

@@ -15,6 +15,15 @@ use comt_digest::Digest;
 use comt_oci::layout::OciDir;
 use std::collections::BTreeSet;
 
+/// Codes this pass can emit (registry-consistency contract).
+pub const EMITTED: &[&str] = &[
+    "COMT-E101",
+    "COMT-E102",
+    "COMT-E103",
+    "COMT-E104",
+    "COMT-W101",
+];
+
 /// Every absolute path the recorded rebuild reads, plus the cache layer's
 /// own files: whiteouts over these shadow data replay depends on.
 fn protected_paths(cache: &CacheContents) -> BTreeSet<String> {

@@ -13,7 +13,11 @@
 //! 3. [`layers`] — manifest/diff_id consistency, duplicate entries and
 //!    whiteouts shadowing replay inputs (`COMT-E10x`/`COMT-W101`);
 //! 4. [`chain`] — adapter-chain soundness: every recorded flag passes
-//!    through or is explicitly rewritten (`COMT-W20x`).
+//!    through or is explicitly rewritten (`COMT-W20x`);
+//! 5. [`features`] — the `comt audit` ISA-compatibility audit: per-object
+//!    effective target configurations folded through the architecture×
+//!    feature matrix and checked against declared deployment targets
+//!    (`COMT-A00x`).
 //!
 //! All passes emit [`Diagnostic`]s with stable codes from the
 //! [`registry`]; [`CheckReport`] renders them human-readable or as JSON.
@@ -22,12 +26,14 @@
 
 pub mod chain;
 pub mod diag;
+pub mod features;
 pub mod hazards;
 pub mod layers;
 pub mod lints;
 pub mod registry;
 
 pub use diag::{CheckReport, Diagnostic, Severity, Span};
+pub use features::{audit_cache_contents, audit_extended_image, AuditReport, TargetVerdict};
 pub use registry::{lookup, render_explain, CodeInfo, REGISTRY};
 
 use comtainer::backend::RebuildOptions;

@@ -1,20 +1,33 @@
 //! Pass 2: portability and reproducibility lints over the recorded
 //! compiler invocations and cached sources.
 //!
-//! * `COMT-W001` — `-march=native` / `-mtune=native` / `-mcpu=native`:
-//!   the recorded flags resolve on the build host, not in the model.
+//! * `COMT-W001` — host-coupled machine flags: `-march=native` /
+//!   `-mtune=native` / `-mcpu=native`, the Intel-style `-xHost`, and a
+//!   CPU-specific `-march` with no `-mtune` (the schedule tunes to the
+//!   build host's pipeline).
 //! * `COMT-W002` — `__DATE__`/`__TIME__`/`__TIMESTAMP__` in a cached
 //!   source or a `-D` define: rebuilds can never be bit-identical.
 //! * `COMT-W003` — absolute host paths (`/home/…`, `/tmp/…`) in the
 //!   command line: the rebuild container will not have them.
 //! * `COMT-W004` — ISA-specific flags the check target cannot map
 //!   (shared logic with [`comtainer::crossisa`]).
+//! * `COMT-W005` — `-Ofast`/`-ffast-math`: value-changing optimization,
+//!   not just host-coupled — rebuilt numerics can differ.
 
 use crate::diag::{Diagnostic, Span};
 use comtainer::crossisa::flag_is_isa_specific;
 use comtainer::CacheContents;
 use comt_toolchain::invocation::Arg;
 use comt_toolchain::CompilerInvocation;
+
+/// Codes this pass can emit (registry-consistency contract).
+pub const EMITTED: &[&str] = &[
+    "COMT-W001",
+    "COMT-W002",
+    "COMT-W003",
+    "COMT-W004",
+    "COMT-W005",
+];
 
 /// Path prefixes that only exist on the machine that recorded the build.
 const HOST_PREFIXES: &[&str] = &["/home/", "/root/", "/Users/", "/tmp/", "/var/tmp/"];
@@ -70,6 +83,59 @@ pub fn check_lints(cache: &CacheContents, target_isa: &str) -> Vec<Diagnostic> {
                     )),
                 );
             }
+        }
+
+        // W001, Intel spelling: -xHost probes the build host like
+        // -march=native does.
+        if inv.args.iter().any(|a| {
+            matches!(a, Arg::Opt { token, value: Some(v), .. } if token == "x" && v == "Host")
+        }) {
+            diags.push(
+                Diagnostic::new(
+                    "COMT-W001",
+                    "-xHost resolves on the build host, not in the model".to_string(),
+                    Span::step(idx, &command),
+                )
+                .with_hint(
+                    "record an explicit -x<arch> (or -march) value, or rely on the \
+                     system-side adapter"
+                        .to_string(),
+                ),
+            );
+        }
+
+        // W001, tuning variant: a CPU-specific -march with no -mtune pins
+        // the instruction schedule to the recording host's pipeline.
+        if let Some(march) = inv.march() {
+            if is_specific_cpu(march) && inv.mtune().is_none() {
+                diags.push(
+                    Diagnostic::new(
+                        "COMT-W001",
+                        format!(
+                            "-march={march} names a specific CPU with no -mtune: the \
+                             schedule is tuned to the build host"
+                        ),
+                        Span::step(idx, &command),
+                    )
+                    .with_hint("add -mtune=generic to decouple tuning from the host".to_string()),
+                );
+            }
+        }
+
+        // W005: fast-math changes values, not just host-coupling.
+        if inv.fast_math() {
+            diags.push(
+                Diagnostic::new(
+                    "COMT-W005",
+                    "-Ofast/-ffast-math licenses value-changing optimizations: rebuilt \
+                     numerics can differ"
+                        .to_string(),
+                    Span::step(idx, &command),
+                )
+                .with_hint(
+                    "use -O3 with selective -f options for reproducible numerics".to_string(),
+                ),
+            );
         }
 
         // W002 in defines: -DSTAMP=__DATE__ and friends.
@@ -138,6 +204,16 @@ pub fn check_lints(cache: &CacheContents, target_isa: &str) -> Vec<Diagnostic> {
     diags
 }
 
+/// Whether a `-march` value names a concrete CPU (as opposed to a generic
+/// micro-architecture level like `x86-64-v3` or an `armv8.x-a` tier) in
+/// the architecture×feature matrix.
+fn is_specific_cpu(march: &str) -> bool {
+    let base = march.split('+').next().unwrap_or(march);
+    comt_toolchain::features::target_arch(base).is_some()
+        && !base.starts_with("x86-64")
+        && !base.starts_with("armv8")
+}
+
 /// Last `-mcpu=` value, mirroring the march/mtune accessors.
 fn machine_value<'a>(inv: &'a CompilerInvocation, token: &str) -> Option<&'a str> {
     inv.args.iter().rev().find_map(|a| match a {
@@ -169,6 +245,7 @@ mod tests {
                 graph: BuildGraph::new(),
                 isa: "x86_64".into(),
                 cache_mode: Default::default(),
+                targets: vec![],
             },
             trace: BuildTrace {
                 commands: cmds
@@ -234,6 +311,42 @@ mod tests {
     #[test]
     fn container_paths_are_clean() {
         let cache = cache_with(&[], &["gcc -I/usr/include -c /src/a.c -o a.o"]);
+        assert!(check_lints(&cache, "x86_64").is_empty());
+    }
+
+    #[test]
+    fn xhost_is_w001() {
+        let cache = cache_with(&[], &["icc -O3 -xHost -c a.c -o a.o"]);
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(codes(&diags), vec!["COMT-W001"]);
+        assert!(diags[0].message.contains("-xHost"));
+    }
+
+    #[test]
+    fn specific_cpu_without_mtune_is_w001() {
+        let cache = cache_with(&[], &["gcc -O2 -march=icelake-server -c a.c -o a.o"]);
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(codes(&diags), vec!["COMT-W001"]);
+        assert!(diags[0].message.contains("-mtune"));
+        // An explicit -mtune (any value) silences it…
+        let cache = cache_with(
+            &[],
+            &["gcc -O2 -march=icelake-server -mtune=generic -c a.c -o a.o"],
+        );
+        assert!(check_lints(&cache, "x86_64").is_empty());
+        // …and generic micro-architecture levels never fire it.
+        let cache = cache_with(&[], &["gcc -O2 -march=x86-64-v3 -c a.c -o a.o"]);
+        assert!(check_lints(&cache, "x86_64").is_empty());
+    }
+
+    #[test]
+    fn fast_math_is_w005() {
+        let cache = cache_with(&[], &["gcc -Ofast -c a.c -o a.o"]);
+        assert_eq!(codes(&check_lints(&cache, "x86_64")), vec!["COMT-W005"]);
+        let cache = cache_with(&[], &["gcc -O3 -ffast-math -c a.c -o a.o"]);
+        assert_eq!(codes(&check_lints(&cache, "x86_64")), vec!["COMT-W005"]);
+        // -fno-fast-math wins over both spellings.
+        let cache = cache_with(&[], &["gcc -Ofast -fno-fast-math -c a.c -o a.o"]);
         assert!(check_lints(&cache, "x86_64").is_empty());
     }
 

@@ -5,8 +5,10 @@
 //! `comt rebuild --check`), `COMT-Wxxx` are warnings. The hundreds digit
 //! groups by pass: 0xx hazards/lints on the build model, 1xx layer stack,
 //! 2xx adapter chain. `COMT-Fxxx` codes are emitted by `comt fsck` (the
-//! on-disk layout checker in `comt-oci`); their severity is per-code, not
-//! prefix-derived, and mirrors [`comt_oci::fsck::FSCK_CODES`].
+//! on-disk layout checker in `comt-oci`); `COMT-Axxx` codes by the
+//! `comt audit` ISA-compatibility pass. F and A severities are per-code,
+//! not prefix-derived, and mirror [`comt_oci::fsck::FSCK_CODES`] /
+//! [`crate::features::AUDIT_CODES`].
 
 use crate::diag::Severity;
 
@@ -124,6 +126,18 @@ pub const REGISTRY: &[CodeInfo] = &[
                the build script",
     },
     CodeInfo {
+        code: "COMT-W005",
+        severity: Severity::Warning,
+        title: "value-changing fast-math optimization recorded",
+        explanation: "The step uses -Ofast or -ffast-math, which licenses the compiler to \
+                      break IEEE semantics (reassociation, flush-to-zero, no NaN checks). \
+                      The rebuilt binary can produce different numeric results than a \
+                      rebuild without the flag — the flag changes values, not just \
+                      host-coupling.",
+        hint: "use -O3 with selective -f options, or accept that results are only \
+               reproducible with the identical flag set",
+    },
+    CodeInfo {
         code: "COMT-W101",
         severity: Severity::Warning,
         title: "duplicate conflicting entries in one layer",
@@ -149,6 +163,60 @@ pub const REGISTRY: &[CodeInfo] = &[
                       flag without introducing a replacement of the same category. The \
                       rebuilt step silently loses behavior the original build requested.",
         hint: "check the adapter pipeline order, or add an adapter that maps the flag",
+    },
+    CodeInfo {
+        code: "COMT-A001",
+        severity: Severity::Error,
+        title: "object requires a feature the deployment target lacks",
+        explanation: "Folding the step's effective -march/-mcpu/-m<feature> flags through \
+                      the architecture×feature matrix yields a feature set that is not a \
+                      subset of what the declared deployment target guarantees. The built \
+                      object would fault (SIGILL) or refuse to load on that fleet.",
+        hint: "retarget the step at or below the declared level, or declare a target that \
+               has the features",
+    },
+    CodeInfo {
+        code: "COMT-A002",
+        severity: Severity::Warning,
+        title: "adapter chain silently downgrades a requested feature",
+        explanation: "The recorded command explicitly requests a feature (a -m flag or the \
+                      base of its -march level) that is no longer in the effective feature \
+                      set after the configured adapter chain rewrites the step. The rebuild \
+                      quietly produces slower code than the original build asked for.",
+        hint: "check the adapter pipeline order, or declare a weaker feature in the build \
+               script so record and rebuild agree",
+    },
+    CodeInfo {
+        code: "COMT-A003",
+        severity: Severity::Error,
+        title: "conflicting feature flags within one invocation",
+        explanation: "One command line both enables and disables the same feature (or two \
+                      mutually exclusive features, like -m32/-m64): the effective \
+                      configuration depends on flag order, and last-one-wins resolution \
+                      makes the recorded intent ambiguous for every later rewrite.",
+        hint: "drop one of the flags so the request is unambiguous",
+    },
+    CodeInfo {
+        code: "COMT-A004",
+        severity: Severity::Warning,
+        title: "mixed-feature objects linked into one artifact",
+        explanation: "A link step combines objects whose effective feature sets differ. The \
+                      binary's hardware floor is the max (union) of its objects — the \
+                      portable-looking objects do not make the artifact portable, and one \
+                      hot file compiled with a wider vector set decides where the whole \
+                      binary can run.",
+        hint: "compile every object of one artifact with the same machine flags",
+    },
+    CodeInfo {
+        code: "COMT-A005",
+        severity: Severity::Error,
+        title: "layer stack mixes objects audited for disjoint targets",
+        explanation: "With several declared deployment targets, every object is compatible \
+                      with at least one of them, but no single target is compatible with \
+                      all objects: the image as a whole can run on none of the declared \
+                      fleets, even though each finding taken alone looks benign.",
+        hint: "split the image per target, or rebuild the outlier objects for a common \
+               level",
     },
     CodeInfo {
         code: "COMT-F001",
@@ -236,9 +304,9 @@ mod tests {
             for b in &REGISTRY[i + 1..] {
                 assert_ne!(a.code, b.code, "duplicate code");
             }
-            // F-series severity is per-code (checked against the fsck table
-            // below); E/W severity follows the prefix.
-            if a.code.starts_with("COMT-F") {
+            // F- and A-series severity is per-code (checked against the
+            // fsck/audit tables below); E/W severity follows the prefix.
+            if a.code.starts_with("COMT-F") || a.code.starts_with("COMT-A") {
                 continue;
             }
             let expect = if a.code.starts_with("COMT-E") {
@@ -262,6 +330,54 @@ mod tests {
                 other => panic!("unknown fsck severity {other}"),
             };
             assert_eq!(info.severity, expect, "{code}");
+        }
+    }
+
+    #[test]
+    fn audit_codes_mirror_the_audit_table() {
+        for (code, severity) in crate::features::AUDIT_CODES {
+            let info = lookup(code).unwrap_or_else(|| panic!("{code} not in REGISTRY"));
+            let expect = match *severity {
+                "error" => Severity::Error,
+                "warning" => Severity::Warning,
+                other => panic!("unknown audit severity {other}"),
+            };
+            assert_eq!(info.severity, expect, "{code}");
+        }
+    }
+
+    #[test]
+    fn every_emitted_code_is_registered_and_explainable() {
+        // The registry-consistency contract: each pass declares the codes
+        // it can emit; every one must be registered with non-empty explain
+        // text, and no registered code may be orphaned (emitted by no
+        // pass). F-codes come from the fsck table in comt-oci.
+        let mut emitted: Vec<&str> = Vec::new();
+        emitted.extend(crate::hazards::EMITTED);
+        emitted.extend(crate::lints::EMITTED);
+        emitted.extend(crate::layers::EMITTED);
+        emitted.extend(crate::chain::EMITTED);
+        emitted.extend(crate::features::AUDIT_CODES.iter().map(|(c, _)| *c));
+        emitted.extend(comt_oci::fsck::FSCK_CODES.iter().map(|(c, _, _)| *c));
+
+        for code in &emitted {
+            let info = lookup(code).unwrap_or_else(|| panic!("{code} emitted but unregistered"));
+            assert!(!info.title.is_empty(), "{code} has an empty title");
+            assert!(!info.explanation.is_empty(), "{code} has an empty explanation");
+            assert!(!info.hint.is_empty(), "{code} has an empty hint");
+            let text = render_explain(code).unwrap();
+            assert!(text.contains(*code));
+        }
+        let mut sorted = emitted.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), emitted.len(), "a code is declared twice");
+        for info in REGISTRY {
+            assert!(
+                emitted.contains(&info.code),
+                "{} is registered but emitted by no pass",
+                info.code
+            );
         }
     }
 

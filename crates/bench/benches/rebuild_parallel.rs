@@ -66,6 +66,7 @@ fn cache(units: usize) -> CacheContents {
             graph: BuildGraph::new(),
             isa: "x86_64".into(),
             cache_mode: Default::default(),
+            targets: vec![],
         },
         trace: BuildTrace { commands },
         sources,

@@ -5,8 +5,9 @@
 //! ```text
 //! comt refs        <layout-dir>                     list image refs
 //! comt inspect     <layout-dir> <ref>               image + model summary
-//! comt check       <layout-dir> [ref] [--isa x86_64] [--lto] [--format json]
+//! comt check       <layout-dir> [ref] [--isa x86_64] [--lto] [--deny-warnings] [--format json]
 //! comt check       --explain <CODE>                 describe a diagnostic code
+//! comt audit       <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]
 //! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt] [--stats] [--check]
 //! comt redirect    <layout-dir> <coMre-ref> [--isa x86_64]
 //! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--stats]
@@ -45,7 +46,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--format json]\n  comt check --explain <CODE>\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--deny-warnings] [--format json]\n  comt check --explain <CODE>\n  comt audit <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--target ARCH]... [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +61,16 @@ fn opt_value(args: &[String], name: &str, default: &str) -> String {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| default.to_string())
+}
+
+/// Every value of a repeatable option (`--target x86-64-v2 --target armv8.2-a`).
+fn opt_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn load_layout(dir: &str) -> Result<OciDir, String> {
@@ -167,11 +178,13 @@ fn cmd_check(dir: &str, r: Option<&str>, args: &[String]) -> Result<(), String> 
     }
 
     let mut errors = 0usize;
+    let mut warnings = 0usize;
     let mut reports = Vec::new();
     for name in &refs {
         let report = comt_analyze::check_extended_image(&oci, name, &isa, &toolchain, &adapters)
             .map_err(|e| format!("check {name}: {e}"))?;
         errors += report.error_count();
+        warnings += report.warning_count();
         reports.push(report);
     }
 
@@ -184,8 +197,71 @@ fn cmd_check(dir: &str, r: Option<&str>, args: &[String]) -> Result<(), String> 
             print!("{}", report.render_human());
         }
     }
+    check_verdict(errors, warnings, flag(args, "--deny-warnings"))
+}
+
+/// Map finding counts to `comt check`'s exit verdict: errors always fail,
+/// warnings fail only under `--deny-warnings`.
+fn check_verdict(errors: usize, warnings: usize, deny_warnings: bool) -> Result<(), String> {
     if errors > 0 {
         return Err(format!("{errors} error-severity finding(s)"));
+    }
+    if deny_warnings && warnings > 0 {
+        return Err(format!(
+            "{warnings} warning(s) with --deny-warnings in force"
+        ));
+    }
+    Ok(())
+}
+
+/// `comt audit`: ISA-compatibility verdict of one ref (or every extended
+/// image) against the declared deployment targets. Pure static analysis —
+/// nothing is compiled or executed.
+fn cmd_audit(dir: &str, r: Option<&str>, args: &[String]) -> Result<(), String> {
+    let oci = load_layout(dir)?;
+    let targets = opt_values(args, "--target");
+    let adapters = check_adapters(args);
+    let json = opt_value(args, "--format", "human") == "json";
+
+    let refs: Vec<String> = match r {
+        Some(r) => vec![r.to_string()],
+        None => oci
+            .index
+            .ref_names()
+            .into_iter()
+            .filter(|name| load_cache(&oci, name).is_ok())
+            .collect(),
+    };
+    if refs.is_empty() {
+        return Err(format!("{dir}: no coMtainer extended images to audit"));
+    }
+
+    let mut errors = 0usize;
+    let mut reports = Vec::new();
+    for name in &refs {
+        // The audit folds flags under the image's own recorded ISA; the
+        // vendor toolchain drives the adapter-chain replay per target.
+        let cache = load_cache(&oci, name).map_err(|e| format!("audit {name}: {e}"))?;
+        let toolchain = Toolchain::vendor_for(&cache.models.isa);
+        let report =
+            comt_analyze::audit_extended_image(&oci, name, &targets, &toolchain, &adapters)
+                .map_err(|e| format!("audit {name}: {e}"))?;
+        if report.has_errors() {
+            errors += 1;
+        }
+        reports.push(report);
+    }
+
+    if json {
+        let bodies: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", bodies.join(",\n"));
+    } else {
+        for report in &reports {
+            print!("{}", report.render_human());
+        }
+    }
+    if errors > 0 {
+        return Err(format!("{errors} image(s) failed the audit"));
     }
     Ok(())
 }
@@ -385,6 +461,7 @@ fn cmd_submit(r: &str, args: &[String]) -> Result<(), String> {
     jr.isa = opt_value(args, "--isa", "x86_64");
     jr.lto = flag(args, "--lto");
     jr.parallel = flag(args, "--parallel");
+    jr.targets = opt_values(args, "--target");
     let prio = opt_value(args, "--priority", "0");
     jr.priority = prio
         .parse::<u8>()
@@ -664,6 +741,14 @@ fn main() -> ExitCode {
                 .next();
             cmd_check(dir, r, rest)
         }
+        [cmd, dir, rest @ ..] if cmd == "audit" => {
+            let r = rest
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .next();
+            cmd_audit(dir, r, rest)
+        }
         [cmd, dir, r, rest @ ..] if cmd == "rebuild" => cmd_rebuild(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "redirect" => cmd_redirect(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "adapt" => cmd_adapt(dir, r, rest),
@@ -728,6 +813,27 @@ mod tests {
         s.error = Some("boom".into());
         let line = render_job(&s);
         assert!(line.contains("error=boom"), "{line}");
+    }
+
+    #[test]
+    fn check_verdict_denies_warnings_only_on_request() {
+        assert!(check_verdict(0, 0, false).is_ok());
+        assert!(check_verdict(0, 3, false).is_ok());
+        assert!(check_verdict(1, 0, false).is_err());
+        assert!(check_verdict(0, 3, true).is_err());
+        assert!(check_verdict(0, 0, true).is_ok());
+        let msg = check_verdict(0, 2, true).unwrap_err();
+        assert!(msg.contains("--deny-warnings"), "{msg}");
+    }
+
+    #[test]
+    fn opt_values_collects_every_occurrence() {
+        let args: Vec<String> = ["--target", "x86-64-v2", "--lto", "--target", "armv8.2-a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(opt_values(&args, "--target"), vec!["x86-64-v2", "armv8.2-a"]);
+        assert!(opt_values(&args, "--isa").is_empty());
     }
 
     #[test]

@@ -145,6 +145,7 @@ mod tests {
                 graph: BuildGraph::new(),
                 isa: "x86_64".into(),
                 cache_mode: Default::default(),
+                targets: vec![],
             },
             trace,
             sources,

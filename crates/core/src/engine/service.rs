@@ -95,6 +95,9 @@ pub struct JobSpec {
     pub parallel: bool,
     /// Within-tenant priority; higher dispatches first.
     pub priority: u8,
+    /// Declared deployment targets (`x86-64-v2`, …). Non-empty opts the
+    /// job into the admission audit at the buildd wire layer.
+    pub targets: Vec<String>,
 }
 
 impl JobSpec {
@@ -107,6 +110,7 @@ impl JobSpec {
             lto: false,
             parallel: false,
             priority: 0,
+            targets: vec![],
         }
     }
 }
@@ -514,6 +518,14 @@ impl BuildService {
         Ok(id)
     }
 
+    /// Run a read-only closure against the service's layout under the
+    /// layout lock — how wire-layer gates (the buildd admission audit)
+    /// inspect an extended image without taking ownership of the `OciDir`.
+    pub fn with_layout<R>(&self, f: impl FnOnce(&OciDir) -> R) -> R {
+        let oci = self.inner.oci.lock().unwrap_or_else(|e| e.into_inner());
+        f(&oci)
+    }
+
     /// Snapshot one job.
     pub fn status(&self, id: u64) -> Option<JobStatus> {
         let st = self.inner.lock_state();
@@ -727,6 +739,7 @@ mod tests {
             graph: BuildGraph::new(),
             isa: "x86_64".into(),
             cache_mode: Default::default(),
+            targets: vec![],
         };
         write_cache(&mut oci, "app.dist", &models, &trace, &sources).unwrap();
         oci

@@ -188,6 +188,7 @@ pub fn analyze_mode(
             graph,
             isa: inputs.isa.to_string(),
             cache_mode: mode,
+            targets: vec![],
         },
         cache_files,
     })

@@ -43,4 +43,10 @@ pub struct ProcessModels {
     /// What the cache layer carries (sources vs compiled IR).
     #[serde(default)]
     pub cache_mode: CacheMode,
+    /// Deployment targets the image is declared for (`x86-64-v2`,
+    /// `armv8.2-a`, …) — consumed by `comt audit` and the buildd
+    /// admission gate. Empty means "no declaration": the audit is only
+    /// run when targets are passed explicitly.
+    #[serde(default)]
+    pub targets: Vec<String>,
 }

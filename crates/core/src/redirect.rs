@@ -182,6 +182,7 @@ mod tests {
             graph: BuildGraph::new(),
             isa: "x86_64".into(),
             cache_mode: Default::default(),
+            targets: vec![],
         };
         write_cache(
             &mut oci,

@@ -8,7 +8,9 @@
 //!
 //! ```text
 //! POST /buildd/jobs                    submit {tenant, ref, isa, lto,
-//!                                      parallel, priority} → 202 + status
+//!                                      parallel, priority, targets} → 202
+//!                                      + status; 422 + findings when the
+//!                                      admission audit fails
 //! GET  /buildd/jobs[?tenant=T]         list job statuses
 //! GET  /buildd/jobs/<id>               one job status
 //! POST /buildd/jobs/<id>/cancel        cancel (idempotent)
@@ -26,6 +28,13 @@
 //! dropped poll never loses or duplicates log lines. Completed jobs stream
 //! their engine [`Report`] back, letting a remote submitter print exactly
 //! what a local `--stats` run would.
+//!
+//! **Admission gate.** A submission that declares deployment `targets`
+//! is statically audited (`comt_analyze::audit_extended_image`) before it
+//! may queue: error-severity findings reject the job with HTTP 422 and
+//! the findings in the JSON error body, so a submitter learns their image
+//! cannot run on a declared target *at submit time*, not after a rebuild.
+//! Jobs with no targets skip the gate — it is strictly opt-in.
 
 use crate::http::{serve_http, HttpAction, HttpHandler, HttpOptions, HttpServer};
 use crate::wire::{Request, Response};
@@ -61,6 +70,10 @@ pub struct JobRequest {
     pub lto: bool,
     pub parallel: bool,
     pub priority: u8,
+    /// Declared deployment targets; non-empty opts into the admission
+    /// audit (the job is rejected at submit if any object cannot run on
+    /// one of these).
+    pub targets: Vec<String>,
 }
 
 impl JobRequest {
@@ -73,10 +86,16 @@ impl JobRequest {
             lto: false,
             parallel: false,
             priority: 0,
+            targets: vec![],
         }
     }
 
     fn to_json(&self) -> String {
+        let targets: Vec<Value> = self
+            .targets
+            .iter()
+            .map(|t| Value::Str(t.clone()))
+            .collect();
         let v = Value::Object(vec![
             ("tenant".into(), Value::Str(self.tenant.clone())),
             ("ref".into(), Value::Str(self.extended_ref.clone())),
@@ -84,6 +103,7 @@ impl JobRequest {
             ("lto".into(), Value::Bool(self.lto)),
             ("parallel".into(), Value::Bool(self.parallel)),
             ("priority".into(), Value::Int(self.priority as i64)),
+            ("targets".into(), Value::Array(targets)),
         ]);
         to_json_text(&v)
     }
@@ -118,6 +138,18 @@ impl JobRequest {
                 None => 0,
                 Some(other) => return Err(format!("bad priority: {other:?}")),
             },
+            targets: match Value::field(obj, "targets") {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|t| {
+                        t.as_str()
+                            .map(String::from)
+                            .ok_or(format!("bad target: {t:?}"))
+                    })
+                    .collect::<Result<Vec<String>, String>>()?,
+                None => vec![],
+                Some(other) => return Err(format!("bad targets: {other:?}")),
+            },
         })
     }
 
@@ -129,6 +161,7 @@ impl JobRequest {
             lto: self.lto,
             parallel: self.parallel,
             priority: self.priority,
+            targets: self.targets,
         }
     }
 }
@@ -295,6 +328,11 @@ fn job_submit(req: &Request, svc: &BuildService) -> HttpAction {
         Ok(jr) => jr,
         Err(e) => return json_error(400, e),
     };
+    if !jr.targets.is_empty() {
+        if let Some(rejection) = admission_audit(&jr, svc) {
+            return rejection;
+        }
+    }
     match svc.submit(jr.into_spec()) {
         Ok(id) => {
             let status = svc.status(id).expect("submitted job exists");
@@ -302,6 +340,67 @@ fn job_submit(req: &Request, svc: &BuildService) -> HttpAction {
         }
         Err(e) => json_error(400, e.to_string()),
     }
+}
+
+/// The admission gate: a submission declaring deployment targets is
+/// statically audited against them before it may queue. `None` admits;
+/// `Some(response)` rejects — 400 when the audit itself cannot run
+/// (unknown target, not an extended image), 422 with the error-severity
+/// findings in the JSON body when the image fails the audit.
+fn admission_audit(jr: &JobRequest, svc: &BuildService) -> Option<HttpAction> {
+    use comtainer::{LtoAdapter, NativeToolchainAdapter, SystemAdapter};
+    let audit = svc.with_layout(|oci| {
+        let mut adapters: Vec<Box<dyn SystemAdapter>> = vec![Box::new(NativeToolchainAdapter)];
+        if jr.lto {
+            adapters.push(Box::new(LtoAdapter::whole_graph()));
+        }
+        let toolchain = comt_toolchain::Toolchain::vendor_for(&jr.isa);
+        comt_analyze::audit_extended_image(oci, &jr.extended_ref, &jr.targets, &toolchain, &adapters)
+    });
+    let report = match audit {
+        Ok(report) => report,
+        Err(e) => {
+            return Some(json_error(
+                400,
+                format!("admission audit of {:?}: {e}", jr.extended_ref),
+            ))
+        }
+    };
+    if !report.has_errors() {
+        return None;
+    }
+    let errors: Vec<&comt_analyze::Diagnostic> = report
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == comt_analyze::Severity::Error)
+        .collect();
+    let mut codes: Vec<&str> = errors.iter().map(|d| d.code).collect();
+    codes.dedup();
+    let findings: Vec<Value> = errors
+        .iter()
+        .map(|d| {
+            Value::Object(vec![
+                ("code".into(), Value::Str(d.code.to_string())),
+                ("severity".into(), Value::Str("error".into())),
+                ("message".into(), Value::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    let summary = format!(
+        "admission audit rejected {:?} for targets [{}]: {} finding(s) ({})",
+        jr.extended_ref,
+        jr.targets.join(", "),
+        errors.len(),
+        codes.join(", "),
+    );
+    Some(json_response(
+        422,
+        &Value::Object(vec![
+            ("error".into(), Value::Str(summary)),
+            ("findings".into(), Value::Array(findings)),
+        ]),
+    ))
 }
 
 fn job_list(query: Option<&str>, svc: &BuildService) -> HttpAction {
@@ -618,6 +717,7 @@ mod tests {
         let mut jr = JobRequest::new("alice", "app.dist+coM");
         jr.lto = true;
         jr.priority = 7;
+        jr.targets = vec!["x86-64-v2".into(), "armv8.2-a".into()];
         let back = JobRequest::from_json(jr.to_json().as_bytes()).unwrap();
         assert_eq!(back, jr);
     }
@@ -629,6 +729,12 @@ mod tests {
         assert_eq!(jr.isa, "x86_64");
         assert!(!jr.lto && !jr.parallel);
         assert_eq!(jr.priority, 0);
+        assert!(jr.targets.is_empty());
+        assert!(
+            JobRequest::from_json(br#"{"tenant":"t","ref":"x","targets":[1]}"#.as_ref())
+                .is_err(),
+            "non-string target rejected"
+        );
         assert!(JobRequest::from_json(b"not json").is_err());
         assert!(JobRequest::from_json(br#"{"ref":"x"}"#.as_ref()).is_err());
         assert!(

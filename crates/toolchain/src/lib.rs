@@ -27,9 +27,13 @@
 //!   namespaced external symbols resolved against `-l` libraries).
 //! * [`toolchains`] — toolchain personalities (distro GCC, LLVM, vendor
 //!   compilers) with codegen-quality factors used by the performance model.
+//! * [`features`] — the architecture×feature matrix (x86-64-v1..v4 levels,
+//!   AArch64 armv8.x/SVE tiers, implication and conflict edges) and the
+//!   flow-sensitive flag fold behind `comt audit`.
 
 pub mod artifact;
 pub mod compiler;
+pub mod features;
 pub mod invocation;
 pub mod options;
 pub mod source;
@@ -37,6 +41,10 @@ pub mod toolchains;
 
 pub use artifact::{Archive, Artifact, KernelParams, LinkedBinary, ObjectFile, PgoMode};
 pub use compiler::{recodegen, CommandOutcome, CompileError, SimCompiler};
+pub use features::{
+    arch_features, conflicts_with, flag_feature, fold_invocation, implied_by, known_targets,
+    target_arch, FeatureSet, TargetConfig,
+};
 pub use invocation::{CompilerInvocation, DriverMode, InputKind, ParseError};
 pub use options::{lookup, OptionCategory, OptionShape};
 pub use source::{parse_source, SourceInfo};

@@ -9,9 +9,77 @@
 //! a build artifact.
 //!
 //! Run with: `cargo run --example make_check_layouts [out-dir]`
+//!
+//! Besides the pipeline-produced app layouts, a hand-built `simd.oci`
+//! layout is written whose recorded build pins `-mavx512f`: it is clean
+//! under `comt check`, but `comt audit --target x86-64-v2` must fail it
+//! with COMT-A001 (and pass it against `x86-64-v4`) — CI's seeded
+//! negative case for the audit gate.
 
+use bytes::Bytes;
 use comt_bench::Lab;
+use comt_buildsys::{BuildTrace, RawCommand};
+use comt_oci::layout::OciDir;
+use comt_oci::{BlobStore, ImageBuilder};
+use comt_vfs::Vfs;
+use comtainer::cache::write_cache;
+use comtainer::models::{BuildGraph, FileOrigin, ImageModel, ProcessModels};
 use comtainer_suite::pkg::catalog;
+
+/// An extended image whose objects require AVX-512: one compile step with
+/// an explicit `-mavx512f`, linked into `/app/run`.
+fn simd_layout() -> OciDir {
+    let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+    let mut store = BlobStore::new();
+    let mut dist_fs = Vfs::new();
+    dist_fs
+        .write_file_p("/app/run", Bytes::from_static(b"SIMD-BIN"), 0o755)
+        .unwrap();
+    let img = ImageBuilder::from_scratch("x86_64")
+        .with_layer_from_fs(&Vfs::new(), &dist_fs)
+        .with_entrypoint(vec!["/app/run".into()])
+        .commit(&mut store)
+        .unwrap();
+    let mut oci = OciDir::new();
+    oci.export("simd.dist", img.manifest_digest, &store).unwrap();
+
+    let trace = BuildTrace {
+        commands: vec![
+            RawCommand {
+                argv: argv("gcc -O2 -mavx512f -c kernel.c -o kernel.o"),
+                cwd: "/src".into(),
+                env: vec![],
+                inputs: vec!["/src/kernel.c".into()],
+                outputs: vec!["/src/kernel.o".into()],
+            },
+            RawCommand {
+                argv: argv("gcc kernel.o -o app"),
+                cwd: "/src".into(),
+                env: vec![],
+                inputs: vec!["/src/kernel.o".into()],
+                outputs: vec!["/src/app".into()],
+            },
+        ],
+    };
+    let mut sources = std::collections::BTreeMap::new();
+    sources.insert(
+        "/src/kernel.c".to_string(),
+        Bytes::from("#pragma comt provides(main)\n"),
+    );
+    let mut image = ImageModel::default();
+    image
+        .files
+        .insert("/app/run".into(), FileOrigin::Build("/src/app".into()));
+    let models = ProcessModels {
+        image,
+        graph: BuildGraph::new(),
+        isa: "x86_64".into(),
+        cache_mode: Default::default(),
+        targets: vec![],
+    };
+    write_cache(&mut oci, "simd.dist", &models, &trace, &sources).unwrap();
+    oci
+}
 
 fn main() {
     let out = std::env::args()
@@ -31,8 +99,19 @@ fn main() {
             art.oci.index.ref_names()
         );
     }
+
+    let simd = simd_layout();
+    let dir = out.join("simd.oci");
+    let _ = std::fs::remove_dir_all(&dir);
+    simd.save(&dir).expect("save simd layout");
+    println!("wrote {} (refs: {:?})", dir.display(), simd.index.ref_names());
+
     println!(
         "verify with: comt check {}/<app>.oci --format json",
+        out.display()
+    );
+    println!(
+        "audit with:  comt audit {}/<app>.oci --target x86-64-v2 --format json",
         out.display()
     );
 }

@@ -98,6 +98,7 @@ fn models() -> ProcessModels {
         graph: Default::default(),
         isa: "x86_64".into(),
         cache_mode: Default::default(),
+        targets: vec![],
     }
 }
 
