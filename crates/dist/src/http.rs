@@ -1,48 +1,70 @@
-//! The shared HTTP/1.1 service core: one hardened listener/worker/deadline
+//! The shared HTTP/1.1 service core: one hardened serve-path
 //! implementation behind every coMtainer daemon.
 //!
 //! Extracted from the registry server so `comt serve` (the distribution
 //! registry) and `comt buildd` (the multi-tenant rebuild service) run the
-//! same battle-tested plumbing and differ only in routing:
+//! same battle-tested plumbing and differ only in routing. A daemon
+//! implements [`HttpHandler`] (pure request → response routing; the trait
+//! never sees a socket) and calls [`serve_http`].
 //!
-//! * one acceptor thread feeds a **bounded pool** of worker threads over a
-//!   bounded queue — a connection flood back-pressures at accept instead of
-//!   spawning unbounded threads;
-//! * every connection gets read/write deadlines, so a stalled peer can
-//!   never pin a worker forever;
-//! * workers run a keep-alive loop over [`crate::wire`], with request
-//!   bodies capped at [`HttpOptions::max_body`];
-//! * per-endpoint request counters, byte counters and latency
-//!   distributions are recorded under the handler's metrics prefix.
+//! Two engines sit behind the same API:
 //!
-//! A daemon implements [`HttpHandler`] (pure request → response routing;
-//! the trait never sees a socket) and calls [`serve_http`]. Fault
-//! injection stays available to handlers via
-//! [`HttpAction::RespondTruncated`], which lies about the body length and
-//! drops the line — the chaos hook the registry uses to exercise client
-//! Range-resume.
+//! * **Event loop** (Linux, the default): a readiness-driven reactor over
+//!   raw `epoll`/`eventfd`/`sendfile` syscalls ([`crate::eventloop`]).
+//!   `threads` loop threads each own a [`crate::poller::Poller`];
+//!   connections are nonblocking state machines with per-state deadlines,
+//!   responses stream in bounded chunks (file bodies via `sendfile`, so a
+//!   2 GiB layer never transits a userspace buffer), writes are scheduled
+//!   round-robin with a per-pass quantum, and per-client token buckets
+//!   cap egress. Thousands of idle connections cost entries in an epoll
+//!   set, not threads.
+//! * **Thread pool** (everywhere else): one acceptor feeds a bounded pool
+//!   of blocking workers over a bounded queue — a connection flood
+//!   back-pressures at accept. Same wire behavior, different scaling
+//!   shape; `max_conns`/`client_rate` are loop-engine knobs and are
+//!   inert here (the bounded pool is its own admission control).
+//!
+//! Handlers return bodies either materialized ([`HttpAction::Respond`])
+//! or as a [`BodySource`] ([`HttpAction::RespondBody`]) that both engines
+//! stream in [`STREAM_CHUNK`]-bounded pieces. Fault injection stays
+//! available via [`HttpAction::RespondTruncated`], which lies about the
+//! body length and drops the line — the chaos hook the registry uses to
+//! exercise client Range-resume.
 
 use crate::wire::{self, Request, Response};
-use std::io::{self, BufReader};
+use bytes::Bytes;
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Bound on any single body copy on the serve path: streamed responses
+/// move through the socket in pieces of at most this size.
+pub const STREAM_CHUNK: usize = 256 * 1024;
+
 /// Tuning knobs shared by every daemon built on [`serve_http`].
 #[derive(Debug, Clone)]
 pub struct HttpOptions {
-    /// Worker threads handling connections (the pool bound).
+    /// Event loop threads (loop engine) or worker threads (pool engine).
     pub threads: usize,
-    /// Pending-connection queue depth between acceptor and workers.
+    /// Listen backlog (pool engine: also the accept→worker queue depth).
     pub backlog: usize,
-    /// Per-connection socket read deadline.
+    /// Per-connection read deadline (idle keep-alive or stalled upload).
     pub read_timeout: Duration,
-    /// Per-connection socket write deadline.
+    /// Per-connection write deadline (stalled / zero-window reader).
     pub write_timeout: Duration,
     /// Largest accepted request body.
     pub max_body: usize,
+    /// Open-connection cap (loop engine). Accepts past the cap are
+    /// refused immediately and counted, so a connection flood degrades
+    /// loudly instead of wedging the reactor.
+    pub max_conns: usize,
+    /// Per-client (peer IP) egress cap in bytes/sec; 0 disables. Loop
+    /// engine only.
+    pub client_rate: u64,
 }
 
 impl Default for HttpOptions {
@@ -53,19 +75,50 @@ impl Default for HttpOptions {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_body: 1 << 30,
+            max_conns: 1024,
+            client_rate: 0,
         }
+    }
+}
+
+/// Where a streamed response body comes from.
+#[derive(Debug)]
+pub enum BodySource {
+    /// Refcounted in-memory bytes (hot-cache hits, manifests): cloned
+    /// per response, written in bounded chunks, never copied whole.
+    Bytes(Bytes),
+    /// A byte window of a file on disk. The loop engine moves it with
+    /// `sendfile` (kernel-space file→socket, zero userspace copies); the
+    /// pool engine streams it through a [`STREAM_CHUNK`] buffer.
+    File { path: PathBuf, offset: u64, len: u64 },
+}
+
+impl BodySource {
+    pub fn len(&self) -> u64 {
+        match self {
+            BodySource::Bytes(b) => b.len() as u64,
+            BodySource::File { len, .. } => *len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
 /// What a handler wants done with the socket after routing one request.
 pub enum HttpAction {
+    /// A fully materialized response (status, headers, body).
     Respond(Response),
+    /// `resp` carries status + headers; the body streams from `source`
+    /// (its `Content-Length` is the source length, `resp.body` ignored).
+    RespondBody(Response, BodySource),
     /// Fault injection: send only the first N body bytes of a response
     /// that advertises its full length, then close the connection.
     RespondTruncated(Response, usize),
 }
 
-/// A daemon's routing layer. Implementations are shared across worker
+/// A daemon's routing layer. Implementations are shared across serve
 /// threads, so handlers synchronize their own state.
 pub trait HttpHandler: Send + Sync + 'static {
     /// Namespace for this daemon's observe counters — e.g. `dist.server`
@@ -79,28 +132,73 @@ pub trait HttpHandler: Send + Sync + 'static {
 }
 
 /// A running daemon. Dropping it without [`HttpServer::shutdown`] stops
-/// accepting but does not join workers; `shutdown` joins everything.
-pub struct HttpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+/// accepting but does not join threads; `shutdown` joins everything.
+pub enum HttpServer {
+    Pool(PoolServer),
+    Loop(crate::eventloop::LoopServer),
 }
 
 impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+        f.debug_struct("HttpServer").field("addr", &self.addr()).finish()
+    }
+}
+
+impl HttpServer {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            HttpServer::Pool(s) => s.addr,
+            HttpServer::Loop(s) => s.addr(),
+        }
+    }
+
+    /// Stop accepting and join all threads. After this returns, no thread
+    /// holds a reference to the handler.
+    pub fn shutdown(self) {
+        match self {
+            HttpServer::Pool(s) => s.shutdown(),
+            HttpServer::Loop(s) => s.shutdown(),
+        }
     }
 }
 
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
-/// `handler` until shutdown.
+/// `handler` until shutdown. Picks the readiness event loop when the
+/// platform supports it, the blocking thread pool otherwise.
 pub fn serve_http<H: HttpHandler>(
     handler: Arc<H>,
     addr: &str,
     opts: HttpOptions,
 ) -> io::Result<HttpServer> {
     let listener = TcpListener::bind(addr)?;
+    if crate::poller::SUPPORTED {
+        match crate::eventloop::serve_loop(Arc::clone(&handler), listener, &opts) {
+            Ok(s) => return Ok(HttpServer::Loop(s)),
+            // A sandbox may deny epoll/eventfd even on Linux; fall back.
+            Err(e) if e.kind() == io::ErrorKind::Unsupported || e.raw_os_error() == Some(1) => {
+                let listener = TcpListener::bind(addr)?;
+                return serve_pool(handler, listener, &opts).map(HttpServer::Pool);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    serve_pool(handler, listener, &opts).map(HttpServer::Pool)
+}
+
+/// The blocking thread-pool engine (fallback off Linux).
+pub struct PoolServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn serve_pool<H: HttpHandler>(
+    handler: Arc<H>,
+    listener: TcpListener,
+    opts: &HttpOptions,
+) -> io::Result<PoolServer> {
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let prefix = handler.metrics_prefix();
@@ -149,7 +247,7 @@ pub fn serve_http<H: HttpHandler>(
             })?
     };
 
-    Ok(HttpServer {
+    Ok(PoolServer {
         addr: local,
         stop,
         acceptor: Some(acceptor),
@@ -157,15 +255,8 @@ pub fn serve_http<H: HttpHandler>(
     })
 }
 
-impl HttpServer {
-    /// The bound address (resolves `:0` to the real port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stop accepting and join all threads. After this returns, no thread
-    /// holds a reference to the handler.
-    pub fn shutdown(mut self) {
+impl PoolServer {
+    fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor's blocking accept().
         let _ = TcpStream::connect(self.addr);
@@ -178,10 +269,42 @@ impl HttpServer {
     }
 }
 
-impl Drop for HttpServer {
+impl Drop for PoolServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Stream a [`BodySource`] to `w` in bounded chunks — the pool engine's
+/// analogue of the loop engine's chunked write / sendfile path.
+fn write_body_source(w: &mut impl Write, source: &BodySource) -> io::Result<u64> {
+    match source {
+        BodySource::Bytes(data) => {
+            for chunk in data.chunks(STREAM_CHUNK) {
+                w.write_all(chunk)?;
+            }
+            Ok(data.len() as u64)
+        }
+        BodySource::File { path, offset, len } => {
+            let mut f = std::fs::File::open(path)?;
+            f.seek(SeekFrom::Start(*offset))?;
+            let mut remaining = *len;
+            let mut buf = vec![0u8; STREAM_CHUNK.min(*len as usize + 1)];
+            while remaining > 0 {
+                let want = (remaining as usize).min(buf.len());
+                let n = f.read(&mut buf[..want])?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "blob file shorter than advertised",
+                    ));
+                }
+                w.write_all(&buf[..n])?;
+                remaining -= n as u64;
+            }
+            Ok(*len)
+        }
     }
 }
 
@@ -224,6 +347,17 @@ fn handle_connection<H: HttpHandler>(
             HttpAction::Respond(resp) => {
                 obs.count(&format!("{prefix}.bytes_out"), resp.body.len() as u64);
                 if wire::write_response(&mut writer, &resp, None).is_err() {
+                    return;
+                }
+            }
+            HttpAction::RespondBody(resp, source) => {
+                obs.count(&format!("{prefix}.bytes_out"), source.len());
+                let head = wire::response_head_bytes(&resp, source.len());
+                let sent = writer
+                    .write_all(&head)
+                    .and_then(|_| write_body_source(&mut writer, &source))
+                    .and_then(|n| writer.flush().map(|_| n));
+                if sent.is_err() {
                     return;
                 }
             }

@@ -26,13 +26,19 @@
 
 pub mod buildd;
 pub mod client;
+pub mod eventloop;
+pub mod hotcache;
 pub mod http;
+pub mod poller;
 pub mod server;
 pub mod wire;
 
 pub use buildd::{serve_buildd, BuilddClient, BuilddServer, JobRequest, JobStatusWire};
 pub use client::{DistClient, RetryPolicy, TransferStats};
-pub use http::{serve_http, HttpAction, HttpHandler, HttpOptions, HttpServer};
+pub use hotcache::{CacheStats, HotBlobCache};
+pub use http::{
+    serve_http, BodySource, HttpAction, HttpHandler, HttpOptions, HttpServer, STREAM_CHUNK,
+};
 pub use server::{serve, Chaos, DistServer, ServerOptions};
 
 /// Manifest media type advertised on the wire.

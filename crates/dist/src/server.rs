@@ -29,12 +29,14 @@
 //! just presence) before the tag appears, so a pull can never observe a
 //! half-pushed image.
 
-use crate::http::{serve_http, HttpAction, HttpHandler, HttpOptions, HttpServer};
+use crate::hotcache::HotBlobCache;
+use crate::http::{serve_http, BodySource, HttpAction, HttpHandler, HttpOptions, HttpServer};
 use crate::wire::{self, Request, Response};
 use crate::{tag_key, MEDIA_TYPE_MANIFEST};
 use comt_digest::Digest;
 use comt_oci::store::{closure_digests, Registry, RegistryError};
-use comt_oci::RegistryBackend;
+use comt_oci::{BlobHandle, RegistryBackend};
+use std::collections::HashSet;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -64,6 +66,13 @@ pub struct ServerOptions {
     pub write_timeout: Duration,
     /// Largest accepted request body (blob upload cap).
     pub max_body: usize,
+    /// Byte budget for the hot-blob LRU in front of the backend; 0
+    /// disables caching (every GET goes to the store).
+    pub cache_bytes: u64,
+    /// Open-connection cap (event-loop engine; see [`HttpOptions`]).
+    pub max_conns: usize,
+    /// Per-client egress cap in bytes/sec; 0 disables (loop engine).
+    pub client_rate: u64,
     /// Optional fault injection.
     pub chaos: Option<Chaos>,
 }
@@ -77,6 +86,9 @@ impl Default for ServerOptions {
             read_timeout: http.read_timeout,
             write_timeout: http.write_timeout,
             max_body: http.max_body,
+            cache_bytes: 64 << 20,
+            max_conns: http.max_conns,
+            client_rate: http.client_rate,
             chaos: None,
         }
     }
@@ -90,6 +102,8 @@ impl ServerOptions {
             read_timeout: self.read_timeout,
             write_timeout: self.write_timeout,
             max_body: self.max_body,
+            max_conns: self.max_conns,
+            client_rate: self.client_rate,
         }
     }
 }
@@ -98,6 +112,15 @@ impl ServerOptions {
 /// HTTP core.
 struct RegistryHandler<R: RegistryBackend> {
     registry: Mutex<R>,
+    /// Byte-budgeted LRU of verified hot blobs: a layer every node in a
+    /// cluster pulls is read and hashed once, then served as refcounted
+    /// [`bytes::Bytes`] clones.
+    cache: HotBlobCache,
+    /// Digests whose on-disk content has been stream-verified this
+    /// process lifetime — big blobs too large for the cache are checked
+    /// once, then served straight off the file (sendfile on the loop
+    /// engine) without re-hashing per GET.
+    verified: Mutex<HashSet<Digest>>,
     chaos_budget: AtomicU32,
     chaos_after: usize,
 }
@@ -136,6 +159,8 @@ pub fn serve<R: RegistryBackend>(
 ) -> io::Result<DistServer<R>> {
     let state = Arc::new(RegistryHandler {
         registry: Mutex::new(registry),
+        cache: HotBlobCache::new(opts.cache_bytes),
+        verified: Mutex::new(HashSet::new()),
         chaos_budget: AtomicU32::new(opts.chaos.map_or(0, |c| c.truncate_blob_gets)),
         chaos_after: opts.chaos.map_or(0, |c| c.truncate_after),
     });
@@ -196,6 +221,9 @@ fn dispatch<R: RegistryBackend>(
             HttpAction::Respond(Response::new(200).with_body(&b"{}"[..])),
         );
     }
+    if req.path == "/v2/_comt/stats" && req.method == "GET" {
+        return ("stats", stats_response(state));
+    }
     let Some((name, kind, reference)) = parse_path(&req.path) else {
         return ("unroutable", not_found());
     };
@@ -239,6 +267,42 @@ fn blob_head<R: RegistryBackend>(
     }
 }
 
+fn unservable(what: &str, e: impl std::fmt::Display) -> HttpAction {
+    comt_observe::global().count("dist.server.verify_failures", 1);
+    HttpAction::Respond(Response::new(500).with_body(format!("stored {what} unservable: {e}")))
+}
+
+/// Verify a blob too large for the cache — once per process lifetime.
+/// The content is hashed in bounded chunks straight off its handle; after
+/// the first clean check, GETs stream the file without re-hashing.
+fn ensure_streamed_verified<R: RegistryBackend>(
+    state: &RegistryHandler<R>,
+    digest: &Digest,
+    handle: &BlobHandle,
+) -> Result<(), HttpAction> {
+    if state
+        .verified
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .contains(digest)
+    {
+        return Ok(());
+    }
+    let obs = comt_observe::global();
+    let _span = obs.span("dist.server.verify");
+    match handle.stream_verified(digest) {
+        Ok(_) => {
+            state
+                .verified
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(*digest);
+            Ok(())
+        }
+        Err(e) => Err(unservable("blob", e)),
+    }
+}
+
 fn blob_get<R: RegistryBackend>(
     req: &Request,
     _name: &str,
@@ -250,28 +314,14 @@ fn blob_get<R: RegistryBackend>(
         Err(a) => return a,
     };
     // Move a cheap handle out and release the lock before the expensive
-    // part (file read for disk backends, re-hash for all of them).
+    // part (file read for disk backends, hashing for all of them).
     let handle = {
         let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
         reg.blob_handle(&digest)
     };
     let Some(handle) = handle else { return not_found() };
-    // Server-side verification before serving: a corrupt store must never
-    // satisfy a read.
+    let total = handle.len();
     let obs = comt_observe::global();
-    let blob = {
-        let _span = obs.span("dist.server.verify");
-        match handle.read_verified(&digest) {
-            Ok(b) => b,
-            Err(e) => {
-                obs.count("dist.server.verify_failures", 1);
-                return HttpAction::Respond(
-                    Response::new(500).with_body(format!("stored blob unservable: {e}")),
-                );
-            }
-        }
-    };
-    let total = blob.len() as u64;
     let range_header = req.header("range");
     let (start, end, status) = match wire::parse_range(range_header, total) {
         Some((s, e)) => (s, e, 206),
@@ -282,9 +332,47 @@ fn blob_get<R: RegistryBackend>(
         }
         None => (0, total, 200),
     };
-    let mut resp = Response::new(status)
-        .with_header("Docker-Content-Digest", reference)
-        .with_body(blob.slice(start as usize..end as usize).to_vec());
+
+    let source = if status == 206 {
+        // Range resume: touch only the requested window. A cache hit
+        // slices the shared verified bytes zero-copy; a miss seeks into
+        // the file and reads just `end - start` bytes — never the whole
+        // blob, never a cache admission. The window itself cannot be
+        // digest-checked in isolation; the client verifies the assembled
+        // blob against its address, as the protocol requires anyway.
+        match state.cache.get(&digest) {
+            Some(b) => BodySource::Bytes(b.slice(start as usize..end as usize)),
+            None => match handle.read_range(start, end) {
+                Ok(b) => BodySource::Bytes(b),
+                Err(e) => return unservable("blob", e),
+            },
+        }
+    } else if state.cache.admits(total) {
+        // Hot path: the LRU's single-flight loader reads + hashes the
+        // blob at most once per admission (verify-on-admit); every
+        // concurrent or later GET clones the refcounted bytes.
+        let _span = obs.span("dist.server.verify");
+        match state.cache.get_or_load(&digest, || handle.read_range(0, total)) {
+            Ok(b) => BodySource::Bytes(b),
+            Err(e) => return unservable("blob", e),
+        }
+    } else {
+        // Too big to cache: stream off the store in bounded chunks (the
+        // loop engine uses sendfile — the body never transits a Vec).
+        if let Err(a) = ensure_streamed_verified(state, &digest, &handle) {
+            return a;
+        }
+        match &handle {
+            BlobHandle::File { path, .. } => BodySource::File {
+                path: path.clone(),
+                offset: 0,
+                len: total,
+            },
+            BlobHandle::Resident(b) => BodySource::Bytes(b.clone()),
+        }
+    };
+
+    let mut resp = Response::new(status).with_header("Docker-Content-Digest", reference);
     if status == 206 {
         resp = resp.with_header(
             "Content-Range",
@@ -292,7 +380,9 @@ fn blob_get<R: RegistryBackend>(
         );
     }
     // Chaos: pretend to serve the full range, cut the body short, hang up.
-    if state.chaos_after > 0 && resp.body.len() > state.chaos_after {
+    // Truncation needs materialized bytes; chaos runs only in tests with
+    // small payloads, so the materialization is bounded there.
+    if state.chaos_after > 0 && source.len() as usize > state.chaos_after {
         let budget = state.chaos_budget.load(Ordering::SeqCst);
         if budget > 0
             && state
@@ -300,11 +390,42 @@ fn blob_get<R: RegistryBackend>(
                 .compare_exchange(budget, budget - 1, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
         {
+            let body = match source {
+                BodySource::Bytes(b) => b.to_vec(),
+                BodySource::File { .. } => match handle.read_range(start, end) {
+                    Ok(b) => b.to_vec(),
+                    Err(e) => return unservable("blob", e),
+                },
+            };
             let after = state.chaos_after;
-            return HttpAction::RespondTruncated(resp, after);
+            return HttpAction::RespondTruncated(resp.with_body(body), after);
         }
     }
-    HttpAction::Respond(resp)
+    HttpAction::RespondBody(resp, source)
+}
+
+/// `GET /v2/_comt/stats` — live serve-path counters as JSON (cache
+/// hit/miss/eviction totals, resident bytes, stream-verified digests).
+fn stats_response<R: RegistryBackend>(state: &RegistryHandler<R>) -> HttpAction {
+    let s = state.cache.stats();
+    let verified = state
+        .verified
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .len();
+    let body = format!(
+        concat!(
+            "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+            "\"rejected\":{},\"entries\":{},\"bytes\":{},\"budget\":{}}},",
+            "\"stream_verified\":{}}}"
+        ),
+        s.hits, s.misses, s.evictions, s.rejected, s.entries, s.bytes, s.budget, verified
+    );
+    HttpAction::Respond(
+        Response::new(200)
+            .with_header("Content-Type", "application/json")
+            .with_body(body),
+    )
 }
 
 fn blob_put<R: RegistryBackend>(
@@ -360,20 +481,24 @@ fn manifest_get<R: RegistryBackend>(
             None => return not_found(),
         }
     };
-    let body = match handle.read_verified(&digest) {
-        Ok(b) => b,
-        Err(e) => {
-            comt_observe::global().count("dist.server.verify_failures", 1);
-            return HttpAction::Respond(
-                Response::new(500).with_body(format!("stored manifest unservable: {e}")),
-            );
+    // Manifests ride the same digest-keyed LRU as blobs: verified once
+    // on admission, served as refcounted clones after (get_or_load still
+    // verifies when a manifest is over the admission bound).
+    let body = {
+        let _span = comt_observe::global().span("dist.server.verify");
+        match state
+            .cache
+            .get_or_load(&digest, || handle.read_range(0, handle.len()))
+        {
+            Ok(b) => b,
+            Err(e) => return unservable("manifest", e),
         }
     };
-    HttpAction::Respond(
+    HttpAction::RespondBody(
         Response::new(200)
             .with_header("Docker-Content-Digest", digest.to_oci_string())
-            .with_header("Content-Type", MEDIA_TYPE_MANIFEST)
-            .with_body(body.to_vec()),
+            .with_header("Content-Type", MEDIA_TYPE_MANIFEST),
+        BodySource::Bytes(body),
     )
 }
 

@@ -349,6 +349,270 @@ pub fn read_response_into(
     Ok((status, headers))
 }
 
+/// Incremental request parser for the nonblocking serve path.
+///
+/// The event loop feeds whatever bytes the socket had; the parser consumes
+/// them through the same grammar as [`read_request`] (request line,
+/// headers, `Content-Length` or chunked bodies, shared header/body
+/// budgets) without ever blocking or re-scanning already-seen bytes.
+/// Bytes past a complete request stay buffered for the next keep-alive
+/// round.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    buf: Vec<u8>,
+    /// How far the header-terminator scan has progressed (avoids O(n²)
+    /// rescans while a large header block trickles in).
+    scanned: usize,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Head,
+    Sized { head: HeadParts, need: usize },
+    Chunked { head: HeadParts, decoded: Vec<u8>, chunk: ChunkPhase },
+}
+
+#[derive(Debug)]
+struct HeadParts {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+enum ChunkPhase {
+    Size,
+    Data { remaining: usize },
+    DataCrlf,
+    Trailer,
+}
+
+fn invalid(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+impl RequestParser {
+    pub fn new(max_body: usize) -> RequestParser {
+        RequestParser {
+            max_body,
+            buf: Vec::new(),
+            scanned: 0,
+            phase: Phase::Head,
+        }
+    }
+
+    /// Bytes currently buffered (request in flight + any pipelined tail).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+            + match &self.phase {
+                Phase::Chunked { decoded, .. } => decoded.len(),
+                _ => 0,
+            }
+    }
+
+    /// Append freshly-read bytes and try to complete a request. Returns
+    /// `Ok(Some(_))` as soon as one full request is available — call with
+    /// an empty slice to drain further pipelined requests. An error means
+    /// the peer violated the protocol; the connection should be dropped.
+    pub fn feed(&mut self, data: &[u8]) -> io::Result<Option<Request>> {
+        self.buf.extend_from_slice(data);
+        loop {
+            match std::mem::replace(&mut self.phase, Phase::Head) {
+                Phase::Head => {
+                    let Some(head_end) = self.find_head_end()? else {
+                        return Ok(None);
+                    };
+                    let head = self.parse_head(head_end)?;
+                    self.buf.drain(..head_end + 4);
+                    self.scanned = 0;
+                    if find_header(&head.headers, "transfer-encoding")
+                        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+                    {
+                        self.phase = Phase::Chunked {
+                            head,
+                            decoded: Vec::new(),
+                            chunk: ChunkPhase::Size,
+                        };
+                        continue;
+                    }
+                    let need = match find_header(&head.headers, "content-length") {
+                        Some(v) => v.parse::<usize>().map_err(|_| invalid("bad content-length"))?,
+                        None => 0,
+                    };
+                    if need > self.max_body {
+                        return Err(invalid(format!(
+                            "body of {need} bytes exceeds limit {}",
+                            self.max_body
+                        )));
+                    }
+                    if need == 0 {
+                        return Ok(Some(self.produce(head, Vec::new())));
+                    }
+                    self.phase = Phase::Sized { head, need };
+                }
+                Phase::Sized { head, need } => {
+                    if self.buf.len() < need {
+                        self.phase = Phase::Sized { head, need };
+                        return Ok(None);
+                    }
+                    let body: Vec<u8> = self.buf.drain(..need).collect();
+                    return Ok(Some(self.produce(head, body)));
+                }
+                Phase::Chunked { head, mut decoded, mut chunk } => {
+                    loop {
+                        match chunk {
+                            ChunkPhase::Size => {
+                                let Some(line_end) = find_crlf(&self.buf, 130) else {
+                                    if self.buf.len() > 130 {
+                                        return Err(invalid("chunk size line too long"));
+                                    }
+                                    self.phase = Phase::Chunked { head, decoded, chunk };
+                                    return Ok(None);
+                                };
+                                let line = std::str::from_utf8(&self.buf[..line_end])
+                                    .map_err(|_| invalid("non-utf8 chunk size"))?;
+                                let hex = line.split(';').next().unwrap_or("").trim();
+                                let size = usize::from_str_radix(hex, 16)
+                                    .map_err(|_| invalid("bad chunk size"))?;
+                                self.buf.drain(..line_end + 2);
+                                chunk = if size == 0 {
+                                    ChunkPhase::Trailer
+                                } else {
+                                    if decoded.len() + size > self.max_body {
+                                        return Err(invalid("chunked body exceeds limit"));
+                                    }
+                                    ChunkPhase::Data { remaining: size }
+                                };
+                            }
+                            ChunkPhase::Data { remaining } => {
+                                let take = remaining.min(self.buf.len());
+                                decoded.extend(self.buf.drain(..take));
+                                let left = remaining - take;
+                                if left > 0 {
+                                    self.phase = Phase::Chunked {
+                                        head,
+                                        decoded,
+                                        chunk: ChunkPhase::Data { remaining: left },
+                                    };
+                                    return Ok(None);
+                                }
+                                chunk = ChunkPhase::DataCrlf;
+                            }
+                            ChunkPhase::DataCrlf => {
+                                if self.buf.len() < 2 {
+                                    self.phase = Phase::Chunked { head, decoded, chunk };
+                                    return Ok(None);
+                                }
+                                if &self.buf[..2] != b"\r\n" {
+                                    return Err(invalid("chunk missing CRLF"));
+                                }
+                                self.buf.drain(..2);
+                                chunk = ChunkPhase::Size;
+                            }
+                            ChunkPhase::Trailer => {
+                                let Some(line_end) = find_crlf(&self.buf, 1024) else {
+                                    if self.buf.len() > 1024 {
+                                        return Err(invalid("trailer section too long"));
+                                    }
+                                    self.phase = Phase::Chunked { head, decoded, chunk };
+                                    return Ok(None);
+                                };
+                                let empty = line_end == 0;
+                                self.buf.drain(..line_end + 2);
+                                if empty {
+                                    return Ok(Some(self.produce(head, decoded)));
+                                }
+                                chunk = ChunkPhase::Trailer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Locate the `\r\n\r\n` head terminator, enforcing the header budget.
+    fn find_head_end(&mut self) -> io::Result<Option<usize>> {
+        let start = self.scanned.saturating_sub(3);
+        if let Some(pos) = self.buf[start..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + start)
+        {
+            if pos + 4 > MAX_HEADER_BYTES {
+                return Err(invalid("header block exceeds limit"));
+            }
+            return Ok(Some(pos));
+        }
+        self.scanned = self.buf.len();
+        if self.buf.len() > MAX_HEADER_BYTES {
+            return Err(invalid("header block exceeds limit"));
+        }
+        Ok(None)
+    }
+
+    fn parse_head(&self, head_end: usize) -> io::Result<HeadParts> {
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| invalid("non-utf8 header line"))?;
+        let mut lines = head.split("\r\n");
+        let start = lines.next().unwrap_or("");
+        let mut parts = start.split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) => (m, p, v),
+            _ => return Err(invalid(format!("malformed request line: {start}"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(invalid(format!("unsupported version: {version}")));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| invalid(format!("malformed header: {line}")))?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        Ok(HeadParts {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+        })
+    }
+
+    fn produce(&mut self, head: HeadParts, body: Vec<u8>) -> Request {
+        self.phase = Phase::Head;
+        self.scanned = 0;
+        Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+        }
+    }
+}
+
+fn find_crlf(buf: &[u8], budget: usize) -> Option<usize> {
+    buf[..buf.len().min(budget)]
+        .windows(2)
+        .position(|w| w == b"\r\n")
+}
+
+/// Serialize only a response head with an explicit `Content-Length` —
+/// the streaming serve path emits this and then copies the body straight
+/// from its source (shared buffer or file) without materializing it.
+pub fn response_head_bytes(resp: &Response, content_length: u64) -> Vec<u8> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (k, v) in &resp.headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {content_length}\r\n\r\n"));
+    head.into_bytes()
+}
+
 /// Parse an RFC 7233 byte range against a body of `total` bytes:
 /// `bytes=N-` (open end), `bytes=N-M` (inclusive end), or the suffix form
 /// `bytes=-N` (the final N bytes). Returns the half-open `[start, end)`
@@ -492,6 +756,89 @@ mod tests {
         assert_eq!(parse_range(Some("bytes=-"), 10), None);
         assert_eq!(parse_range(Some("bytes="), 10), None);
         assert_eq!(parse_range(Some("bytes=-abc"), 10), None);
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader_byte_by_byte() {
+        // Content-Length and chunked requests, delivered one byte at a
+        // time, parse identically to the blocking reader.
+        for chunked in [false, true] {
+            let body: Vec<u8> = (0..UPLOAD_CHUNK + 57).map(|i| (i % 253) as u8).collect();
+            let mut raw = Vec::new();
+            write_request(
+                &mut raw,
+                "PUT",
+                "/v2/app/blobs/sha256:abc",
+                &[("Host".into(), "localhost".into())],
+                Some(&body),
+                chunked,
+            )
+            .unwrap();
+            let mut parser = RequestParser::new(1 << 22);
+            let mut got = None;
+            for (i, b) in raw.iter().enumerate() {
+                match parser.feed(std::slice::from_ref(b)).unwrap() {
+                    Some(req) => {
+                        assert_eq!(i, raw.len() - 1, "completed early (chunked={chunked})");
+                        got = Some(req);
+                    }
+                    None => assert!(i < raw.len() - 1, "never completed (chunked={chunked})"),
+                }
+            }
+            let req = got.expect("request parsed");
+            assert_eq!(req.method, "PUT");
+            assert_eq!(req.path, "/v2/app/blobs/sha256:abc");
+            assert_eq!(req.header("host"), Some("localhost"));
+            assert_eq!(req.body, body, "chunked={chunked}");
+            assert_eq!(parser.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn incremental_parser_keeps_pipelined_tail() {
+        let mut raw = Vec::new();
+        write_request(&mut raw, "GET", "/v2/", &[], None, false).unwrap();
+        let first_len = raw.len();
+        write_request(&mut raw, "GET", "/v2/x/blobs/sha256:ff", &[], None, false).unwrap();
+        let mut parser = RequestParser::new(1 << 20);
+        // Feed both requests at once: the first completes, the tail stays.
+        let one = parser.feed(&raw).unwrap().expect("first request");
+        assert_eq!(one.path, "/v2/");
+        assert_eq!(parser.buffered(), raw.len() - first_len);
+        let two = parser.feed(&[]).unwrap().expect("second request");
+        assert_eq!(two.path, "/v2/x/blobs/sha256:ff");
+        assert_eq!(parser.buffered(), 0);
+        assert!(parser.feed(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_budgets() {
+        // Oversized sized body.
+        let mut parser = RequestParser::new(16);
+        let raw = b"PUT /x HTTP/1.1\r\nContent-Length: 64\r\n\r\n";
+        assert!(parser.feed(raw).is_err());
+        // Oversized chunked body.
+        let mut parser = RequestParser::new(16);
+        let raw = b"PUT /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n40\r\n";
+        assert!(parser.feed(raw).is_err());
+        // Unbounded header block.
+        let mut parser = RequestParser::new(1 << 20);
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 2));
+        assert!(parser.feed(&raw).is_err());
+        // Garbage request line.
+        let mut parser = RequestParser::new(1 << 20);
+        assert!(parser.feed(b"nonsense\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_head_matches_blocking_writer() {
+        let resp = Response::new(206).with_header("Content-Range", "bytes 0-9/100");
+        let head = response_head_bytes(&resp, 10);
+        let text = String::from_utf8(head).unwrap();
+        assert!(text.starts_with("HTTP/1.1 206 Partial Content\r\n"), "{text}");
+        assert!(text.contains("Content-Range: bytes 0-9/100\r\n"));
+        assert!(text.ends_with("Content-Length: 10\r\n\r\n"));
     }
 
     #[test]

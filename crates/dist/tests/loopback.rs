@@ -334,6 +334,108 @@ fn disk_backed_interrupted_push_is_fsck_clean_and_invisible() {
 }
 
 #[test]
+fn mid_write_disconnects_free_their_slots() {
+    // Clients that request a blob and vanish mid-transfer must release
+    // their connection slots: with max_conns = 2, six hit-and-run pullers
+    // in a row would wedge the daemon permanently if slots leaked.
+    let mut local = BlobStore::new();
+    let payload = vec![0xC3u8; 2 * 1024 * 1024];
+    let md = sample_image(&mut local, &payload);
+    let closure = closure_digests(&local, &md).unwrap();
+    let layer = closure[2];
+    let server = start_server(ServerOptions {
+        max_conns: 2,
+        ..Default::default()
+    });
+    let client = DistClient::new(server.addr().to_string());
+    client.push_image("app", "v1", md, &local).unwrap();
+
+    for _ in 0..6 {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let req = format!(
+            "GET /v2/app/blobs/{} HTTP/1.1\r\nHost: x\r\n\r\n",
+            layer.to_oci_string()
+        );
+        s.write_all(req.as_bytes()).unwrap();
+        // Read a little so the server is committed to the response, then
+        // drop the socket with megabytes still in flight.
+        let mut first = [0u8; 1024];
+        s.read_exact(&mut first).unwrap();
+        drop(s);
+        // Give the reactor a beat to observe the hangup.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+
+    // Every slot came back: a full (retrying) pull succeeds and verifies.
+    let mut pulled = BlobStore::new();
+    let (got, _) = client.pull_image("app", "v1", &mut pulled).unwrap();
+    assert_eq!(got, md);
+    for d in &closure {
+        assert_eq!(pulled.get(d).unwrap(), local.get(d).unwrap(), "{d}");
+    }
+    drop(server);
+}
+
+#[test]
+fn stalled_zero_window_reader_is_timed_out_not_wedging() {
+    // A peer that requests a large blob and then never reads — a
+    // zero-window stall — must be closed by the write deadline while the
+    // daemon keeps serving everyone else.
+    let mut local = BlobStore::new();
+    let payload = vec![0x3Cu8; 16 * 1024 * 1024];
+    let md = sample_image(&mut local, &payload);
+    let closure = closure_digests(&local, &md).unwrap();
+    let layer = closure[2];
+    let server = start_server(ServerOptions {
+        write_timeout: std::time::Duration::from_millis(500),
+        ..Default::default()
+    });
+    let client = DistClient::new(server.addr().to_string());
+    client.push_image("app", "v1", md, &local).unwrap();
+
+    // The staller: request the 16 MiB layer, read nothing.
+    let mut staller = TcpStream::connect(server.addr()).unwrap();
+    let req = format!(
+        "GET /v2/app/blobs/{} HTTP/1.1\r\nHost: x\r\n\r\n",
+        layer.to_oci_string()
+    );
+    staller.write_all(req.as_bytes()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // While the staller sits on a full socket buffer, the daemon still
+    // serves a complete, verified pull on another connection.
+    let mut pulled = BlobStore::new();
+    let (got, _) = client.pull_image("app", "v1", &mut pulled).unwrap();
+    assert_eq!(got, md);
+
+    // The server must close the stalled line once its write deadline
+    // lapses: draining the socket ends in EOF (or a reset), not a hang,
+    // and well short of the full advertised body.
+    staller
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut drained = 0u64;
+    let mut buf = [0u8; 64 * 1024];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    loop {
+        match staller.read(&mut buf) {
+            Ok(0) => break,         // clean FIN: the server hung up
+            Ok(n) => drained += n as u64,
+            Err(_) => break,        // RST also proves the close
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never closed the stalled reader"
+        );
+    }
+    assert!(
+        drained < payload.len() as u64,
+        "stalled reader received the whole body?"
+    );
+    drop(server);
+}
+
+#[test]
 fn split_ref_matches_wire_addressing() {
     // The CLI's ref → (name, reference) mapping and the server's tag key
     // agree, so `comt push` and `comt pull` of the same ref round-trip.

@@ -212,26 +212,40 @@ pub fn fsck(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, LayoutError> {
                 });
                 continue;
             };
-            let data = std::fs::read(&path)?;
-            if Digest::of(&data) != digest {
-                let mut repaired = false;
-                if opts.repair {
-                    std::fs::remove_file(&path)?;
-                    repaired = true;
+            // Streaming digest check: a multi-GiB layer is hashed in
+            // bounded chunks, never materialized (see
+            // `BlobHandle::stream_verified`).
+            let handle = crate::backend::BlobHandle::File {
+                path: path.clone(),
+                len: entry.metadata()?.len(),
+            };
+            match handle.stream_verified(&digest) {
+                Ok(_) => {
+                    valid.insert(digest);
                 }
-                findings.push(FsckFinding {
-                    code: "COMT-F001",
-                    severity: FsckSeverity::Error,
-                    path: rel(&path),
-                    detail: format!(
-                        "blob content does not hash to its name (torn or corrupt write, {} bytes)",
-                        data.len()
-                    ),
-                    repaired,
-                });
-                continue;
+                Err(e) => {
+                    let mut repaired = false;
+                    if opts.repair {
+                        std::fs::remove_file(&path)?;
+                        repaired = true;
+                    }
+                    let size = handle.len();
+                    let detail = match e {
+                        crate::store::RegistryError::DigestMismatch(_) => format!(
+                            "blob content does not hash to its name (torn or corrupt write, {size} bytes)"
+                        ),
+                        other => format!("blob unreadable: {other}"),
+                    };
+                    findings.push(FsckFinding {
+                        code: "COMT-F001",
+                        severity: FsckSeverity::Error,
+                        path: rel(&path),
+                        detail,
+                        repaired,
+                    });
+                    continue;
+                }
             }
-            valid.insert(digest);
         }
     }
 

@@ -31,7 +31,7 @@ pub mod layout;
 pub mod spec;
 pub mod store;
 
-pub use backend::{BlobHandle, RegistryBackend};
+pub use backend::{BlobHandle, BlobReader, RegistryBackend, BLOB_STREAM_CHUNK, FILE_BYTES_READ};
 pub use codec::{EncodedLayer, LayerCodec};
 pub use disk::{DiskRegistry, DiskStore, LayoutLock};
 pub use fsck::{fsck, FsckFinding, FsckOptions, FsckReport};

@@ -20,8 +20,11 @@ pub struct Bytes(Repr);
 enum Repr {
     /// Borrowed from static storage — `from_static` never allocates.
     Static(&'static [u8]),
-    /// Shared heap storage — clones bump a refcount.
-    Shared(Arc<[u8]>),
+    /// Shared heap storage — clones bump a refcount. The `(offset, len)`
+    /// window lets `slice` share the same allocation instead of copying,
+    /// so serving many byte ranges of one hot blob costs refcounts, not
+    /// allocations.
+    Shared(Arc<[u8]>, usize, usize),
 }
 
 impl Bytes {
@@ -48,7 +51,8 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// A sub-range as a new buffer.
+    /// A sub-range as a new buffer. Zero-copy: the result shares the
+    /// parent's storage (static slice or refcounted heap allocation).
     ///
     /// # Panics
     /// Panics if the range is out of bounds, like `bytes::Bytes::slice`.
@@ -63,7 +67,13 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        Bytes::from(self.as_slice()[start..end].to_vec())
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[start..end])),
+            Repr::Shared(a, off, _) => {
+                Bytes(Repr::Shared(Arc::clone(a), off + start, end - start))
+            }
+        }
     }
 
     /// Copy a slice of any lifetime into an owned buffer.
@@ -74,7 +84,7 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
-            Repr::Shared(a) => a,
+            Repr::Shared(a, off, len) => &a[*off..off + len],
         }
     }
 }
@@ -106,7 +116,8 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Repr::Shared(v.into()))
+        let len = v.len();
+        Bytes(Repr::Shared(v.into(), 0, len))
     }
 }
 
@@ -237,5 +248,24 @@ mod tests {
         let b = Bytes::from(vec![9u8; 1024]);
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from((0u8..=255).cycle().take(4096).collect::<Vec<u8>>());
+        let s = b.slice(100..300);
+        assert_eq!(s.len(), 200);
+        // Same backing allocation: the slice's first byte lives at the
+        // parent's offset, not in a fresh copy.
+        let parent_ptr = b.as_slice().as_ptr() as usize;
+        let slice_ptr = s.as_slice().as_ptr() as usize;
+        assert_eq!(slice_ptr, parent_ptr + 100);
+        // Slices of slices keep sharing and keep the window math right.
+        let ss = s.slice(50..60);
+        assert_eq!(ss.as_slice(), &b.as_slice()[150..160]);
+        assert_eq!(ss.as_slice().as_ptr() as usize, parent_ptr + 150);
+        // Dropping the parent keeps the slice alive (refcount, not borrow).
+        drop(b);
+        assert_eq!(ss.len(), 10);
     }
 }
