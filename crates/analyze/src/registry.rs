@@ -278,6 +278,19 @@ pub const REGISTRY: &[CodeInfo] = &[
                       External tools may refuse the directory.",
         hint: "run `comt fsck --repair` to rewrite the standard marker",
     },
+    CodeInfo {
+        code: "COMT-F007",
+        severity: Severity::Error,
+        title: "chunkmap disagrees with its stored layer",
+        explanation: "A chunkmap blob recorded for a layer no longer describes the stored \
+                      layer bytes: its offsets or per-chunk digests disagree, it is \
+                      unparseable, or the layer it names is gone. Delta pulls that consult \
+                      it will fail their per-chunk digest verification and fall back (or \
+                      abort), so every such pull wastes a round trip.",
+        hint: "run `comt fsck --repair` to quarantine the chunkmap and drop the \
+               association; re-push with --chunked to regenerate it. Full-blob pulls are \
+               unaffected",
+    },
 ];
 
 /// Look up a code (exact match).

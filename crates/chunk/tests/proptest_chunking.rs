@@ -1,0 +1,172 @@
+//! Property tests for content-defined chunking: determinism, bound
+//! enforcement, coverage, and — the property the whole delta-pull design
+//! rests on — boundary locality: an edit in the middle of a blob only moves
+//! chunk boundaries in a bounded neighborhood around the edit.
+
+use comt_chunk::{chunk_spans, plan_delta, ChunkIndex, ChunkMap, ChunkParams, DEFAULT_COALESCE_GAP};
+use comt_digest::Digest;
+use proptest::prelude::*;
+
+const P: ChunkParams = ChunkParams {
+    min: 2 * 1024,
+    avg_bits: 13,
+    max: 32 * 1024,
+};
+
+/// Deterministic pseudo-random content (xorshift64*): compressible enough to
+/// look like real layer bytes, random enough that cut points are dense.
+fn content(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&state.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chunking is a pure function of the bytes: repeated runs and runs over
+    /// a reconstructed copy agree exactly.
+    #[test]
+    fn chunking_is_deterministic(seed in 1u64..10_000, len in 10_000usize..400_000) {
+        let data = content(len, seed);
+        let a = chunk_spans(&data, P);
+        let b = chunk_spans(&data.clone(), P);
+        prop_assert_eq!(&a, &b);
+        // And so are the chunk digests recorded in the map.
+        let m1 = ChunkMap::build(&data, P).unwrap();
+        let m2 = ChunkMap::from_json(&m1.to_json()).unwrap();
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// Spans are contiguous from 0 to len, within [min, max] except the tail.
+    #[test]
+    fn spans_are_well_formed(seed in 1u64..10_000, len in 0usize..300_000) {
+        let data = content(len, seed);
+        let spans = chunk_spans(&data, P);
+        let mut expect = 0usize;
+        for (i, (s, e)) in spans.iter().enumerate() {
+            prop_assert_eq!(*s, expect);
+            let chunk = e - s;
+            prop_assert!(chunk <= P.max as usize);
+            if i + 1 < spans.len() {
+                prop_assert!(chunk >= P.min as usize);
+            }
+            expect = *e;
+        }
+        prop_assert_eq!(expect, len);
+    }
+
+    /// Locality: an edit (flip / insert / delete of a few bytes) leaves every
+    /// boundary strictly before the edit unchanged, and boundaries
+    /// re-synchronize within a bounded neighborhood after it.
+    #[test]
+    fn edits_move_boundaries_only_locally(
+        seed in 1u64..10_000,
+        edit_at_frac in 0.2f64..0.5,
+        edit_len in 1usize..48,
+        kind in 0u8..3,
+    ) {
+        let len = 2 * 1024 * 1024;
+        let base = content(len, seed);
+        let edit_at = (len as f64 * edit_at_frac) as usize;
+        let patch = content(edit_len, seed ^ 0xdead_beef);
+        let (edited, shift): (Vec<u8>, i64) = match kind {
+            0 => {
+                // Flip in place.
+                let mut v = base.clone();
+                for (i, b) in patch.iter().enumerate() {
+                    v[edit_at + i] ^= b | 1;
+                }
+                (v, 0)
+            }
+            1 => {
+                // Insert.
+                let mut v = base[..edit_at].to_vec();
+                v.extend_from_slice(&patch);
+                v.extend_from_slice(&base[edit_at..]);
+                (v, edit_len as i64)
+            }
+            _ => {
+                // Delete.
+                let mut v = base[..edit_at].to_vec();
+                v.extend_from_slice(&base[edit_at + edit_len..]);
+                (v, -(edit_len as i64))
+            }
+        };
+
+        let b1: Vec<usize> = chunk_spans(&base, P).iter().map(|s| s.1).collect();
+        let b2: Vec<usize> = chunk_spans(&edited, P).iter().map(|s| s.1).collect();
+
+        // Prefix: boundaries that end strictly before the edit are identical
+        // (chunking is left-to-right and each chunk's hash restarts at its
+        // own start).
+        let pre1: Vec<usize> = b1.iter().copied().filter(|&b| b <= edit_at).collect();
+        let pre2: Vec<usize> = b2.iter().copied().filter(|&b| b <= edit_at).collect();
+        prop_assert_eq!(pre1, pre2);
+
+        // Suffix: beyond a resync window, boundaries are the same positions
+        // shifted by the length delta. The window is generous (16×max =
+        // 512 KiB of a 2 MiB blob) so the test never flakes on a slow
+        // resync, while still proving the damage is bounded — the whole
+        // second half of the blob keeps its boundaries.
+        let cutoff = edit_at + edit_len + 16 * P.max as usize;
+        prop_assert!(cutoff < len - 64 * 1024, "edit too close to the end");
+        let tail1: Vec<i64> = b1.iter().map(|&b| b as i64 + shift).filter(|&b| b > cutoff as i64).collect();
+        let tail2: Vec<i64> = b2.iter().map(|&b| b as i64).filter(|&b| b > cutoff as i64).collect();
+        prop_assert_eq!(tail1, tail2);
+    }
+
+    /// The delta plan after a small edit re-fetches a bounded neighborhood,
+    /// and applying it (copy local chunks, "fetch" missing ranges from the
+    /// new blob) reassembles the edited blob bit-identically.
+    #[test]
+    fn delta_reassembly_is_bit_identical(
+        seed in 1u64..10_000,
+        edit_at_frac in 0.1f64..0.9,
+    ) {
+        let len = 256 * 1024;
+        let v1 = content(len, seed);
+        let mut v2 = v1.clone();
+        let edit_at = (len as f64 * edit_at_frac) as usize;
+        let span = (edit_at + 512).min(len);
+        for b in &mut v2[edit_at..span] {
+            *b = b.wrapping_add(1);
+        }
+
+        let map = ChunkMap::build(&v2, P).unwrap();
+        let mut index = ChunkIndex::new();
+        index.add_blob(Digest::of(&v1), &v1, P);
+        let plan = plan_delta(&map, &index, DEFAULT_COALESCE_GAP);
+
+        // Reassemble: local chunks from v1, ranges from "the wire" (v2).
+        let mut out = vec![0u8; len];
+        for (entry, src) in map.chunks.iter().zip(&plan.sources) {
+            if let Some(src) = src {
+                let (s, e) = entry.span();
+                let (ls, le) = (src.offset as usize, (src.offset + src.size as u64) as usize);
+                out[s as usize..e as usize].copy_from_slice(&v1[ls..le]);
+            }
+        }
+        for r in &plan.ranges {
+            out[r.start as usize..r.end as usize]
+                .copy_from_slice(&v2[r.start as usize..r.end as usize]);
+        }
+        prop_assert_eq!(Digest::of(&out), Digest::of(&v2));
+        map.verify_layer(&out).unwrap();
+
+        // Bounded damage: a ~512-byte edit must not force re-fetching more
+        // than the resync neighborhood.
+        prop_assert!(
+            plan.bytes_fetched as usize <= 512 + 20 * P.max as usize,
+            "fetched {} bytes for a 512-byte edit",
+            plan.bytes_fetched
+        );
+    }
+}

@@ -16,8 +16,8 @@
 //! comt buildd      <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]
 //! comt submit      <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--priority N] [--wait] [--stats]
 //! comt jobs        --remote HOST:PORT [--tenant NAME] [--cancel ID]
-//! comt push        <layout-dir> <ref> --remote HOST:PORT [--stats]
-//! comt pull        <layout-dir> <ref> --remote HOST:PORT [--stats]
+//! comt push        <layout-dir> <ref> --remote HOST:PORT [--chunked] [--stats]
+//! comt pull        <layout-dir> <ref> --remote HOST:PORT [--full] [--stats]
 //! comt gc          <layout-dir> [--apply] [--format json]
 //! comt fsck        <layout-dir> [--repair] [--format json]
 //! ```
@@ -35,7 +35,7 @@ use comtainer::{
 };
 use comt_dist::{
     serve, serve_buildd, split_ref, BuilddClient, DistClient, DistError, HttpOptions,
-    JobRequest, JobStatusWire, ServerOptions,
+    JobRequest, JobStatusWire, PullOptions, ServerOptions,
 };
 use comt_oci::layout::OciDir;
 use comt_oci::spec::{Descriptor, MediaType};
@@ -46,7 +46,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--deny-warnings] [--format json]\n  comt check --explain <CODE>\n  comt audit <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N] [--cache-bytes SIZE] [--max-conns N] [--client-rate BYTES/S]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--target ARCH]... [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--deny-warnings] [--format json]\n  comt check --explain <CODE>\n  comt audit <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N] [--cache-bytes SIZE] [--max-conns N] [--client-rate BYTES/S]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--target ARCH]... [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--chunked] [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--full] [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
     );
     ExitCode::from(2)
 }
@@ -587,14 +587,32 @@ fn cmd_push(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     let digest = oci.resolve(r).map_err(|e| e.to_string())?;
     let (name, reference) = split_ref(r);
     let client = DistClient::new(addr.clone());
-    let stats = client
-        .push_image(name, reference, digest, &oci.blobs)
-        .map_err(|e| dist_failure("push", r, e))?;
+    let chunked = flag(args, "--chunked");
+    let stats = if chunked {
+        client.push_image_chunked(
+            name,
+            reference,
+            digest,
+            &oci.blobs,
+            comt_chunk::ChunkParams::default(),
+        )
+    } else {
+        client.push_image(name, reference, digest, &oci.blobs)
+    }
+    .map_err(|e| dist_failure("push", r, e))?;
     println!(
-        "pushed {r} to {addr}: {} blob(s) moved, {} deduped, {:.2} MiB",
+        "pushed {r} to {addr}: {} blob(s) moved, {} deduped, {:.2} MiB{}",
         stats.blobs_moved,
         stats.blobs_skipped,
-        stats.bytes_moved as f64 / (1024.0 * 1024.0)
+        stats.bytes_moved as f64 / (1024.0 * 1024.0),
+        if chunked {
+            format!(
+                ", {} chunkmap(s) published",
+                comt_observe::global().counter("dist.client.chunkmaps_pushed")
+            )
+        } else {
+            String::new()
+        }
     );
     if flag(args, "--stats") {
         print!("{}", comt_observe::global().report());
@@ -611,8 +629,14 @@ fn cmd_pull(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     };
     let (name, reference) = split_ref(r);
     let client = DistClient::new(addr.clone());
+    // Delta pull is the default; `--full` forces whole-blob transfers
+    // (and is the escape hatch if a server's chunkmaps are suspect).
+    let opts = PullOptions {
+        delta: !flag(args, "--full"),
+        ..PullOptions::default()
+    };
     let (digest, stats) = client
-        .pull_image(name, reference, &mut oci.blobs)
+        .pull_image_with(name, reference, &mut oci.blobs, &opts)
         .map_err(|e| dist_failure("pull", r, e))?;
     let size = oci.blobs.get(&digest).map(|b| b.len() as u64).unwrap_or(0);
     oci.index
@@ -624,6 +648,14 @@ fn cmd_pull(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
         stats.blobs_skipped,
         stats.bytes_moved as f64 / (1024.0 * 1024.0)
     );
+    if stats.chunks_hit > 0 || stats.chunks_fetched > 0 {
+        println!(
+            "delta: {} chunk(s) reused locally, {} fetched, {:.2} MiB saved",
+            stats.chunks_hit,
+            stats.chunks_fetched,
+            stats.delta_bytes_saved as f64 / (1024.0 * 1024.0)
+        );
+    }
     if flag(args, "--stats") {
         print!("{}", comt_observe::global().report());
     }

@@ -12,10 +12,16 @@
 use crate::wire;
 use crate::{tag_key, DistError, MEDIA_TYPE_MANIFEST};
 use bytes::Bytes;
+use comt_chunk::{
+    plan_delta, ChunkEntry, ChunkIndex, ChunkMap, ChunkParams, RangePlan, DEFAULT_COALESCE_GAP,
+    MEDIA_TYPE_CHUNKMAP,
+};
 use comt_digest::Digest;
 use comt_oci::store::{closure_digests, BlobStore};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// `(status, headers, body)` of one raw HTTP exchange.
@@ -82,6 +88,33 @@ pub struct TransferStats {
     pub blobs_skipped: usize,
     /// Body bytes moved (blob payloads, both directions).
     pub bytes_moved: u64,
+    /// Chunks reused from local blobs during delta pulls.
+    pub chunks_hit: usize,
+    /// Chunks actually fetched over the wire during delta pulls.
+    pub chunks_fetched: usize,
+    /// Layer bytes *not* transferred thanks to sub-layer dedupe.
+    pub delta_bytes_saved: u64,
+}
+
+/// How a pull consumes the closure: whether to attempt chunk-level delta
+/// transfer and with how many concurrent range fetches per layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PullOptions {
+    /// Ask the server for chunkmaps and fetch only missing chunks,
+    /// falling back to full-blob GETs when it has none. Off forces the
+    /// classic full-blob path.
+    pub delta: bool,
+    /// Concurrent range fetches while reassembling one layer.
+    pub concurrency: usize,
+}
+
+impl Default for PullOptions {
+    fn default() -> Self {
+        PullOptions {
+            delta: true,
+            concurrency: 4,
+        }
+    }
 }
 
 /// A client bound to one registry address.
@@ -319,6 +352,233 @@ impl DistClient {
         })
     }
 
+    /// Fetch the server's chunk manifest for a layer blob. `Ok(None)`
+    /// means the server has none (or predates chunkmaps entirely — old
+    /// servers 404 the route); the caller falls back to a full-blob pull.
+    pub fn get_chunkmap(&self, name: &str, layer: &Digest) -> Result<Option<Bytes>, DistError> {
+        let path = format!("/v2/{name}/chunkmaps/{}", layer.to_oci_string());
+        self.with_retries("get chunkmap", || {
+            let mut sink = Vec::new();
+            let (status, headers) = self.exchange("GET", &path, &[], None, false, &mut sink)?;
+            match status {
+                200 => {
+                    if let Some(advertised) = wire::find_header(&headers, "docker-content-digest")
+                    {
+                        let got = Digest::of(&sink);
+                        if advertised != got.to_oci_string() {
+                            return Err(DistError::DigestMismatch {
+                                expected: advertised.to_string(),
+                                got: got.to_oci_string(),
+                            });
+                        }
+                    }
+                    Ok(Some(Bytes::from(std::mem::take(&mut sink))))
+                }
+                404 | 405 => Ok(None),
+                s => Err(DistError::status("get chunkmap", s, &sink)),
+            }
+        })
+    }
+
+    /// Publish a chunk manifest for a layer the server already holds.
+    /// `Ok(false)` means the server does not speak the chunkmap route
+    /// (old daemon) — the push simply proceeds unchunked.
+    pub fn put_chunkmap(
+        &self,
+        name: &str,
+        layer: &Digest,
+        map_json: &[u8],
+    ) -> Result<bool, DistError> {
+        let path = format!("/v2/{name}/chunkmaps/{}", layer.to_oci_string());
+        let headers = [("Content-Type".to_string(), MEDIA_TYPE_CHUNKMAP.to_string())];
+        self.with_retries("put chunkmap", || {
+            let mut sink = Vec::new();
+            let (status, _) =
+                self.exchange("PUT", &path, &headers, Some(map_json), false, &mut sink)?;
+            match status {
+                201 => Ok(true),
+                404 | 405 => Ok(false),
+                s => Err(DistError::status("put chunkmap", s, &sink)),
+            }
+        })
+    }
+
+    /// Fetch one byte window of a blob and verify every chunk inside it
+    /// against its digest from the chunkmap. Resumes across dropped
+    /// connections like [`DistClient::get_blob`]; a poisoned chunk (bytes
+    /// that no longer hash to their address) clears the buffer and
+    /// retries from the window start, so a transiently corrupting path
+    /// heals and a persistently corrupting one fails closed.
+    fn get_range_verified(
+        &self,
+        name: &str,
+        blob: &Digest,
+        range: &RangePlan,
+        chunks: &[ChunkEntry],
+    ) -> Result<Vec<u8>, DistError> {
+        let path = format!("/v2/{name}/blobs/{}", blob.to_oci_string());
+        let (start, end) = (range.start, range.end);
+        let want = (end - start) as usize;
+        let obs = comt_observe::global();
+        let mut buf: Vec<u8> = Vec::with_capacity(want);
+        self.with_retries("get chunk range", || {
+            let resumed = !buf.is_empty();
+            if resumed {
+                obs.count("dist.client.resumes", 1);
+            }
+            let from = start + buf.len() as u64;
+            let headers = vec![("Range".to_string(), format!("bytes={}-{}", from, end - 1))];
+            let before = buf.len();
+            let result = self.exchange("GET", &path, &headers, None, false, &mut buf);
+            obs.count("dist.client.bytes_in", (buf.len() - before) as u64);
+            let (status, resp_headers) = match result {
+                Ok(v) => v,
+                Err(e) => return Err(e), // partial window stays in buf
+            };
+            match status {
+                206 => {
+                    // Cross-check the server's idea of the window start.
+                    let ok = wire::find_header(&resp_headers, "content-range")
+                        .and_then(|v| v.strip_prefix("bytes "))
+                        .and_then(|v| v.split('-').next())
+                        .and_then(|v| v.parse::<u64>().ok())
+                        == Some(from);
+                    if !ok {
+                        buf.clear();
+                        return Err(DistError::protocol("content-range offset mismatch"));
+                    }
+                }
+                200 => {
+                    // Server ignored the range: its body is the whole
+                    // blob. Carve out our window and discard the rest.
+                    let whole = buf.split_off(before);
+                    buf.clear();
+                    if (whole.len() as u64) < end {
+                        return Err(DistError::protocol("full-blob body shorter than window"));
+                    }
+                    buf.extend_from_slice(&whole[start as usize..end as usize]);
+                }
+                404 => return Err(DistError::status("get chunk range", 404, b"not found")),
+                416 => {
+                    buf.clear();
+                    return Err(DistError::protocol("range not satisfiable, restarting"));
+                }
+                s => {
+                    let body = buf.split_off(before);
+                    return Err(DistError::status("get chunk range", s, &body));
+                }
+            }
+            if buf.len() != want {
+                return Err(DistError::protocol(format!(
+                    "range window incomplete: {} of {want} bytes",
+                    buf.len()
+                )));
+            }
+            // Per-chunk verification: the only defense against a poisoned
+            // window, because a byte span of a blob has no address of its
+            // own to check against.
+            for c in chunks {
+                let off = (c.offset - start) as usize;
+                let got = Digest::of(&buf[off..off + c.size as usize]);
+                if got != c.parsed_digest().map_err(|e| DistError::protocol(e.to_string()))? {
+                    obs.count("dist.client.verify_failures", 1);
+                    buf.clear(); // poisoned — refetch the whole window
+                    return Err(DistError::DigestMismatch {
+                        expected: c.digest.clone(),
+                        got: got.to_oci_string(),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+        Ok(buf)
+    }
+
+    /// Reassemble one layer from local chunks plus fetched ranges.
+    /// `Ok(None)` means the chunkmap could not be used (a local source
+    /// blob vanished, or the reassembled bytes do not hash to the layer's
+    /// address because the server's map is stale) — the caller falls back
+    /// to a full-blob pull. Transport failures and persistently poisoned
+    /// chunks propagate as errors: nothing torn is ever returned.
+    #[allow(clippy::too_many_arguments)] // internal helper; mirrors the pull state it splices
+    fn pull_blob_delta(
+        &self,
+        name: &str,
+        digest: &Digest,
+        map: &ChunkMap,
+        index: &ChunkIndex,
+        dst: &BlobStore,
+        concurrency: usize,
+        stats: &mut TransferStats,
+    ) -> Result<Option<Bytes>, DistError> {
+        let obs = comt_observe::global();
+        let _span = obs.span("dist.client.delta_pull");
+        let plan = plan_delta(map, index, DEFAULT_COALESCE_GAP);
+        let mut out = vec![0u8; map.blob_size as usize];
+
+        // Local chunks first: copy byte spans out of blobs already held.
+        for (i, src) in plan.sources.iter().enumerate() {
+            let Some(src) = src else { continue };
+            let c = &map.chunks[i];
+            let Some(data) = dst.get(&src.blob) else {
+                return Ok(None); // index out of date with the store
+            };
+            let from = src.offset as usize..src.offset as usize + src.size as usize;
+            out[c.offset as usize..c.offset as usize + c.size as usize]
+                .copy_from_slice(&data[from]);
+        }
+
+        // Missing ranges: a small worker pool over coalesced windows, each
+        // fetched with resume and per-chunk verification.
+        let n = plan.ranges.len();
+        type RangeSlot = Mutex<Option<Result<Vec<u8>, DistError>>>;
+        let results: Vec<RangeSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = concurrency.max(1).min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let r = &plan.ranges[i];
+                    let window = self.get_range_verified(
+                        name,
+                        digest,
+                        r,
+                        &map.chunks[r.chunks.0..r.chunks.1],
+                    );
+                    *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(window);
+                });
+            }
+        });
+        for (r, slot) in plan.ranges.iter().zip(results) {
+            let window = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| Err(DistError::protocol("range fetch never ran")))?;
+            out[r.start as usize..r.end as usize].copy_from_slice(&window);
+        }
+
+        // The protocol's trust boundary: the assembled layer must hash to
+        // its address before anything is committed.
+        let got = Digest::of(&out);
+        if got != *digest {
+            obs.count("dist.client.verify_failures", 1);
+            return Ok(None); // stale/contradictory chunkmap — pull it whole
+        }
+        stats.chunks_hit += plan.chunks_hit();
+        stats.chunks_fetched += plan.chunks_missing();
+        stats.delta_bytes_saved += plan.bytes_local;
+        stats.bytes_moved += plan.bytes_fetched;
+        obs.count("dist.client.chunks_hit", plan.chunks_hit() as u64);
+        obs.count("dist.client.chunks_fetched", plan.chunks_missing() as u64);
+        obs.count("dist.client.delta_bytes_saved", plan.bytes_local);
+        obs.count("dist.client.delta_bytes_fetched", plan.bytes_fetched);
+        Ok(Some(Bytes::from(out)))
+    }
+
     /// Fetch a manifest by tag; returns its (verified) digest and bytes.
     pub fn get_manifest(&self, name: &str, reference: &str) -> Result<(Digest, Bytes), DistError> {
         let path = format!("/v2/{name}/manifests/{reference}");
@@ -407,12 +667,26 @@ impl DistClient {
     }
 
     /// Pull a tag's closure into `dst`, transferring only missing blobs,
-    /// resuming interrupted downloads and verifying every digest.
+    /// resuming interrupted downloads and verifying every digest. Delta
+    /// transfer is on by default ([`PullOptions::default`]): when the
+    /// server publishes a chunkmap for a missing layer and `dst` already
+    /// holds related blobs, only the chunks `dst` lacks cross the wire.
     pub fn pull_image(
         &self,
         name: &str,
         reference: &str,
         dst: &mut BlobStore,
+    ) -> Result<(Digest, TransferStats), DistError> {
+        self.pull_image_with(name, reference, dst, &PullOptions::default())
+    }
+
+    /// [`DistClient::pull_image`] with explicit delta/concurrency knobs.
+    pub fn pull_image_with(
+        &self,
+        name: &str,
+        reference: &str,
+        dst: &mut BlobStore,
+        opts: &PullOptions,
     ) -> Result<(Digest, TransferStats), DistError> {
         let obs = comt_observe::global();
         let _span = obs.span("dist.client.pull");
@@ -421,7 +695,20 @@ impl DistClient {
             blobs_moved: 1,
             blobs_skipped: 0,
             bytes_moved: manifest.len() as u64,
+            ..TransferStats::default()
         };
+        // Delta candidates come from what we held *before* this pull; the
+        // chunk index over those blobs is built lazily, once, keyed to the
+        // chunking parameters the server's first chunkmap declares.
+        let preexisting: Vec<Digest> = if opts.delta {
+            dst.iter()
+                .map(|(d, _)| *d)
+                .filter(|d| *d != manifest_digest)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut local_index: Option<(ChunkParams, ChunkIndex)> = None;
         dst.put_prehashed(manifest_digest, manifest);
         let closure = closure_digests(dst, &manifest_digest)?;
         for d in &closure[1..] {
@@ -430,12 +717,88 @@ impl DistClient {
                 obs.count("dist.client.blobs_deduped", 1);
                 continue;
             }
-            let blob = self.get_blob(name, d)?; // digest-verified
-            stats.bytes_moved += blob.len() as u64;
+            let mut assembled: Option<Bytes> = None;
+            if opts.delta && !preexisting.is_empty() {
+                if let Some(map) = self
+                    .get_chunkmap(name, d)
+                    .ok()
+                    .flatten()
+                    .and_then(|raw| ChunkMap::from_json(&raw).ok())
+                    .filter(|m| m.parsed_blob_digest().ok() == Some(*d))
+                {
+                    if !matches!(&local_index, Some((p, _)) if *p == map.params) {
+                        let mut idx = ChunkIndex::new();
+                        for b in &preexisting {
+                            if let Some(data) = dst.get(b) {
+                                idx.add_blob(*b, &data, map.params);
+                            }
+                        }
+                        local_index = Some((map.params, idx));
+                    }
+                    let index = &local_index.as_ref().expect("just built").1;
+                    if !index.is_empty() {
+                        stats.bytes_moved += map.to_json().len() as u64;
+                        assembled = self.pull_blob_delta(
+                            name,
+                            d,
+                            &map,
+                            index,
+                            dst,
+                            opts.concurrency,
+                            &mut stats,
+                        )?;
+                    }
+                }
+            }
+            let blob = match assembled {
+                Some(b) => b, // wire bytes already accounted in the plan
+                None => {
+                    let b = self.get_blob(name, d)?; // digest-verified
+                    stats.bytes_moved += b.len() as u64;
+                    b
+                }
+            };
             dst.put_prehashed(*d, blob);
             stats.blobs_moved += 1;
         }
         Ok((manifest_digest, stats))
+    }
+
+    /// [`DistClient::push_image`], then publish a chunkmap for every layer
+    /// of the manifest so later pulls can transfer deltas instead of whole
+    /// layers. Against a daemon that predates chunkmaps the publication is
+    /// skipped and the push is exactly a classic one.
+    pub fn push_image_chunked(
+        &self,
+        name: &str,
+        reference: &str,
+        manifest_digest: Digest,
+        src: &BlobStore,
+        params: ChunkParams,
+    ) -> Result<TransferStats, DistError> {
+        let stats = self.push_image(name, reference, manifest_digest, src)?;
+        let obs = comt_observe::global();
+        let manifest = src
+            .get(&manifest_digest)
+            .ok_or(comt_oci::RegistryError::MissingBlob(manifest_digest.to_string()))?;
+        let parsed: comt_oci::ImageManifest = serde_json::from_slice(&manifest)
+            .map_err(|e| DistError::protocol(format!("pushed manifest unparseable: {e}")))?;
+        for layer in &parsed.layers {
+            let d = layer
+                .parsed_digest()
+                .map_err(|e| DistError::protocol(format!("bad layer digest: {e}")))?;
+            let blob = src
+                .get(&d)
+                .ok_or(comt_oci::RegistryError::MissingBlob(d.to_string()))?;
+            let map = ChunkMap::build(&blob, params)
+                .map_err(|e| DistError::protocol(format!("chunking layer {d}: {e}")))?;
+            if !self.put_chunkmap(name, &d, &map.to_json())? {
+                // Old server: no chunkmap route, nothing more to publish.
+                break;
+            }
+            obs.count("dist.client.chunkmaps_pushed", 1);
+        }
+        Ok(stats)
     }
 }
 

@@ -275,14 +275,17 @@ pub fn serve_loop<H: HttpHandler>(
     })
 }
 
+/// Accepted connections handed from loop 0 to their owning loop.
+type Inbox = Arc<Mutex<Vec<TcpStream>>>;
+
 struct EventLoop<H: HttpHandler> {
     shared: Arc<Shared<H>>,
     stop: Arc<AtomicBool>,
     poller: Poller,
     waker: Waker,
-    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    inbox: Inbox,
     /// Loop 0 only: the listener plus every loop's inbox and waker.
-    deal: Option<(TcpListener, Vec<Arc<Mutex<Vec<TcpStream>>>>, Vec<Waker>)>,
+    deal: Option<(TcpListener, Vec<Inbox>, Vec<Waker>)>,
     conns: HashMap<u64, Conn>,
     next_token: u64,
     next_loop: usize,
@@ -303,8 +306,7 @@ impl<H: HttpHandler> EventLoop<H> {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            for i in 0..events.len() {
-                let ev = events[i];
+            for &ev in &events {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKER => {

@@ -16,6 +16,8 @@
 //! PUT  /v2/<name>/blobs/<digest>              chunked upload, staged+verified
 //! GET  /v2/<name>/manifests/<reference>       manifest by tag
 //! PUT  /v2/<name>/manifests/<reference>       tag after closure verification
+//! GET  /v2/<name>/chunkmaps/<layer-digest>    chunk manifest for a layer (404 → full pull)
+//! PUT  /v2/<name>/chunkmaps/<layer-digest>    publish chunk manifest, validated vs stored layer
 //! ```
 //!
 //! Uploads never become visible until the body's digest matches its
@@ -34,7 +36,7 @@ pub mod server;
 pub mod wire;
 
 pub use buildd::{serve_buildd, BuilddClient, BuilddServer, JobRequest, JobStatusWire};
-pub use client::{DistClient, RetryPolicy, TransferStats};
+pub use client::{DistClient, PullOptions, RetryPolicy, TransferStats};
 pub use hotcache::{CacheStats, HotBlobCache};
 pub use http::{
     serve_http, BodySource, HttpAction, HttpHandler, HttpOptions, HttpServer, STREAM_CHUNK,

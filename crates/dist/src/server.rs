@@ -46,10 +46,15 @@ use std::time::Duration;
 /// Fault injection: truncate the next `truncate_blob_gets` blob GET
 /// responses after `truncate_after` body bytes and drop the connection.
 /// Exercises the client's Range-resume path deterministically.
-#[derive(Debug, Clone, Copy)]
+///
+/// `poison_range_gets` corrupts one byte in the body of the next N ranged
+/// (206) blob GETs — the server still advertises the right Content-Range,
+/// so only the client's per-chunk digest verification can catch it.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Chaos {
     pub truncate_blob_gets: u32,
     pub truncate_after: usize,
+    pub poison_range_gets: u32,
 }
 
 /// Server tuning knobs: the shared [`HttpOptions`] plus registry-specific
@@ -123,6 +128,7 @@ struct RegistryHandler<R: RegistryBackend> {
     verified: Mutex<HashSet<Digest>>,
     chaos_budget: AtomicU32,
     chaos_after: usize,
+    poison_budget: AtomicU32,
 }
 
 impl<R: RegistryBackend> HttpHandler for RegistryHandler<R> {
@@ -163,6 +169,7 @@ pub fn serve<R: RegistryBackend>(
         verified: Mutex::new(HashSet::new()),
         chaos_budget: AtomicU32::new(opts.chaos.map_or(0, |c| c.truncate_blob_gets)),
         chaos_after: opts.chaos.map_or(0, |c| c.truncate_after),
+        poison_budget: AtomicU32::new(opts.chaos.map_or(0, |c| c.poison_range_gets)),
     });
     let http = serve_http(Arc::clone(&state), addr, opts.http())?;
     Ok(DistServer { http, state })
@@ -197,8 +204,8 @@ fn not_found() -> HttpAction {
     HttpAction::Respond(Response::new(404))
 }
 
-/// Split `/v2/<name…>/(blobs|manifests)/<ref>`; the repository name may
-/// itself contain `/`, so the kind marker is located from the end.
+/// Split `/v2/<name…>/(blobs|manifests|chunkmaps)/<ref>`; the repository
+/// name may itself contain `/`, so the kind marker is located from the end.
 fn parse_path(path: &str) -> Option<(&str, &str, &str)> {
     let rest = path.strip_prefix("/v2/")?;
     let (head, reference) = rest.rsplit_once('/')?;
@@ -206,7 +213,7 @@ fn parse_path(path: &str) -> Option<(&str, &str, &str)> {
     if name.is_empty() || reference.is_empty() {
         return None;
     }
-    matches!(kind, "blobs" | "manifests").then_some((name, kind, reference))
+    matches!(kind, "blobs" | "manifests" | "chunkmaps").then_some((name, kind, reference))
 }
 
 /// Route one request. Returns the endpoint label (for counters) plus the
@@ -234,6 +241,8 @@ fn dispatch<R: RegistryBackend>(
         ("GET", "manifests") => ("manifest_get", manifest_get(name, reference, state)),
         ("HEAD", "manifests") => ("manifest_head", manifest_get(name, reference, state)),
         ("PUT", "manifests") => ("manifest_put", manifest_put(req, name, reference, state)),
+        ("GET", "chunkmaps") => ("chunkmap_get", chunkmap_get(name, reference, state)),
+        ("PUT", "chunkmaps") => ("chunkmap_put", chunkmap_put(req, name, reference, state)),
         _ => ("unroutable", HttpAction::Respond(Response::new(405))),
     }
 }
@@ -379,6 +388,30 @@ fn blob_get<R: RegistryBackend>(
             format!("bytes {}-{}/{}", start, end - 1, total),
         );
     }
+    // Chaos: corrupt one byte of a ranged response. Headers stay truthful,
+    // so nothing short of content verification can notice — exactly the
+    // torn-chunk case the client's per-chunk digest check must catch.
+    if status == 206 {
+        let budget = state.poison_budget.load(Ordering::SeqCst);
+        if budget > 0
+            && state
+                .poison_budget
+                .compare_exchange(budget, budget - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            let mut body = match &source {
+                BodySource::Bytes(b) => b.to_vec(),
+                BodySource::File { .. } => match handle.read_range(start, end) {
+                    Ok(b) => b.to_vec(),
+                    Err(e) => return unservable("blob", e),
+                },
+            };
+            if let Some(byte) = body.last_mut() {
+                *byte ^= 0xFF;
+            }
+            return HttpAction::Respond(resp.with_body(body));
+        }
+    }
     // Chaos: pretend to serve the full range, cut the body short, hang up.
     // Truncation needs materialized bytes; chaos runs only in tests with
     // small payloads, so the materialization is bounded there.
@@ -405,7 +438,8 @@ fn blob_get<R: RegistryBackend>(
 }
 
 /// `GET /v2/_comt/stats` — live serve-path counters as JSON (cache
-/// hit/miss/eviction totals, resident bytes, stream-verified digests).
+/// hit/miss/eviction totals, resident bytes, stream-verified digests,
+/// chunkmap traffic and this process's delta-pull savings).
 fn stats_response<R: RegistryBackend>(state: &RegistryHandler<R>) -> HttpAction {
     let s = state.cache.stats();
     let verified = state
@@ -413,13 +447,31 @@ fn stats_response<R: RegistryBackend>(state: &RegistryHandler<R>) -> HttpAction 
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .len();
+    let obs = comt_observe::global();
     let body = format!(
         concat!(
             "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
             "\"rejected\":{},\"entries\":{},\"bytes\":{},\"budget\":{}}},",
-            "\"stream_verified\":{}}}"
+            "\"stream_verified\":{},",
+            "\"chunkmaps\":{{\"hits\":{},\"misses\":{},\"published\":{}}},",
+            "\"delta\":{{\"chunks_hit\":{},\"chunks_fetched\":{},",
+            "\"bytes_saved\":{},\"bytes_fetched\":{}}}}}"
         ),
-        s.hits, s.misses, s.evictions, s.rejected, s.entries, s.bytes, s.budget, verified
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.rejected,
+        s.entries,
+        s.bytes,
+        s.budget,
+        verified,
+        obs.counter("dist.server.chunkmap_hits"),
+        obs.counter("dist.server.chunkmap_misses"),
+        obs.counter("dist.server.chunkmaps_published"),
+        obs.counter("dist.client.chunks_hit"),
+        obs.counter("dist.client.chunks_fetched"),
+        obs.counter("dist.client.delta_bytes_saved"),
+        obs.counter("dist.client.delta_bytes_fetched"),
     );
     HttpAction::Respond(
         Response::new(200)
@@ -525,6 +577,102 @@ fn manifest_put<R: RegistryBackend>(
             comt_observe::global().count("dist.server.rejected_manifests", 1);
             registry_failure("tag manifest", e)
         }
+    }
+}
+
+/// `GET /v2/<name>/chunkmaps/<layer-digest>` — the chunk manifest the
+/// server holds for a layer blob, or 404 (the client then falls back to a
+/// full-blob pull). Chunkmaps are ordinary content-addressed blobs; they
+/// ride the same verified hot cache as everything else.
+fn chunkmap_get<R: RegistryBackend>(
+    _name: &str,
+    reference: &str,
+    state: &RegistryHandler<R>,
+) -> HttpAction {
+    let layer = match parse_digest(reference) {
+        Ok(d) => d,
+        Err(a) => return a,
+    };
+    let obs = comt_observe::global();
+    let found = {
+        let reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        reg.chunkmap_for(&layer)
+            .and_then(|md| reg.blob_handle(&md).map(|h| (md, h)))
+    };
+    let Some((map_digest, handle)) = found else {
+        obs.count("dist.server.chunkmap_misses", 1);
+        return not_found();
+    };
+    let body = {
+        let _span = obs.span("dist.server.verify");
+        match state
+            .cache
+            .get_or_load(&map_digest, || handle.read_range(0, handle.len()))
+        {
+            Ok(b) => b,
+            Err(e) => return unservable("chunkmap", e),
+        }
+    };
+    obs.count("dist.server.chunkmap_hits", 1);
+    HttpAction::RespondBody(
+        Response::new(200)
+            .with_header("Docker-Content-Digest", map_digest.to_oci_string())
+            .with_header("Content-Type", comt_chunk::MEDIA_TYPE_CHUNKMAP),
+        BodySource::Bytes(body),
+    )
+}
+
+/// `PUT /v2/<name>/chunkmaps/<layer-digest>` — publish a chunk manifest
+/// for a layer the server already holds. The body is validated
+/// structurally (schema, contiguity, digest syntax) and cross-checked
+/// against the stored layer's address and length before anything becomes
+/// visible; deep per-chunk verification is `comt fsck`'s job.
+fn chunkmap_put<R: RegistryBackend>(
+    req: &Request,
+    _name: &str,
+    reference: &str,
+    state: &RegistryHandler<R>,
+) -> HttpAction {
+    let layer = match parse_digest(reference) {
+        Ok(d) => d,
+        Err(a) => return a,
+    };
+    let map = match comt_chunk::ChunkMap::from_json(&req.body) {
+        Ok(m) => m,
+        Err(e) => return bad_request(format!("malformed chunkmap: {e}")),
+    };
+    if map.parsed_blob_digest().ok() != Some(layer) {
+        return bad_request(format!(
+            "chunkmap is for {}, not the addressed layer {reference}",
+            map.blob_digest
+        ));
+    }
+    let put = {
+        let mut reg = state.registry.lock().unwrap_or_else(|e| e.into_inner());
+        match reg.blob_handle(&layer) {
+            // Not a 404: the route exists (404 here would read as "old
+            // daemon" to the client) — the request is simply invalid.
+            None => return bad_request(format!("no layer {reference} to describe")),
+            Some(h) if h.len() != map.blob_size => {
+                return bad_request(format!(
+                    "chunkmap covers {} bytes but the stored layer has {}",
+                    map.blob_size,
+                    h.len()
+                ));
+            }
+            Some(_) => {}
+        }
+        reg.put_chunkmap(layer, bytes::Bytes::from(req.body.clone()))
+    };
+    match put {
+        Ok(map_digest) => {
+            comt_observe::global().count("dist.server.chunkmaps_published", 1);
+            HttpAction::Respond(
+                Response::new(201)
+                    .with_header("Docker-Content-Digest", map_digest.to_oci_string()),
+            )
+        }
+        Err(e) => registry_failure("store chunkmap", e),
     }
 }
 

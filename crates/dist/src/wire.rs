@@ -824,7 +824,7 @@ mod tests {
         // Unbounded header block.
         let mut parser = RequestParser::new(1 << 20);
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
-        raw.extend(std::iter::repeat(b'a').take(MAX_HEADER_BYTES + 2));
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 2));
         assert!(parser.feed(&raw).is_err());
         // Garbage request line.
         let mut parser = RequestParser::new(1 << 20);

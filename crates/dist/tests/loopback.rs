@@ -79,6 +79,7 @@ fn chaos_truncation_resumes_and_verifies() {
         chaos: Some(Chaos {
             truncate_blob_gets: 3,
             truncate_after: 256,
+            ..Chaos::default()
         }),
         ..Default::default()
     });

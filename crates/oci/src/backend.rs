@@ -190,6 +190,25 @@ pub trait RegistryBackend: Send + 'static {
     /// Staged manifest publish: verify the closure, commit, expose the tag.
     fn put_manifest(&mut self, key: &str, manifest: Bytes) -> Result<Digest, RegistryError>;
 
+    /// Digest of the chunkmap blob recorded for a layer blob, if any.
+    /// Backends without sub-layer dedupe keep the default (`None`), which
+    /// makes every chunkmap GET a 404 and pushes clients onto the full-blob
+    /// fallback path.
+    fn chunkmap_for(&self, layer: &Digest) -> Option<Digest> {
+        let _ = layer;
+        None
+    }
+
+    /// Record `map` as the chunkmap of `layer`, storing its bytes as a
+    /// normal content-addressed blob. The association must survive exactly
+    /// as long as the layer blob does (gc ties their lifetimes together).
+    fn put_chunkmap(&mut self, layer: Digest, map: Bytes) -> Result<Digest, RegistryError> {
+        let _ = (layer, map);
+        Err(RegistryError::Storage(
+            "this backend does not support chunkmaps".into(),
+        ))
+    }
+
     /// Committed blob count (startup banner / stats).
     fn blob_count(&self) -> usize;
 
@@ -218,6 +237,14 @@ impl RegistryBackend for Registry {
 
     fn put_manifest(&mut self, key: &str, manifest: Bytes) -> Result<Digest, RegistryError> {
         self.publish_manifest(key, manifest)
+    }
+
+    fn chunkmap_for(&self, layer: &Digest) -> Option<Digest> {
+        Registry::chunkmap_for(self, layer)
+    }
+
+    fn put_chunkmap(&mut self, layer: Digest, map: Bytes) -> Result<Digest, RegistryError> {
+        Registry::put_chunkmap(self, layer, map)
     }
 
     fn blob_count(&self) -> usize {
@@ -255,6 +282,14 @@ impl RegistryBackend for DiskRegistry {
 
     fn put_manifest(&mut self, key: &str, manifest: Bytes) -> Result<Digest, RegistryError> {
         self.publish_manifest(key, manifest)
+    }
+
+    fn chunkmap_for(&self, layer: &Digest) -> Option<Digest> {
+        DiskRegistry::chunkmap_for(self, layer)
+    }
+
+    fn put_chunkmap(&mut self, layer: Digest, map: Bytes) -> Result<Digest, RegistryError> {
+        DiskRegistry::put_chunkmap(self, layer, map)
     }
 
     fn blob_count(&self) -> usize {

@@ -391,11 +391,39 @@ impl DiskRegistry {
         Ok(digest)
     }
 
+    /// Chunkmap blob digest recorded for a layer blob, if any.
+    pub fn chunkmap_for(&self, layer: &Digest) -> Option<Digest> {
+        self.index.chunkmap_for(layer)?.parsed_digest().ok()
+    }
+
+    /// Persist `map` as the chunkmap of `layer`: commit the map bytes as a
+    /// normal blob, then atomically flip the index with the association
+    /// descriptor. Crash-safe like every other mutation — a kill between
+    /// the two steps leaves an unreferenced blob for gc, never a torn
+    /// association.
+    pub fn put_chunkmap(&mut self, layer: Digest, map: Bytes) -> Result<Digest, RegistryError> {
+        if !self.store.contains(&layer) {
+            return Err(RegistryError::MissingBlob(layer.to_string()));
+        }
+        let digest = Digest::of(&map);
+        self.store.put_blob(&digest, &map).map_err(storage_err)?;
+        let mut next = self.index.clone();
+        next.set_chunkmap(
+            &layer,
+            Descriptor::new(MediaType::Chunkmap, digest, map.len() as u64),
+        );
+        self.store.commit_index(&next).map_err(storage_err)?;
+        self.index = next;
+        Ok(digest)
+    }
+
     /// Digests reachable from any index ref. Walks each ref's manifest
     /// closure lazily — only manifest blobs are read (and verified); layer
     /// and config blobs are never loaded. A broken ref (missing/corrupt
     /// manifest, bad digest) is an error: gc must not treat blobs as dead
-    /// because a closure could not be enumerated.
+    /// because a closure could not be enumerated. A chunkmap blob is live
+    /// iff the layer it describes is live (its lifetime is slaved to the
+    /// layer's through the closure walk).
     pub fn live_set(&self) -> Result<std::collections::BTreeSet<Digest>, RegistryError> {
         let mut live = std::collections::BTreeSet::new();
         for name in self.index.ref_names() {
@@ -412,6 +440,14 @@ impl DiskRegistry {
                 .map_err(storage_err)?
                 .ok_or_else(|| RegistryError::MissingBlob(digest.to_string()))?;
             live.extend(closure_of_manifest(&raw, &digest)?);
+        }
+        for desc in self.index.chunkmap_entries() {
+            let layer_live = desc.chunkmap_layer().is_some_and(|l| live.contains(&l));
+            if layer_live {
+                if let Ok(d) = desc.parsed_digest() {
+                    live.insert(d);
+                }
+            }
         }
         Ok(live)
     }
@@ -434,8 +470,26 @@ impl DiskRegistry {
 
     /// Delete every unreachable blob file (the registry holds the layout
     /// lock, so no concurrent publisher can re-reference one mid-sweep).
+    /// Orphan chunkmap entries — associations whose layer blob is no longer
+    /// live — are swept from the index first (atomic commit), so the sweep
+    /// never leaves a descriptor pointing at a deleted blob.
     /// Returns (blobs removed, bytes reclaimed).
     pub fn gc_apply(&mut self) -> Result<(usize, u64), RegistryError> {
+        let live = self.live_set()?;
+        let orphan_maps = self
+            .index
+            .chunkmap_entries()
+            .filter(|d| d.parsed_digest().map(|m| !live.contains(&m)).unwrap_or(true))
+            .count();
+        if orphan_maps > 0 {
+            let mut next = self.index.clone();
+            next.manifests.retain(|d| {
+                d.media_type != MediaType::Chunkmap
+                    || d.parsed_digest().map(|m| live.contains(&m)).unwrap_or(false)
+            });
+            self.store.commit_index(&next).map_err(storage_err)?;
+            self.index = next;
+        }
         let (dead, bytes) = self.gc_plan()?;
         let mut removed = 0usize;
         for d in &dead {
@@ -556,6 +610,64 @@ mod tests {
             assert_eq!(reg.resolve("app:1"), Some(image.manifest_digest));
             let (dead, _) = reg.gc_plan().unwrap();
             assert!(dead.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunkmap_lifetime_is_slaved_to_its_layer() {
+        let dir = tmp_dir("chunkmap");
+        {
+            let mut reg = DiskRegistry::open(&dir).unwrap();
+            let mut blobs = crate::store::BlobStore::new();
+            let layer_bytes = Bytes::from(vec![7u8; 64 * 1024]);
+            let image = crate::ImageBuilder::from_scratch("x86_64")
+                .with_layer_tar(layer_bytes.clone(), "layer")
+                .commit(&mut blobs)
+                .unwrap();
+            for (d, data) in blobs.iter() {
+                reg.store().put_blob(d, data).unwrap();
+            }
+            let manifest = blobs.get(&image.manifest_digest).unwrap();
+            reg.publish_manifest("app:1", manifest).unwrap();
+
+            let layer = image.manifest.layers[0].parsed_digest().unwrap();
+            let layer_blob = reg.store().read_blob(&layer).unwrap().unwrap();
+            let map = comt_chunk::ChunkMap::build(&layer_blob, comt_chunk::ChunkParams::default())
+                .unwrap();
+            let map_digest = reg
+                .put_chunkmap(layer, Bytes::from(map.to_json()))
+                .unwrap();
+            assert_eq!(reg.chunkmap_for(&layer), Some(map_digest));
+
+            // A chunkmap for a blob the store does not hold is refused.
+            assert!(matches!(
+                reg.put_chunkmap(Digest::of(b"ghost layer"), Bytes::from_static(b"{}")),
+                Err(RegistryError::MissingBlob(_))
+            ));
+
+            // Layer live → chunkmap live: nothing to collect.
+            let (dead, _) = reg.gc_plan().unwrap();
+            assert!(dead.is_empty(), "{dead:?}");
+
+            // Survives reopen (the association is in the committed index).
+            drop(reg);
+            let mut reg = DiskRegistry::open(&dir).unwrap();
+            assert_eq!(reg.chunkmap_for(&layer), Some(map_digest));
+
+            // Drop the ref: the layer dies, and the chunkmap must die with
+            // it — blob swept, association gone from the index.
+            let mut next = reg.index().clone();
+            assert!(next.remove_ref("app:1"));
+            reg.store.commit_index(&next).unwrap();
+            reg.index = next;
+            let (dead, _) = reg.gc_plan().unwrap();
+            assert!(dead.contains(&map_digest), "orphan chunkmap not planned");
+            let (removed, _) = reg.gc_apply().unwrap();
+            assert!(removed >= 4); // manifest + config + layer + chunkmap
+            assert!(!reg.store().contains(&map_digest));
+            assert_eq!(reg.chunkmap_for(&layer), None);
+            assert!(reg.index().chunkmap_entries().next().is_none());
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

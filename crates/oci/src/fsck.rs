@@ -13,6 +13,7 @@
 //! | `COMT-F004` | error    | `index.json` missing or unparseable       | commit an empty index        |
 //! | `COMT-F005` | warning  | foreign file in the blob directory        | delete the file              |
 //! | `COMT-F006` | warning  | `oci-layout` marker missing or invalid    | rewrite the marker           |
+//! | `COMT-F007` | error    | chunkmap disagrees with its stored layer  | quarantine map, drop entry   |
 //!
 //! Valid-but-unreachable blobs are *not* findings — that is garbage, not
 //! damage, and `comt gc` owns it. Repair is conservative: it only ever
@@ -22,7 +23,7 @@
 
 use crate::disk::{commit_file, DiskStore, LayoutLock, OCI_LAYOUT_MARKER, TMP_PREFIX};
 use crate::layout::LayoutError;
-use crate::spec::ImageIndex;
+use crate::spec::{ImageIndex, MediaType};
 use crate::store::closure_of_manifest;
 use comt_digest::Digest;
 use serde::Serialize;
@@ -303,6 +304,9 @@ pub fn fsck(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, LayoutError> {
         let mut kept = index.clone();
         let mut dropped_any = false;
         for desc in &index.manifests {
+            if desc.media_type == MediaType::Chunkmap {
+                continue; // not a ref; validated in pass 4 below
+            }
             refs_checked += 1;
             let name = desc
                 .ref_name()
@@ -341,6 +345,72 @@ pub fn fsck(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, LayoutError> {
                     severity: FsckSeverity::Error,
                     path: name,
                     detail: format!("ref cannot serve a complete image: {why}"),
+                    repaired,
+                });
+            }
+        }
+        // Pass 4: chunkmap entries. A chunkmap must parse, name a layer
+        // that exists, and agree with the stored layer bytes offset-for-
+        // offset and digest-for-digest — a stale or tampered map would make
+        // delta pulls assemble garbage (caught client-side, but every such
+        // pull fails). Repair quarantines the map blob (moved aside, not
+        // destroyed) and drops the association; the layer itself is
+        // untouched and full-blob pulls keep working.
+        for desc in index.chunkmap_entries() {
+            let path_label = format!("chunkmap {}", desc.digest);
+            let broken: Option<String> = (|| {
+                let Some(layer) = desc.chunkmap_layer() else {
+                    return Some("chunkmap entry has no layer annotation".to_string());
+                };
+                let Ok(md) = desc.parsed_digest() else {
+                    return Some(format!("unparseable chunkmap digest {}", desc.digest));
+                };
+                if !valid.contains(&md) {
+                    return Some(format!("chunkmap blob {md} is missing or corrupt"));
+                }
+                if !valid.contains(&layer) {
+                    return Some(format!("described layer {layer} is missing or corrupt"));
+                }
+                let raw = match std::fs::read(store.blob_path(&md)) {
+                    Ok(r) => r,
+                    Err(e) => return Some(format!("chunkmap blob unreadable: {e}")),
+                };
+                let map = match comt_chunk::ChunkMap::from_json(&raw) {
+                    Ok(m) => m,
+                    Err(e) => return Some(format!("{e}")),
+                };
+                if map.parsed_blob_digest().ok() != Some(layer) {
+                    return Some(format!(
+                        "chunkmap describes {} but is recorded for layer {layer}",
+                        map.blob_digest
+                    ));
+                }
+                let layer_bytes = match std::fs::read(store.blob_path(&layer)) {
+                    Ok(r) => r,
+                    Err(e) => return Some(format!("layer blob unreadable: {e}")),
+                };
+                map.verify_layer(&layer_bytes).err().map(|e| format!("{e}"))
+            })();
+            if let Some(why) = broken {
+                let mut repaired = false;
+                if opts.repair {
+                    if let Ok(md) = desc.parsed_digest() {
+                        let blob_path = store.blob_path(&md);
+                        if blob_path.is_file() {
+                            let qdir = dir.join("quarantine");
+                            std::fs::create_dir_all(&qdir)?;
+                            std::fs::rename(&blob_path, qdir.join(md.hex()))?;
+                        }
+                    }
+                    kept.manifests.retain(|d| d != desc);
+                    dropped_any = true;
+                    repaired = true;
+                }
+                findings.push(FsckFinding {
+                    code: "COMT-F007",
+                    severity: FsckSeverity::Error,
+                    path: path_label,
+                    detail: format!("chunkmap disagrees with its stored layer: {why}"),
                     repaired,
                 });
             }
@@ -389,6 +459,11 @@ pub const FSCK_CODES: &[(&str, &str, &str)] = &[
         "COMT-F006",
         "warning",
         "oci-layout version marker missing or invalid",
+    ),
+    (
+        "COMT-F007",
+        "error",
+        "chunkmap disagrees with its stored layer",
     ),
 ];
 
@@ -505,6 +580,78 @@ mod tests {
         assert!(back.index.ref_names().is_empty());
         // Blobs survive for gc to reclaim; fsck does not touch valid data.
         assert_eq!(back.blobs.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_chunkmap_is_f007_and_quarantined() {
+        use crate::disk::DiskRegistry;
+
+        let (dir, md) = saved_layout("chunkmap");
+        let layer = {
+            let raw = std::fs::read(dir.join("blobs").join("sha256").join(md.hex())).unwrap();
+            let m: crate::spec::ImageManifest = serde_json::from_slice(&raw).unwrap();
+            m.layers[0].parsed_digest().unwrap()
+        };
+        // Record a chunkmap that is structurally fine and names the right
+        // layer, but whose chunk digests describe different bytes — the
+        // shape a stale map takes after a layer blob is regenerated.
+        let map_digest = {
+            let mut reg = DiskRegistry::open(&dir).unwrap();
+            let layer_bytes = reg.store().read_blob(&layer).unwrap().unwrap();
+            let mut map =
+                comt_chunk::ChunkMap::build(&layer_bytes, comt_chunk::ChunkParams::default())
+                    .unwrap();
+            map.chunks[0].digest = Digest::of(b"bytes from another life").to_oci_string();
+            reg.put_chunkmap(layer, Bytes::from(map.to_json())).unwrap()
+        };
+
+        // Scan-only: exactly one F007, nothing touched.
+        let report = fsck(&dir, &FsckOptions::default()).unwrap();
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code).collect();
+        assert_eq!(codes, vec!["COMT-F007"], "{}", report.render_human());
+        assert_eq!(report.unrepaired_errors(), 1);
+
+        // Repair: map quarantined (preserved, not destroyed), association
+        // dropped, layout clean, and the image still pulls bit-correctly.
+        let report = fsck(&dir, &FsckOptions { repair: true }).unwrap();
+        assert!(report.findings.iter().all(|f| f.repaired));
+        assert!(dir.join("quarantine").join(map_digest.hex()).is_file());
+        assert!(!dir
+            .join("blobs")
+            .join("sha256")
+            .join(map_digest.hex())
+            .exists());
+        let clean = fsck(&dir, &FsckOptions::default()).unwrap();
+        assert!(clean.is_clean(), "{}", clean.render_human());
+        let back = OciDir::load(&dir).unwrap();
+        assert!(back.index.chunkmap_entries().next().is_none());
+        assert!(back.load_image("app.dist+coM").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn valid_chunkmap_is_not_a_finding() {
+        use crate::disk::DiskRegistry;
+
+        let (dir, md) = saved_layout("chunkmap-ok");
+        let layer = {
+            let raw = std::fs::read(dir.join("blobs").join("sha256").join(md.hex())).unwrap();
+            let m: crate::spec::ImageManifest = serde_json::from_slice(&raw).unwrap();
+            m.layers[0].parsed_digest().unwrap()
+        };
+        {
+            let mut reg = DiskRegistry::open(&dir).unwrap();
+            let layer_bytes = reg.store().read_blob(&layer).unwrap().unwrap();
+            let map =
+                comt_chunk::ChunkMap::build(&layer_bytes, comt_chunk::ChunkParams::default())
+                    .unwrap();
+            reg.put_chunkmap(layer, Bytes::from(map.to_json())).unwrap();
+        }
+        let report = fsck(&dir, &FsckOptions::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render_human());
+        // The chunkmap descriptor is not counted as a ref.
+        assert_eq!(report.refs_checked, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -152,6 +152,9 @@ impl OciDir {
         let mut live: std::collections::BTreeSet<comt_digest::Digest> =
             std::collections::BTreeSet::new();
         for desc in &self.index.manifests {
+            if desc.media_type == MediaType::Chunkmap {
+                continue; // handled below, once layer liveness is known
+            }
             let Ok(md) = desc.parsed_digest() else { continue };
             let Some(raw) = self.blobs.get(&md) else { continue };
             live.insert(md);
@@ -163,6 +166,14 @@ impl OciDir {
             }
             for layer in &manifest.layers {
                 if let Ok(d) = layer.parsed_digest() {
+                    live.insert(d);
+                }
+            }
+        }
+        // A chunkmap blob is live iff the layer it describes is live.
+        for desc in self.index.chunkmap_entries() {
+            if desc.chunkmap_layer().is_some_and(|l| live.contains(&l)) {
+                if let Ok(d) = desc.parsed_digest() {
                     live.insert(d);
                 }
             }
@@ -188,9 +199,15 @@ impl OciDir {
 
     /// Garbage-collect blobs unreachable from any indexed manifest —
     /// repeated rebuild/redirect rounds replace `+coMre`/`+opt` manifests
-    /// and orphan their old layers. Returns the number of blobs dropped.
+    /// and orphan their old layers. Chunkmap index entries whose layer died
+    /// are swept along with their blobs. Returns the number of blobs
+    /// dropped.
     pub fn gc(&mut self) -> usize {
         let live = self.live_set();
+        self.index.manifests.retain(|d| {
+            d.media_type != MediaType::Chunkmap
+                || d.parsed_digest().map(|m| live.contains(&m)).unwrap_or(false)
+        });
         self.blobs.retain(|d| live.contains(d))
     }
 

@@ -20,6 +20,9 @@ pub enum MediaType {
     LayerTarGzip,
     #[serde(rename = "application/vnd.oci.image.index.v1+json")]
     ImageIndex,
+    /// Chunk manifest of one layer blob (sub-layer dedupe, see `comt-chunk`).
+    #[serde(rename = "application/vnd.comt.chunkmap.v1+json")]
+    Chunkmap,
 }
 
 /// Target platform of a manifest.
@@ -80,6 +83,24 @@ impl Descriptor {
         self.annotations.insert(
             "org.opencontainers.image.ref.name".to_string(),
             name.to_string(),
+        );
+        self
+    }
+
+    /// For a chunkmap descriptor: the digest of the layer blob it describes
+    /// (the `org.comtainer.chunkmap.layer` annotation).
+    pub fn chunkmap_layer(&self) -> Option<comt_digest::Digest> {
+        self.annotations
+            .get(comt_chunk::ANNOTATION_CHUNKMAP_LAYER)?
+            .parse()
+            .ok()
+    }
+
+    /// Annotate this descriptor as the chunkmap of `layer` (builder style).
+    pub fn with_chunkmap_layer(mut self, layer: &comt_digest::Digest) -> Self {
+        self.annotations.insert(
+            comt_chunk::ANNOTATION_CHUNKMAP_LAYER.to_string(),
+            layer.to_oci_string(),
         );
         self
     }
@@ -199,6 +220,30 @@ impl ImageIndex {
         let before = self.manifests.len();
         self.manifests.retain(|d| d.ref_name() != Some(name));
         self.manifests.len() != before
+    }
+
+    /// Add or replace the chunkmap entry for one layer blob. The descriptor
+    /// is stored alongside the manifest entries (chunkmaps carry no
+    /// `ref.name` annotation, so they never appear in [`Self::ref_names`]).
+    pub fn set_chunkmap(&mut self, layer: &comt_digest::Digest, desc: Descriptor) {
+        self.manifests.retain(|d| {
+            d.media_type != MediaType::Chunkmap || d.chunkmap_layer() != Some(*layer)
+        });
+        self.manifests.push(desc.with_chunkmap_layer(layer));
+    }
+
+    /// The chunkmap descriptor for a layer blob, if one is recorded.
+    pub fn chunkmap_for(&self, layer: &comt_digest::Digest) -> Option<&Descriptor> {
+        self.manifests.iter().find(|d| {
+            d.media_type == MediaType::Chunkmap && d.chunkmap_layer() == Some(*layer)
+        })
+    }
+
+    /// All chunkmap descriptors in the index.
+    pub fn chunkmap_entries(&self) -> impl Iterator<Item = &Descriptor> {
+        self.manifests
+            .iter()
+            .filter(|d| d.media_type == MediaType::Chunkmap)
     }
 
     /// All ref names present in the index, sorted.

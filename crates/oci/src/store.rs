@@ -243,6 +243,8 @@ pub fn closure_of_manifest(
 pub struct Registry {
     tags: BTreeMap<String, Digest>,
     store: BlobStore,
+    /// layer blob digest → chunkmap blob digest (sub-layer dedupe).
+    chunkmaps: BTreeMap<Digest, Digest>,
 }
 
 impl Registry {
@@ -266,6 +268,23 @@ impl Registry {
     /// Manifest digest for a tag.
     pub fn resolve(&self, tag: &str) -> Option<Digest> {
         self.tags.get(tag).copied()
+    }
+
+    /// Digest of the chunkmap blob recorded for a layer blob, if any.
+    pub fn chunkmap_for(&self, layer: &Digest) -> Option<Digest> {
+        self.chunkmaps.get(layer).copied()
+    }
+
+    /// Record a chunkmap blob for `layer`, storing its bytes. The layer
+    /// blob must already be committed — a chunkmap for bytes the registry
+    /// does not hold could never serve a chunk GET.
+    pub fn put_chunkmap(&mut self, layer: Digest, map: Bytes) -> Result<Digest, RegistryError> {
+        if !self.store.contains(&layer) {
+            return Err(RegistryError::MissingBlob(layer.to_string()));
+        }
+        let digest = self.store.put(map);
+        self.chunkmaps.insert(layer, digest);
+        Ok(digest)
     }
 
     /// Recursively collect the digests reachable from a manifest: the

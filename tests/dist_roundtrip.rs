@@ -27,6 +27,7 @@ fn extended_image_survives_mid_blob_disconnects() {
             chaos: Some(Chaos {
                 truncate_blob_gets: 4,
                 truncate_after: 512,
+                ..Chaos::default()
             }),
             ..Default::default()
         },
