@@ -108,3 +108,52 @@ pub fn rebuild_checked(
     let new_ref = comtainer::comtainer_rebuild(oci, extended_ref, side, opts)?;
     Ok((new_ref, report))
 }
+
+/// The `comt retarget` admission gate: run the ISA-compatibility audit
+/// (`COMT-A001`/`COMT-A005`) over the cache for the *whole* requested
+/// target set before any engine runs. An unsatisfiable set — an object
+/// that no requested target can execute, or a stack whose objects only
+/// run on disjoint targets — aborts the entire fan-out before a single
+/// compile executes; the error carries the rendered audit so the operator
+/// sees exactly which target rejected which object.
+pub fn retarget_audited(
+    oci: &mut OciDir,
+    extended_ref: &str,
+    side: &SystemSide,
+    targets: &[String],
+    opts: &RebuildOptions,
+) -> Result<(comtainer::RetargetOutcome, AuditReport), ComtError> {
+    // Audit first: it accepts cross-ISA target sets (each foreign target
+    // gets its own adapter replay), so an operator mixing ISAs hears about
+    // feature-level unsatisfiability (A005) rather than just the
+    // single-side restriction validate_targets enforces below.
+    let cache = comtainer::load_cache(oci, extended_ref)?;
+    let (diags, verdicts) =
+        audit_cache_contents(&cache, targets, &side.toolchain, &side.adapters)?;
+    let audit = AuditReport {
+        report: CheckReport::new(extended_ref, diags),
+        verdicts,
+    };
+    if audit.has_errors() || audit.verdicts.iter().any(|v| !v.pass) {
+        let failed: Vec<&str> = audit
+            .verdicts
+            .iter()
+            .filter(|v| !v.pass)
+            .map(|v| v.target.as_str())
+            .collect();
+        return Err(ComtError::build(format!(
+            "refusing to retarget {extended_ref}: target set unsatisfiable \
+             ({} error-severity finding(s); failing targets: {})\n{}",
+            audit.report.error_count(),
+            if failed.is_empty() {
+                "none".to_string()
+            } else {
+                failed.join(", ")
+            },
+            audit.render_human()
+        )));
+    }
+    comtainer::validate_targets(side, targets)?;
+    let outcome = comtainer::comtainer_retarget(oci, extended_ref, side, targets, opts)?;
+    Ok((outcome, audit))
+}

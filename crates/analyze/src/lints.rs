@@ -3,8 +3,8 @@
 //!
 //! * `COMT-W001` — host-coupled machine flags: `-march=native` /
 //!   `-mtune=native` / `-mcpu=native`, the Intel-style `-xHost`, and a
-//!   CPU-specific `-march` with no `-mtune` (the schedule tunes to the
-//!   build host's pipeline).
+//!   CPU-specific `-march` with no resolved `-mtune` — absent or
+//!   `-mtune=native` (the schedule tunes to the build host's pipeline).
 //! * `COMT-W002` — `__DATE__`/`__TIME__`/`__TIMESTAMP__` in a cached
 //!   source or a `-D` define: rebuilds can never be bit-identical.
 //! * `COMT-W003` — absolute host paths (`/home/…`, `/tmp/…`) in the
@@ -104,16 +104,20 @@ pub fn check_lints(cache: &CacheContents, target_isa: &str) -> Vec<Diagnostic> {
             );
         }
 
-        // W001, tuning variant: a CPU-specific -march with no -mtune pins
-        // the instruction schedule to the recording host's pipeline.
+        // W001, tuning variant: a CPU-specific -march whose tuning is
+        // unresolved pins the instruction schedule to the recording
+        // host's pipeline. "Unresolved" means no -mtune at all, or
+        // -mtune=native — the fold marks the latter like -march=native,
+        // so it cannot pass for an ordinary CPU name here.
+        let cfg = comt_toolchain::features::fold_invocation(target_isa, &inv);
         if let Some(march) = inv.march() {
-            if is_specific_cpu(march) && inv.mtune().is_none() {
+            if is_specific_cpu(march) && (inv.mtune().is_none() || cfg.tune_native) {
                 diags.push(
                     Diagnostic::new(
                         "COMT-W001",
                         format!(
-                            "-march={march} names a specific CPU with no -mtune: the \
-                             schedule is tuned to the build host"
+                            "-march={march} names a specific CPU with no resolved -mtune: \
+                             the schedule is tuned to the build host"
                         ),
                         Span::step(idx, &command),
                     )
@@ -337,6 +341,33 @@ mod tests {
         // …and generic micro-architecture levels never fire it.
         let cache = cache_with(&[], &["gcc -O2 -march=x86-64-v3 -c a.c -o a.o"]);
         assert!(check_lints(&cache, "x86_64").is_empty());
+    }
+
+    #[test]
+    fn specific_cpu_with_tune_native_still_fires_tuning_w001() {
+        // -mtune=native does not decouple the schedule from the host, so
+        // the tuning variant must fire alongside the mtune=native finding
+        // instead of being silenced by the flag's mere presence.
+        let cache = cache_with(
+            &[],
+            &["gcc -O2 -march=icelake-server -mtune=native -c a.c -o a.o"],
+        );
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(codes(&diags), vec!["COMT-W001", "COMT-W001"]);
+        assert!(diags.iter().any(|d| d.message.contains("-mtune=native")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("no resolved -mtune")));
+    }
+
+    #[test]
+    fn tune_native_on_generic_level_is_one_w001() {
+        // The generic level itself is portable; only the native tune is
+        // host-coupled, so exactly one finding.
+        let cache = cache_with(&[], &["gcc -O2 -march=x86-64-v3 -mtune=native -c a.c -o a.o"]);
+        let diags = check_lints(&cache, "x86_64");
+        assert_eq!(codes(&diags), vec!["COMT-W001"]);
+        assert!(diags[0].message.contains("-mtune=native"));
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Extension experiment — `comt retarget` fan-out vs N sequential rebuilds
+//! (not a paper figure; the plural form of the paper's §4.2 adaptability
+//! claim).
+//!
+//! One extended image, four x86-64 microarchitecture targets. The
+//! sequential baseline rebuilds the image once per target, back to back,
+//! each run uncached. The fan-out hands the same four targets to
+//! `comtainer_retarget`, which schedules them concurrently over one shared
+//! artifact cache. On a host with ≥ 4 cores the fan-out must finish in at
+//! most half the sequential wall time; on smaller hosts the speedup is
+//! reported but the bar is skipped (the fan-out degenerates to a serial
+//! loop when the scheduler only gets one worker).
+//!
+//! A second section exercises the IR-mode path on the minife workload:
+//! a cold two-target retarget must execute zero front-end compiles (the
+//! IR ships in the cache layer), and a warm retarget over the same shared
+//! cache must execute zero back-end recodegen steps too — both hard
+//! asserts, independent of core count.
+//!
+//! ```text
+//! retarget_fanout [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the translation units (the CI configuration); the
+//! asserts are identical in both configurations.
+
+use bytes::Bytes;
+use comt_bench::report::{json_report, json_row, table};
+use comt_bench::Lab;
+use comt_buildsys::{Builder, BuildTrace, Executor, RawCommand};
+use comt_oci::layout::OciDir;
+use comt_oci::{BlobStore, ImageBuilder};
+use comt_pkg::catalog;
+use comt_toolchain::Toolchain;
+use comt_vfs::Vfs;
+use comt_workloads::{containerfile, source_tree};
+use comtainer::cache::write_cache;
+use comtainer::models::{BuildGraph, CacheMode, FileOrigin, ImageModel, ProcessModels};
+use comtainer::{
+    comtainer_build_mode, comtainer_rebuild, comtainer_retarget, ArtifactCache, RebuildOptions,
+    SystemSide,
+};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Four distinct `-march` strings, all AVX2-capable tiers so the same
+/// set also passes the `comt retarget` admission audit for real
+/// workloads carrying explicit `-mavx2` steps (minife does).
+const TARGETS: [&str; 4] = ["x86-64-v3", "haswell", "x86-64-v4", "icelake-server"];
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+/// A synthetic extended image: `units` independent, deliberately fat
+/// translation units plus one link. Per-unit compile cost is what the
+/// fan-out amortizes, exactly as in the `rebuild_parallel` bench.
+fn synthetic_layout(units: usize, lines: usize) -> (OciDir, String) {
+    let mut commands = Vec::new();
+    let mut sources = BTreeMap::new();
+    let mut objs = String::new();
+    for i in 0..units {
+        commands.push(RawCommand {
+            argv: argv(&format!("gcc -O2 -c u{i}.c -o u{i}.o")),
+            cwd: "/src".into(),
+            env: vec![],
+            inputs: vec![format!("/src/u{i}.c")],
+            outputs: vec![format!("/src/u{i}.o")],
+        });
+        let provides = if i == 0 { "main".to_string() } else { format!("fn_{i}") };
+        let mut src = format!("#pragma comt provides({provides})\n");
+        for l in 0..lines {
+            src.push_str(&format!("x[{l}] += a{}*b{};\n", l % 97, l % 89));
+        }
+        sources.insert(format!("/src/u{i}.c"), Bytes::from(src));
+        objs.push_str(&format!("u{i}.o "));
+    }
+    commands.push(RawCommand {
+        argv: argv(&format!("gcc {objs} -o app")),
+        cwd: "/src".into(),
+        env: vec![],
+        inputs: (0..units).map(|i| format!("/src/u{i}.o")).collect(),
+        outputs: vec!["/src/app".into()],
+    });
+
+    let mut image = ImageModel::default();
+    image
+        .files
+        .insert("/app/app".into(), FileOrigin::Build("/src/app".into()));
+    let models = ProcessModels {
+        image,
+        graph: BuildGraph::new(),
+        isa: "x86_64".into(),
+        cache_mode: Default::default(),
+        targets: vec![],
+    };
+    let trace = BuildTrace { commands };
+
+    let mut store = BlobStore::new();
+    let mut dist_fs = Vfs::new();
+    dist_fs
+        .write_file_p("/app/app", Bytes::from_static(b"BIN"), 0o755)
+        .expect("dist binary");
+    let img = ImageBuilder::from_scratch("x86_64")
+        .with_layer_from_fs(&Vfs::new(), &dist_fs)
+        .commit(&mut store)
+        .expect("dist image");
+    let mut oci = OciDir::new();
+    oci.export("app.dist", img.manifest_digest, &store)
+        .expect("export dist");
+    let ext = write_cache(&mut oci, "app.dist", &models, &trace, &sources).expect("cache layer");
+    (oci, ext)
+}
+
+/// The minife extended image in IR mode, built through the same user-side
+/// recipe the integration tests use.
+fn minife_ir_layout() -> (Lab, OciDir, String) {
+    let isa = "x86_64";
+    let scale = catalog::MINI_SCALE;
+    let mut lab = Lab::new(isa, scale);
+    let context = source_tree("minife", isa, scale).expect("source tree");
+    let cf = containerfile("minife", isa).expect("containerfile");
+    let executor = Executor::new(isa, vec![Toolchain::distro_gcc()])
+        .with_repo(catalog::generic_repo_scaled(isa, scale));
+    let env_image = lab.stock.env.clone();
+    let base_image = lab.stock.base.clone();
+    let mut builder = Builder::new(&mut lab.store, executor);
+    builder.tag("comt:x86-64.env", &env_image);
+    builder.tag("comt:x86-64.base", &base_image);
+    let result = builder.build("minife", &cf, &context).expect("user-side build");
+    let mut oci = OciDir::new();
+    oci.export("minife.dist", result.images["dist"].manifest_digest, &lab.store)
+        .expect("export dist");
+    let base_fs = comt_oci::flatten(&lab.store, &lab.stock.base).expect("base fs");
+    let ext = comtainer_build_mode(
+        &mut oci,
+        "minife.dist",
+        &result.containers["build"],
+        &result.traces["build"],
+        &base_fs,
+        CacheMode::Ir,
+    )
+    .expect("coMtainer-build (IR)");
+    (lab, oci, ext)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_retarget_fanout.json".to_string());
+    let (units, lines) = if smoke { (8, 4_000) } else { (32, 20_000) };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let targets: Vec<String> = TARGETS.iter().map(|t| t.to_string()).collect();
+
+    println!("== Extension: retarget fan-out vs sequential rebuilds ==\n");
+    let side = SystemSide::native("x86_64", catalog::MINI_SCALE).expect("system side");
+    let mut json_rows: Vec<Value> = Vec::new();
+
+    // --- wall-clock: 4 sequential rebuilds vs one 4-target fan-out -------
+    let (mut oci, ext) = synthetic_layout(units, lines);
+
+    let t = Instant::now();
+    for target in &targets {
+        let opts = RebuildOptions {
+            target: Some(target.clone()),
+            ..Default::default()
+        };
+        comtainer_rebuild(&mut oci, &ext, &side, &opts).expect("sequential rebuild");
+    }
+    let sequential_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let outcome =
+        comtainer_retarget(&mut oci, &ext, &side, &targets, &RebuildOptions::default())
+            .expect("retarget fan-out");
+    let concurrent_s = t.elapsed().as_secs_f64();
+    assert_eq!(outcome.images.len(), targets.len());
+
+    let speedup = sequential_s / concurrent_s.max(1e-9);
+    let workers = outcome.report.counter("retarget.workers.max");
+    let mut rows = Vec::new();
+    for target in &targets {
+        rows.push(vec![
+            target.clone(),
+            outcome
+                .report
+                .counter(&format!("retarget.exec.compile.{target}"))
+                .to_string(),
+            outcome
+                .report
+                .counter(&format!("retarget.cache.hit.{target}"))
+                .to_string(),
+        ]);
+    }
+    println!("{}", table(&["target", "exec.compile", "cache.hit"], &rows));
+    println!(
+        "sequential {sequential_s:.3}s, fan-out {concurrent_s:.3}s -> {speedup:.2}x \
+         ({workers} worker(s), {cores} core(s))"
+    );
+    json_rows.push(json_row(vec![
+        ("case", Value::Str("fanout_wall".to_string())),
+        ("units", Value::Int(units as i64)),
+        ("targets", Value::Int(targets.len() as i64)),
+        ("cores", Value::Int(cores as i64)),
+        ("workers", Value::Int(workers as i64)),
+        ("sequential_s", Value::Float(sequential_s)),
+        ("concurrent_s", Value::Float(concurrent_s)),
+        ("speedup", Value::Float(speedup)),
+        ("speedup_gate", Value::Str(
+            if cores >= 4 { "asserted" } else { "skipped (<4 cores)" }.to_string(),
+        )),
+    ]));
+    // The acceptance bar from the issue: ≥ 2x at 4 targets, gated on the
+    // host actually having 4 cores to fan out over.
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "fan-out speedup {speedup:.2}x < 2x on a {cores}-core host \
+             (sequential {sequential_s:.3}s, concurrent {concurrent_s:.3}s)"
+        );
+    } else {
+        println!("speedup bar skipped: {cores} core(s) < 4");
+    }
+
+    // --- IR mode: zero front-end cold, zero back-end warm ----------------
+    println!("\n== IR-mode retarget: front-end never runs, warm skips back-end ==\n");
+    let (_lab, mut oci, ext) = minife_ir_layout();
+    let ir_targets: Vec<String> =
+        ["x86-64-v3", "icelake-server"].iter().map(|t| t.to_string()).collect();
+    let shared = ArtifactCache::new();
+    let opts = RebuildOptions {
+        artifact_cache: Some(Arc::clone(&shared)),
+        ..Default::default()
+    };
+
+    for (phase, expect_recodegen) in [("cold", true), ("warm", false)] {
+        let run = comtainer_retarget(&mut oci, &ext, &side, &ir_targets, &opts)
+            .expect("IR retarget");
+        let compiles = run.report.counter("exec.compile");
+        assert_eq!(
+            compiles, 0,
+            "{phase}: IR-mode retarget ran {compiles} front-end compile(s)"
+        );
+        let mut recodegen_total = 0;
+        for t in &ir_targets {
+            let n = run.report.counter(&format!("retarget.exec.recodegen.{t}"));
+            recodegen_total += n;
+            if expect_recodegen {
+                assert!(n > 0, "{phase}: no back-end work recorded for {t}");
+            } else {
+                assert_eq!(n, 0, "{phase}: back-end re-ran for {t} despite warm cache");
+            }
+        }
+        let ir_hits = run.report.counter("retarget.ir_hits");
+        if !expect_recodegen {
+            assert!(ir_hits > 0, "warm run never hit the IR object cache");
+        }
+        println!(
+            "{phase}: exec.compile 0, exec.recodegen {recodegen_total}, ir_hits {ir_hits}"
+        );
+        json_rows.push(json_row(vec![
+            ("case", Value::Str(format!("ir_{phase}"))),
+            ("targets", Value::Int(ir_targets.len() as i64)),
+            ("exec_compile", Value::Int(compiles as i64)),
+            ("exec_recodegen", Value::Int(recodegen_total as i64)),
+            ("ir_hits", Value::Int(ir_hits as i64)),
+        ]));
+    }
+
+    let json = json_report("retarget_fanout", json_rows);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

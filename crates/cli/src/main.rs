@@ -9,6 +9,7 @@
 //! comt check       --explain <CODE>                 describe a diagnostic code
 //! comt audit       <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]
 //! comt rebuild     <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--parallel] [--bolt] [--stats] [--check]
+//! comt retarget    <layout-dir> <ext-ref>  --target ARCH [--target ARCH]... [--isa x86_64] [--lto] [--parallel] [--bolt] [--warm] [--stats]
 //! comt redirect    <layout-dir> <coMre-ref> [--isa x86_64]
 //! comt adapt       <layout-dir> <ext-ref>  [--isa x86_64] [--lto] [--stats]
 //! comt cross-check <layout-dir> <ext-ref>  <target-isa>
@@ -29,9 +30,9 @@
 
 use comtainer::crossisa::analyze_cross;
 use comtainer::{
-    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, load_cache,
-    BuildService, ComtError, LtoAdapter, NativeToolchainAdapter, Phase, RebuildOptions,
-    ServiceOptions, SystemAdapter, SystemSide,
+    comtainer_rebuild, comtainer_rebuild_with_report, comtainer_redirect, comtainer_retarget,
+    load_cache, ArtifactCache, BuildService, ComtError, LtoAdapter, NativeToolchainAdapter,
+    Phase, RebuildOptions, ServiceOptions, SystemAdapter, SystemSide,
 };
 use comt_dist::{
     serve, serve_buildd, split_ref, BuilddClient, DistClient, DistError, HttpOptions,
@@ -46,7 +47,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--deny-warnings] [--format json]\n  comt check --explain <CODE>\n  comt audit <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N] [--cache-bytes SIZE] [--max-conns N] [--client-rate BYTES/S]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--target ARCH]... [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--chunked] [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--full] [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
+        "usage:\n  comt refs <layout-dir>\n  comt inspect <layout-dir> <ref>\n  comt check <layout-dir> [ref] [--isa ISA] [--lto] [--deny-warnings] [--format json]\n  comt check --explain <CODE>\n  comt audit <layout-dir> [ref] [--target ARCH]... [--lto] [--format json]\n  comt rebuild <layout-dir> <ext-ref> [--isa ISA] [--lto] [--parallel] [--bolt] [--stats] [--check]\n  comt retarget <layout-dir> <ext-ref> --target ARCH [--target ARCH]... [--isa ISA] [--lto] [--parallel] [--bolt] [--warm] [--stats]\n  comt redirect <layout-dir> <coMre-ref> [--isa ISA]\n  comt adapt <layout-dir> <ext-ref> [--isa ISA] [--lto] [--stats]\n  comt cross-check <layout-dir> <ext-ref> <target-isa>\n  comt serve <layout-dir> [--addr HOST:PORT] [--threads N] [--cache-bytes SIZE] [--max-conns N] [--client-rate BYTES/S]\n  comt buildd <layout-dir> [--addr HOST:PORT] [--workers N] [--quota N]\n  comt submit <ext-ref> --remote HOST:PORT --tenant NAME [--isa ISA] [--lto] [--parallel] [--target ARCH]... [--priority N] [--wait] [--stats]\n  comt jobs --remote HOST:PORT [--tenant NAME] [--cancel ID]\n  comt push <layout-dir> <ref> --remote HOST:PORT [--chunked] [--stats]\n  comt pull <layout-dir> <ref> --remote HOST:PORT [--full] [--stats]\n  comt gc <layout-dir> [--apply] [--format json]\n  comt fsck <layout-dir> [--repair] [--format json]"
     );
     ExitCode::from(2)
 }
@@ -306,6 +307,52 @@ fn cmd_rebuild(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
     };
     save_layout(&oci, dir)?;
     println!("rebuilt: {new_ref}");
+    Ok(())
+}
+
+/// `comt retarget`: one extended image rebuilt for N microarchitectures
+/// concurrently over a shared artifact cache, each registered as
+/// `<base>+coMre@<target>`. The ISA-compatibility audit gates admission:
+/// an unsatisfiable target set aborts before any compile executes.
+/// `--warm` fans out twice over one shared artifact cache and reports
+/// the second run, proving the zero-execution contract in `--stats`.
+fn cmd_retarget(dir: &str, r: &str, args: &[String]) -> Result<(), String> {
+    let mut oci = load_layout(dir)?;
+    let side = system_side(args)?;
+    let targets = opt_values(args, "--target");
+    if targets.is_empty() {
+        return Err("retarget needs --target ARCH (repeatable); try `comt retarget <dir> <ref> --target x86-64-v3`".into());
+    }
+    let opts = RebuildOptions {
+        parallel: flag(args, "--parallel"),
+        post_link_layout: flag(args, "--bolt"),
+        // Keep the cache across `--warm`'s second pass.
+        artifact_cache: Some(ArtifactCache::new()),
+        ..Default::default()
+    };
+    let (outcome, audit) = comt_analyze::retarget_audited(&mut oci, r, &side, &targets, &opts)
+        .map_err(|e| format!("retarget: {e}"))?;
+    if audit.report.warning_count() > 0 {
+        eprint!("{}", audit.render_human());
+    }
+    // `--warm`: fan out a second time over the now-populated artifact
+    // cache and report *that* run, so the zero-execution contract
+    // (`retarget.exec.compile.<target>  0`) is visible in `--stats`.
+    let outcome = if flag(args, "--warm") {
+        comtainer_retarget(&mut oci, r, &side, &targets, &opts)
+            .map_err(|e| format!("retarget (warm): {e}"))?
+    } else {
+        outcome
+    };
+    save_layout(&oci, dir)?;
+    if flag(args, "--stats") {
+        let mut report = outcome.report;
+        report.absorb(&comt_observe::global().report());
+        print!("{}", report.render());
+    }
+    for (target, new_ref) in &outcome.images {
+        println!("retargeted {target}: {new_ref}");
+    }
     Ok(())
 }
 
@@ -806,6 +853,7 @@ fn main() -> ExitCode {
             cmd_audit(dir, r, rest)
         }
         [cmd, dir, r, rest @ ..] if cmd == "rebuild" => cmd_rebuild(dir, r, rest),
+        [cmd, dir, r, rest @ ..] if cmd == "retarget" => cmd_retarget(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "redirect" => cmd_redirect(dir, r, rest),
         [cmd, dir, r, rest @ ..] if cmd == "adapt" => cmd_adapt(dir, r, rest),
         [cmd, dir, r, isa] if cmd == "cross-check" => cmd_cross_check(dir, r, isa),

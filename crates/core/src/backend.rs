@@ -42,6 +42,12 @@ pub struct RebuildOptions {
     /// cached skip execution; a fully warm rebuild performs zero compile
     /// executions and yields a byte-identical rebuild layer.
     pub artifact_cache: Option<Arc<ArtifactCache>>,
+    /// Rebuild for this microarchitecture instead of the system side's
+    /// native one: every compile step's `-march` is rewritten to the
+    /// target before adaptation fingerprinting, so cache keys split per
+    /// target while target-invariant inputs (sources, IR) stay shared.
+    /// `None` keeps the adapter pipeline's own march selection.
+    pub target: Option<String>,
 }
 
 /// Run `coMtainer-rebuild`: produce the rebuild layer and register

@@ -113,6 +113,42 @@ pub fn write_rebuild(
     Ok(new_ref)
 }
 
+/// Append a rebuild layer for one retarget of the extended image
+/// `<ref>+coM`, registering `<ref>+coMre@<target>`. The `@<target>` suffix
+/// keeps an N-target fan-out's images side by side in one layout; each is
+/// an ordinary rebuilt image ([`load_rebuild`] and the redirect work on it
+/// unchanged) whose rebuild layer holds that target's artifacts.
+pub fn write_rebuild_target(
+    oci: &mut OciDir,
+    extended_ref: &str,
+    target: &str,
+    artifacts: &BTreeMap<String, Bytes>,
+) -> Result<String, ComtError> {
+    let image = oci
+        .load_image(extended_ref)
+        .map_err(|e| ComtError::oci(e.to_string()))?;
+    let mut entries = Vec::new();
+    for (path, content) in artifacts {
+        entries.push(Entry::file(
+            format!("{REBUILD_PREFIX}{path}"),
+            content.to_vec(),
+            0o755,
+        ));
+    }
+    let layer_tar =
+        comt_tar::write_archive(&entries).map_err(|e| ComtError::cache(e.to_string()))?;
+    let base = extended_ref.trim_end_matches("+coM");
+    let new_ref = format!("{base}+coMre@{target}");
+    append_layer(
+        oci,
+        &image,
+        layer_tar,
+        &new_ref,
+        &format!("coMtainer-retarget layer ({target})"),
+    )?;
+    Ok(new_ref)
+}
+
 /// Append one layer blob to an existing image's manifest under a new ref.
 fn append_layer(
     oci: &mut OciDir,

@@ -72,6 +72,54 @@ pub fn step_key(inputs: &StepKeyInputs<'_>, files: &[(String, Digest)]) -> Diges
     comt_digest::fingerprint(&refs)
 }
 
+/// Target-invariant half of an IR-mode compile step's identity: the
+/// adapted invocation plus the content digest of the cached IR object it
+/// consumes — deliberately **excluding** the toolchain, ISA, target triple
+/// and march. Every retarget of the same extended image shares this key;
+/// only [`object_key`] specializes it per back-end target, so the
+/// front-end part of the work (IR emission, baked into the cache layer)
+/// is paid exactly once across an N-target fan-out.
+pub fn ir_step_key(
+    argv: &[String],
+    cwd: &str,
+    env: &[String],
+    chain_fp: &str,
+    ir_digest: &Digest,
+) -> Digest {
+    let argv = argv.join("\u{1f}");
+    let env = env.join("\u{1f}");
+    comt_digest::fingerprint(&[
+        b"comt-ir-v1",
+        argv.as_bytes(),
+        cwd.as_bytes(),
+        env.as_bytes(),
+        chain_fp.as_bytes(),
+        ir_digest.raw(),
+    ])
+}
+
+/// Per-target half of an IR-mode step's identity: the shared
+/// [`ir_step_key`] specialized by everything the back-end replay depends
+/// on — toolchain identity, ISA, target triple and the selected
+/// march/microarchitecture. Two targets retargeting the same IR get
+/// distinct object keys; the same target twice gets a cache hit.
+pub fn object_key(
+    ir_key: &Digest,
+    toolchain_id: &str,
+    isa: &str,
+    target_triple: &str,
+    march: &str,
+) -> Digest {
+    comt_digest::fingerprint(&[
+        b"comt-obj-v1",
+        ir_key.raw(),
+        toolchain_id.as_bytes(),
+        isa.as_bytes(),
+        target_triple.as_bytes(),
+        march.as_bytes(),
+    ])
+}
+
 /// Shard count. Keys are content digests, so any byte is uniformly
 /// distributed; the first byte picks the shard.
 const CACHE_SHARDS: usize = 16;
@@ -254,6 +302,34 @@ mod tests {
             ..base
         };
         assert_ne!(step_key(&base, &files), step_key(&triple_only, &files));
+    }
+
+    #[test]
+    fn ir_key_is_target_invariant_and_object_key_is_not() {
+        let argv: Vec<String> = ["gcc", "-O2", "-c", "main.c", "-o", "main.o"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ir = Digest::of(b"COMT-OBJ 1".as_slice());
+        let ik = ir_step_key(&argv, "/src", &[], "native-toolchain", &ir);
+        // Deterministic and independent of any target input.
+        assert_eq!(ik, ir_step_key(&argv, "/src", &[], "native-toolchain", &ir));
+        // The IR content is load-bearing: a different cached object must
+        // not alias.
+        let other = Digest::of(b"COMT-OBJ 2".as_slice());
+        assert_ne!(ik, ir_step_key(&argv, "/src", &[], "native-toolchain", &other));
+
+        // Per-target specialization: only the march differs → different
+        // object keys off the same IR key.
+        let a = object_key(&ik, "vendor-x86@x86_64", "x86_64", "x86_64-linux-gnu", "x86-64-v2");
+        let b = object_key(&ik, "vendor-x86@x86_64", "x86_64", "x86_64-linux-gnu", "x86-64-v3");
+        assert_ne!(a, b);
+        assert_eq!(
+            a,
+            object_key(&ik, "vendor-x86@x86_64", "x86_64", "x86_64-linux-gnu", "x86-64-v2")
+        );
+        // And the object key never collides with the step-key domain.
+        assert_ne!(a, ik);
     }
 
     #[test]

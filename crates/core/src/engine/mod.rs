@@ -23,7 +23,7 @@ pub mod artifact_cache;
 pub mod scheduler;
 pub mod service;
 
-pub use artifact_cache::{step_key, ArtifactCache, StepKeyInputs, StepOutputs};
+pub use artifact_cache::{ir_step_key, object_key, step_key, ArtifactCache, StepKeyInputs, StepOutputs};
 pub use service::{BuildService, JobSpec, JobState, JobStatus, ServiceOptions};
 
 use crate::adapters::chain_fingerprint;
@@ -166,6 +166,18 @@ impl<'a> RebuildEngine<'a> {
                 let mut model =
                     CompilationModel::classify(&cmd.argv, &cmd.cwd, &cmd.env, &cmd.inputs);
                 crate::adapters::apply_adapters(&mut model, &self.ctx.side.adapters, &self.ctx.adapter_ctx);
+                // Retarget override: pin every compile step's -march to the
+                // requested microarchitecture. Rewriting the argv (rather
+                // than special-casing downstream) makes the per-target
+                // split fall out of the ordinary cache keys.
+                if let Some(target) = &self.ctx.opts.target {
+                    if model.is_compilation() {
+                        if let Some(mut inv) = model.invocation() {
+                            inv.set_march(target);
+                            model.set_argv(inv.to_argv());
+                        }
+                    }
+                }
                 AdaptedStep {
                     model,
                     env: cmd.env.clone(),
@@ -208,8 +220,9 @@ impl<'a> RebuildEngine<'a> {
         while i < steps.len() {
             // IR mode: compile steps re-generate code from the cached IR
             // objects instead of compiling sources (paper §4.6's
-            // alternative distribution level). Not content-cached: the
-            // recodegen rewrites an object already in the container.
+            // alternative distribution level). Content-cached under a
+            // split key — target-invariant IR half, per-target object
+            // half — so a warm retarget replays zero back-end steps.
             if ir_mode && steps[i].is_compile() {
                 self.recodegen_step(container, &steps[i])?;
                 i += 1;
@@ -492,6 +505,13 @@ impl<'a> RebuildEngine<'a> {
 
     /// IR-mode "compile": take the cached IR object at the step's output
     /// path and re-generate code for the adapter-transformed flags.
+    ///
+    /// Content-cached like a source compile, but under a split key: the
+    /// target-invariant [`ir_step_key`] (adapted invocation ⊕ IR object
+    /// content) specialized per target by [`object_key`] (toolchain, ISA,
+    /// triple, march). Retargets of the same image share the IR half, so
+    /// an N-target fan-out pays the front-end once and a warm retarget
+    /// executes zero recodegen steps.
     fn recodegen_step(
         &self,
         container: &mut Container,
@@ -514,6 +534,37 @@ impl<'a> RebuildEngine<'a> {
                 .with_phase(Phase::Replay)
                 .with_artifact(out_path.clone())
         })?;
+
+        let key = self.ctx.opts.artifact_cache.as_ref().map(|cache| {
+            let ir = ir_step_key(
+                step.model.argv(),
+                step.model.cwd(),
+                &step.env,
+                &self.ctx.chain_fp,
+                &Digest::of(&raw),
+            );
+            let march = inv.march().unwrap_or("default");
+            (
+                cache,
+                object_key(
+                    &ir,
+                    &self.ctx.toolchain_id,
+                    &side.isa,
+                    &self.ctx.target_triple,
+                    march,
+                ),
+            )
+        });
+        if let Some((cache, key)) = &key {
+            if let Some(hit) = cache.get(key) {
+                self.ctx.recorder.count("cache.hit", 1);
+                self.ctx.recorder.count("retarget.ir_hits", 1);
+                apply_outputs(container, hit.iter())?;
+                return Ok(());
+            }
+            self.ctx.recorder.count("cache.miss", 1);
+        }
+
         let mut obj = comt_toolchain::artifact::read_object(&raw).map_err(|e| {
             ComtError::build(format!("{out_path}: {e}"))
                 .with_phase(Phase::Replay)
@@ -525,14 +576,14 @@ impl<'a> RebuildEngine<'a> {
                     .with_phase(Phase::Replay)
                     .with_step(step.command_line())
             })?;
+        let bytes = comt_toolchain::artifact::write_object(&obj);
         container
             .fs
-            .write_file_p(
-                &out_path,
-                Bytes::from(comt_toolchain::artifact::write_object(&obj)),
-                0o644,
-            )
+            .write_file_p(&out_path, Bytes::from(bytes.clone()), 0o644)
             .map_err(|e| ComtError::fs(e.to_string()).with_phase(Phase::Replay))?;
+        if let Some((cache, key)) = key {
+            cache.put(key, vec![(out_path, bytes)]);
+        }
         self.ctx.recorder.count("exec.recodegen", 1);
         Ok(())
     }

@@ -179,6 +179,23 @@ pub fn analyze_mode(
                     }
                 }
             }
+            // The non-compile replay steps (link, archive, scripts) may
+            // also consume leaf inputs that are neither source text nor a
+            // compile output — linker scripts, version files, pre-built
+            // blobs. Carry those too (still no Source/Header text: the
+            // privacy property IR mode exists for), skipping anything the
+            // build environment's packages own.
+            for leaf in graph.required_leaves(&targets) {
+                if matches!(leaf.kind, NodeKind::Source | NodeKind::Header)
+                    || build_env_owner.contains(&leaf.path)
+                    || cache_files.contains_key(&leaf.path)
+                {
+                    continue;
+                }
+                if let Ok(content) = inputs.build_fs.read(&leaf.path) {
+                    cache_files.insert(leaf.path.clone(), content);
+                }
+            }
         }
     }
 

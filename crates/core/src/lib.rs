@@ -51,6 +51,7 @@ pub mod images;
 pub mod minify;
 pub mod models;
 pub mod redirect;
+pub mod retarget;
 pub mod workflow;
 
 pub use adapters::{
@@ -73,6 +74,7 @@ pub use models::{
 };
 #[doc(inline)]
 pub use redirect::redirect;
+pub use retarget::{comtainer_retarget, validate_targets, RetargetOutcome};
 pub use workflow::{
     comtainer_build, comtainer_build_mode, comtainer_rebuild, comtainer_rebuild_with_report,
     comtainer_redirect, SystemSide,
@@ -169,6 +171,10 @@ pub enum ComtError {
     Pkg(Failure),
     /// Cross-ISA rebuild blocked.
     CrossIsa(Failure),
+    /// IR-mode cache is ABI-coupled to a build-time package the redirect
+    /// would replace (§4.6: IR caching forfeits `libo`). The coupled
+    /// package is named in the detail and carried as the artifact.
+    IrCoupled(Failure),
 }
 
 impl ComtError {
@@ -196,6 +202,10 @@ impl ComtError {
         ComtError::CrossIsa(Failure::new(detail))
     }
 
+    pub fn ir_coupled(detail: String) -> Self {
+        ComtError::IrCoupled(Failure::new(detail))
+    }
+
     /// The failure payload, regardless of variant.
     pub fn failure(&self) -> &Failure {
         match self {
@@ -204,7 +214,8 @@ impl ComtError {
             | ComtError::Build(f)
             | ComtError::Cache(f)
             | ComtError::Pkg(f)
-            | ComtError::CrossIsa(f) => f,
+            | ComtError::CrossIsa(f)
+            | ComtError::IrCoupled(f) => f,
         }
     }
 
@@ -215,7 +226,8 @@ impl ComtError {
             | ComtError::Build(f)
             | ComtError::Cache(f)
             | ComtError::Pkg(f)
-            | ComtError::CrossIsa(f) => f,
+            | ComtError::CrossIsa(f)
+            | ComtError::IrCoupled(f) => f,
         }
     }
 
@@ -259,6 +271,7 @@ impl std::fmt::Display for ComtError {
             ComtError::Cache(_) => "cache",
             ComtError::Pkg(_) => "pkg",
             ComtError::CrossIsa(_) => "cross-isa",
+            ComtError::IrCoupled(_) => "ir-coupled",
         };
         write!(f, "{class}: {}", self.failure())
     }

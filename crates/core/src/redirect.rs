@@ -72,18 +72,54 @@ pub fn redirect(
 
     // Library replacement for the base stack (`libo`): upgrade any
     // performance-relevant package (libc, libstdc++, …) for which the
-    // system repositories carry a newer — i.e. vendor — build. Skipped in
-    // IR mode: ABI coupling pins the build-time versions.
-    let upgrades: Vec<comt_pkg::Package> = if ir_mode { Vec::new() } else { comt_pkg::installed_packages(&fs)
+    // system repositories carry a newer — i.e. vendor — build. In IR mode
+    // ABI coupling pins the build-time versions, so a redirect that would
+    // replace one of the cache's own runtime dependencies is a hard error
+    // (§4.6: IR caching forfeits `libo`) — proceeding would link the
+    // stale cached IR against an ABI it was never built for.
+    let dep_names: std::collections::BTreeSet<&str> = cache
+        .models
+        .image
+        .runtime_deps
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .collect();
+    let mut coupled: Vec<String> = Vec::new();
+    let mut upgrades: Vec<comt_pkg::Package> = Vec::new();
+    for rec in comt_pkg::installed_packages(&fs)
         .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?
-        .into_iter()
-        .filter_map(|rec| {
-            let latest = side.repo.latest(&rec.package)?;
-            let relevant = latest.perf.domain != comt_pkg::LibDomain::None;
-            (relevant && latest.version > rec.version).then(|| latest.clone())
-        })
-        .collect() };
-    comt_pkg::install_packages(&mut fs, &upgrades).map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?;
+    {
+        let Some(latest) = side.repo.latest(&rec.package) else {
+            continue;
+        };
+        let relevant = latest.perf.domain != comt_pkg::LibDomain::None;
+        if relevant && latest.version > rec.version {
+            if ir_mode && dep_names.contains(rec.package.as_str()) {
+                coupled.push(format!(
+                    "{} (pinned {}, system offers {})",
+                    rec.package, rec.version, latest.version
+                ));
+            }
+            upgrades.push(latest.clone());
+        }
+    }
+    if ir_mode {
+        if let Some(first) = coupled.first() {
+            let name = first.split(' ').next().unwrap_or(first).to_string();
+            return Err(ComtError::ir_coupled(format!(
+                "IR-mode cache is ABI-coupled to its build-time packages, but the \
+                 redirect would replace {}; rebuild from a source-mode cache to take \
+                 the package-replacement (libo) optimization",
+                coupled.join(", ")
+            ))
+            .with_phase(Phase::Redirect)
+            .with_artifact(name));
+        }
+        // No perf-relevant replacement implied: the pinned install stands.
+    } else {
+        comt_pkg::install_packages(&mut fs, &upgrades)
+            .map_err(|e| ComtError::pkg(e.to_string()).with_phase(Phase::Redirect))?;
+    }
 
     // 2. Place rebuilt artifacts at their original image paths.
     for (path, content) in &artifacts {

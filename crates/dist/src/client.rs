@@ -709,6 +709,12 @@ impl DistClient {
             Vec::new()
         };
         let mut local_index: Option<(ChunkParams, ChunkIndex)> = None;
+        // Delta stays live only while the chunkmap round-trip can pay for
+        // itself: a full pull (`--full`) never issues it, neither does a
+        // pull into an empty store, and once the local chunk index over
+        // the preexisting blobs proves empty no later layer can be
+        // delta-assembled either — so the GET is skipped from then on.
+        let mut delta_live = opts.delta && !preexisting.is_empty();
         dst.put_prehashed(manifest_digest, manifest);
         let closure = closure_digests(dst, &manifest_digest)?;
         for d in &closure[1..] {
@@ -718,7 +724,7 @@ impl DistClient {
                 continue;
             }
             let mut assembled: Option<Bytes> = None;
-            if opts.delta && !preexisting.is_empty() {
+            if delta_live {
                 if let Some(map) = self
                     .get_chunkmap(name, d)
                     .ok()
@@ -736,7 +742,9 @@ impl DistClient {
                         local_index = Some((map.params, idx));
                     }
                     let index = &local_index.as_ref().expect("just built").1;
-                    if !index.is_empty() {
+                    if index.is_empty() {
+                        delta_live = false;
+                    } else {
                         stats.bytes_moved += map.to_json().len() as u64;
                         assembled = self.pull_blob_delta(
                             name,

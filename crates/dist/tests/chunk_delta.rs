@@ -179,6 +179,65 @@ fn reassembly_is_identical_across_pull_concurrency() {
 }
 
 #[test]
+fn full_pull_issues_zero_chunkmap_requests() {
+    let _g = obs_lock();
+    let mut local = BlobStore::new();
+    let (md1, md2) = two_versions(&mut local);
+    let server = start_server(ServerOptions::default());
+    let client = DistClient::new(server.addr().to_string());
+    client
+        .push_image_chunked("app", "v1", md1, &local, ChunkParams::default())
+        .unwrap();
+    client
+        .push_image_chunked("app", "v2", md2, &local, ChunkParams::default())
+        .unwrap();
+
+    // Seed v1 so related blobs exist locally — the delta path *would*
+    // engage, making any chunkmap traffic on the --full pull a real bug,
+    // not a vacuous pass.
+    let mut dst = BlobStore::new();
+    client.pull_image("app", "v1", &mut dst).unwrap();
+
+    // The loopback server shares this process's observe recorder, so its
+    // counters see every chunkmap route hit directly.
+    comt_observe::global().reset();
+    let (got, stats) = client
+        .pull_image_with(
+            "app",
+            "v2",
+            &mut dst,
+            &PullOptions {
+                delta: false,
+                ..PullOptions::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(got, md2);
+    let obs = comt_observe::global();
+    assert_eq!(
+        obs.counter("dist.server.chunkmap_hits") + obs.counter("dist.server.chunkmap_misses"),
+        0,
+        "--full pull issued chunkmap GETs"
+    );
+    assert_eq!(stats.chunks_hit, 0);
+    assert_eq!(stats.chunks_fetched, 0);
+    assert_closure_identical(&local, &dst, &md2);
+
+    // An empty local store can never delta either: even with delta on,
+    // the chunkmap round-trip is skipped entirely.
+    comt_observe::global().reset();
+    let mut fresh = BlobStore::new();
+    client.pull_image("app", "v2", &mut fresh).unwrap();
+    assert_eq!(
+        obs.counter("dist.server.chunkmap_hits") + obs.counter("dist.server.chunkmap_misses"),
+        0,
+        "pull into an empty store issued chunkmap GETs"
+    );
+    assert_closure_identical(&local, &fresh, &md2);
+    drop(server);
+}
+
+#[test]
 fn unchunked_push_falls_back_to_full_pull() {
     let _g = obs_lock();
     let mut local = BlobStore::new();

@@ -320,6 +320,10 @@ pub struct TargetConfig {
     /// The base arch is `native` — unresolved until a host (or declared
     /// target) is chosen.
     pub native: bool,
+    /// The tune target is `native` — like [`Self::native`], it pins the
+    /// invocation to the build host and stays unresolved until one is
+    /// chosen, but it never changes the feature set.
+    pub tune_native: bool,
     /// A `-march`/`-mcpu` value the matrix does not know.
     pub unknown_march: Option<String>,
     /// Implication-closed effective feature set.
@@ -424,7 +428,13 @@ pub fn fold_invocation(isa: &str, inv: &CompilerInvocation) -> TargetConfig {
                 };
                 cfg.march = Some(v);
             }
-            "mtune=" => cfg.tune = value.clone(),
+            "mtune=" => {
+                cfg.tune = value.clone();
+                // `-mtune=native` is not a CPU name: like `-march=native`
+                // it binds the invocation to the build host and stays
+                // unresolved until a concrete target is chosen.
+                cfg.tune_native = value.as_deref() == Some("native");
+            }
             _ => {
                 let Some((feature, enable)) = flag_feature(token) else {
                     continue;
@@ -622,6 +632,27 @@ mod tests {
         let b = fold("x86_64", "gcc -march=x86-64-v2 -mtune=icelake-server -c a.c");
         assert_eq!(a.enabled, b.enabled);
         assert_eq!(b.tune.as_deref(), Some("icelake-server"));
+        assert!(!b.tune_native);
+    }
+
+    #[test]
+    fn fold_tune_native_is_marked_unresolved() {
+        let cfg = fold("x86_64", "gcc -O3 -march=x86-64-v3 -mtune=native -c a.c");
+        assert!(cfg.tune_native);
+        assert_eq!(cfg.tune.as_deref(), Some("native"));
+        assert!(!cfg.native); // the march base itself resolved fine
+        // Tune-native never touches the feature set either.
+        let plain = fold("x86_64", "gcc -O3 -march=x86-64-v3 -c a.c");
+        assert_eq!(cfg.enabled, plain.enabled);
+    }
+
+    #[test]
+    fn fold_last_mtune_wins_for_native_marking() {
+        let cfg = fold("x86_64", "gcc -mtune=native -mtune=generic -c a.c");
+        assert!(!cfg.tune_native);
+        assert_eq!(cfg.tune.as_deref(), Some("generic"));
+        let cfg = fold("x86_64", "gcc -mtune=generic -mtune=native -c a.c");
+        assert!(cfg.tune_native);
     }
 
     #[test]

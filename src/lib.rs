@@ -6,6 +6,7 @@
 //! the `crates/` members; start with [`comtainer`] for the paper's core
 //! contribution.
 
+pub use comt_analyze as analyze;
 pub use comt_buildsys as buildsys;
 pub use comt_digest as digest;
 pub use comt_oci as oci;

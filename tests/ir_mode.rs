@@ -20,9 +20,10 @@ use comtainer_suite::pkg::catalog;
 use comtainer_suite::toolchain::Toolchain;
 use comt_workloads::{containerfile, deck, source_tree};
 
-/// Build the minife extended image in the given cache mode and adapt it;
-/// return the adapted image's run time plus the cache contents summary.
-fn adapt_with_mode(mode: CacheMode) -> (f64, usize, bool, String) {
+/// Build the minife extended image in the given cache mode and rebuild it
+/// on the system side; return the lab, layout, extended ref and rebuilt
+/// ref so each test can drive the deployment step it cares about.
+fn build_and_rebuild(mode: CacheMode) -> (Lab, OciDir, String, String) {
     let isa = "x86_64";
     let scale = catalog::MINI_SCALE;
     let mut lab = Lab::new(isa, scale);
@@ -56,6 +57,18 @@ fn adapt_with_mode(mode: CacheMode) -> (f64, usize, bool, String) {
     )
     .unwrap();
 
+    let side = lab.system_side();
+    let re = comtainer_rebuild(&mut oci, &ext, &side, &RebuildOptions::default()).unwrap();
+    (lab, oci, ext, re)
+}
+
+/// Adapt the minife image in the given cache mode and measure it; return
+/// the adapted run time plus the cache contents summary.
+fn adapt_with_mode(mode: CacheMode) -> (f64, usize, bool, String) {
+    let isa = "x86_64";
+    let scale = catalog::MINI_SCALE;
+    let (lab, mut oci, ext, re) = build_and_rebuild(mode);
+
     let cache = comtainer_suite::core::load_cache(&oci, &ext).unwrap();
     let has_sources = cache
         .sources
@@ -64,10 +77,26 @@ fn adapt_with_mode(mode: CacheMode) -> (f64, usize, bool, String) {
     let n_cache_files = cache.sources.len();
 
     let side = lab.system_side();
-    let re = comtainer_rebuild(&mut oci, &ext, &side, &RebuildOptions::default()).unwrap();
-    let opt = comtainer_redirect(&mut oci, &re, &side).unwrap();
-    let image = oci.load_image(&opt).unwrap();
-    let fs = comtainer_suite::oci::flatten(&oci.blobs, &image).unwrap();
+    let fs = match mode {
+        CacheMode::Source => {
+            let opt = comtainer_redirect(&mut oci, &re, &side).unwrap();
+            let image = oci.load_image(&opt).unwrap();
+            comtainer_suite::oci::flatten(&oci.blobs, &image).unwrap()
+        }
+        CacheMode::Ir => {
+            // The redirect refuses IR-mode package replacement outright
+            // (see ir_redirect_refuses_package_replacement), so an
+            // IR-mode deployment keeps the original image's pinned
+            // package stack and only swaps in the retargeted binaries.
+            let artifacts = comtainer_suite::core::cache::load_rebuild(&oci, &re).unwrap();
+            let image = oci.load_image("minife.dist").unwrap();
+            let mut fs = comtainer_suite::oci::flatten(&oci.blobs, &image).unwrap();
+            for (path, content) in &artifacts {
+                fs.write_file_p(path, content.clone(), 0o755).unwrap();
+            }
+            fs
+        }
+    };
     let bin =
         comtainer_suite::toolchain::artifact::read_linked(&fs.read("/app/minife").unwrap())
             .unwrap();
@@ -115,6 +144,27 @@ fn ir_mode_trades_libo_for_privacy() {
         ir_time < src_time * 2.0,
         "retargeting still recovered most of the gap: {ir_time:.2} vs {src_time:.2}"
     );
+}
+
+#[test]
+fn ir_redirect_refuses_package_replacement() {
+    // §4.6: the IR-mode binary is ABI-coupled to its build-time package
+    // versions. The system repo carries a newer vendor BLAS, so the
+    // redirect implies a libo replacement — it must hard-error naming the
+    // coupled package instead of silently rebuilding against stale IR.
+    let (lab, mut oci, _ext, re) = build_and_rebuild(CacheMode::Ir);
+    let side = lab.system_side();
+    let err = comtainer_redirect(&mut oci, &re, &side).unwrap_err();
+    assert!(
+        matches!(err, comtainer_suite::core::ComtError::IrCoupled(_)),
+        "expected IrCoupled, got: {err}"
+    );
+    assert_eq!(err.failure().artifact.as_deref(), Some("libopenblas0"));
+    let text = err.to_string();
+    assert!(text.starts_with("ir-coupled:"), "{text}");
+    assert!(text.contains("libopenblas0"), "{text}");
+    // The image was never committed: no +opt ref appeared.
+    assert!(oci.index.find_ref("minife.dist+opt").is_none());
 }
 
 #[test]
